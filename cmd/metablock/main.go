@@ -1,0 +1,257 @@
+// Command metablock runs the full Enhanced Meta-blocking pipeline on a CSV
+// entity collection (or a built-in synthetic dataset) and writes the
+// retained comparisons — or, with a matcher threshold, the matched pairs.
+//
+// Input CSV format (header required): id,source,attribute,value
+//   - id: a non-negative integer per profile (rows with the same id build
+//     one profile)
+//   - source: 1 or 2; if any row has source 2 the task is Clean-Clean ER,
+//     otherwise Dirty ER
+//
+// Ground truth CSV (optional, -truth): id1,id2 per line (no header).
+//
+// Examples:
+//
+//	metablock -dataset D2C -scale 0.2 -algorithm reciprocal-wnp
+//	metablock -input profiles.csv -truth matches.csv -filter 0.8 -scheme ecbs
+//	metablock -input profiles.csv -match 0.4 -output matches.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	mb "metablocking"
+	"metablocking/internal/dataio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metablock:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		input     = flag.String("input", "", "input profiles CSV (id,source,attribute,value)")
+		truth     = flag.String("truth", "", "ground truth CSV (id1,id2) for evaluation")
+		dataset   = flag.String("dataset", "", "built-in synthetic dataset instead of -input (D1C..D3D)")
+		scale     = flag.Float64("scale", 0.2, "scale for -dataset")
+		blockFlag = flag.String("blocking", "token", "blocking method: token, qgrams, suffix, attrcluster, minhash, eqgrams, esn")
+		workers   = flag.Int("workers", 0, "parallel pruning workers (0 = serial, -1 = all CPUs)")
+		scheme    = flag.String("scheme", "js", "weighting scheme: arcs, cbs, ecbs, js, ejs")
+		algorithm = flag.String("algorithm", "reciprocal-wnp", "pruning: cep, cnp, wep, wnp, redefined-cnp, reciprocal-cnp, redefined-wnp, reciprocal-wnp")
+		filter    = flag.Float64("filter", 0.8, "Block Filtering ratio r (0 disables)")
+		graphFree = flag.Bool("graphfree", false, "skip the blocking graph (Block Filtering + Comparison Propagation)")
+		match     = flag.Float64("match", 0, "Jaccard matching threshold; 0 outputs raw comparisons")
+		output    = flag.String("output", "", "output CSV path (default stdout)")
+		saveBlk   = flag.String("save-blocks", "", "persist the cleaned block collection to this file")
+	)
+	flag.Parse()
+
+	collection, gt, err := loadInput(*input, *truth, *dataset, *scale)
+	if err != nil {
+		return err
+	}
+
+	blocking, err := parseBlocking(*blockFlag)
+	if err != nil {
+		return err
+	}
+	sch, err := parseScheme(*scheme)
+	if err != nil {
+		return err
+	}
+	alg, err := parseAlgorithm(*algorithm)
+	if err != nil {
+		return err
+	}
+
+	p := mb.Pipeline{
+		Blocking:    blocking,
+		FilterRatio: *filter,
+		GraphFree:   *graphFree,
+		Scheme:      sch,
+		Algorithm:   alg,
+		Workers:     *workers,
+	}
+	res, err := p.Run(collection)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "profiles: %d  input comparisons: %d  retained: %d  overhead: %v\n",
+		collection.Size(), res.InputComparisons, len(res.Pairs), res.OTime)
+
+	if *saveBlk != "" {
+		cleaned := mb.BuildBlocks(collection, blocking, *filter)
+		if err := mb.SaveBlocks(*saveBlk, cleaned); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved %d blocks to %s\n", cleaned.Len(), *saveBlk)
+	}
+
+	pairs := res.Pairs
+	if *match > 0 {
+		m := mb.NewJaccardMatcher(collection, *match)
+		pairs = mb.Matches(m, pairs)
+		fmt.Fprintf(os.Stderr, "matches at threshold %.2f: %d\n", *match, len(pairs))
+	}
+
+	if gt != nil {
+		rep := mb.Evaluate(res.Pairs, gt, res.InputComparisons)
+		fmt.Fprintf(os.Stderr, "evaluation: PC=%.3f PQ=%.4f RR=%.3f\n", rep.PC(), rep.PQ(), rep.RR())
+	}
+
+	return writePairs(*output, pairs)
+}
+
+func loadInput(input, truth, dataset string, scale float64) (*mb.Collection, *mb.GroundTruth, error) {
+	switch {
+	case input != "" && dataset != "":
+		return nil, nil, fmt.Errorf("-input and -dataset are mutually exclusive")
+	case dataset != "":
+		id, err := parseDataset(dataset)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds := mb.GenerateDataset(id, scale)
+		return ds.Collection, ds.GroundTruth, nil
+	case input != "":
+		c, err := readProfiles(input)
+		if err != nil {
+			return nil, nil, err
+		}
+		var gt *mb.GroundTruth
+		if truth != "" {
+			gt, err = readTruth(truth)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return c, gt, nil
+	default:
+		return nil, nil, fmt.Errorf("either -input or -dataset is required")
+	}
+}
+
+// readProfiles parses the input file: JSONL when the extension is .jsonl
+// or .ndjson, the id,source,attribute,value CSV otherwise.
+func readProfiles(path string) (*mb.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ext := strings.ToLower(filepath.Ext(path))
+	if ext == ".jsonl" || ext == ".ndjson" {
+		return dataio.ReadProfilesJSONL(f)
+	}
+	return dataio.ReadProfilesCSV(f)
+}
+
+func readTruth(path string) (*mb.GroundTruth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataio.ReadGroundTruthCSV(f)
+}
+
+func writePairs(path string, pairs []mb.Pair) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataio.WritePairsCSV(w, pairs)
+}
+
+func parseDataset(s string) (mb.DatasetID, error) {
+	switch strings.ToUpper(s) {
+	case "D1C":
+		return mb.D1C, nil
+	case "D2C":
+		return mb.D2C, nil
+	case "D3C":
+		return mb.D3C, nil
+	case "D1D":
+		return mb.D1D, nil
+	case "D2D":
+		return mb.D2D, nil
+	case "D3D":
+		return mb.D3D, nil
+	default:
+		return 0, fmt.Errorf("unknown dataset %q (want D1C..D3D)", s)
+	}
+}
+
+func parseBlocking(s string) (mb.BlockingMethod, error) {
+	switch strings.ToLower(s) {
+	case "token":
+		return mb.TokenBlocking{}, nil
+	case "qgrams":
+		return mb.QGramsBlocking{}, nil
+	case "suffix":
+		return mb.SuffixArrayBlocking{}, nil
+	case "attrcluster":
+		return mb.AttributeClusteringBlocking{}, nil
+	case "minhash":
+		return mb.MinHashBlocking{}, nil
+	case "eqgrams":
+		return mb.ExtendedQGramsBlocking{}, nil
+	case "esn":
+		return mb.ExtendedSortedNeighborhood{}, nil
+	default:
+		return nil, fmt.Errorf("unknown blocking method %q", s)
+	}
+}
+
+func parseScheme(s string) (mb.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "arcs":
+		return mb.ARCS, nil
+	case "cbs":
+		return mb.CBS, nil
+	case "ecbs":
+		return mb.ECBS, nil
+	case "js":
+		return mb.JS, nil
+	case "ejs":
+		return mb.EJS, nil
+	default:
+		return 0, fmt.Errorf("unknown weighting scheme %q", s)
+	}
+}
+
+func parseAlgorithm(s string) (mb.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "cep":
+		return mb.CEP, nil
+	case "cnp":
+		return mb.CNP, nil
+	case "wep":
+		return mb.WEP, nil
+	case "wnp":
+		return mb.WNP, nil
+	case "redefined-cnp":
+		return mb.RedefinedCNP, nil
+	case "reciprocal-cnp":
+		return mb.ReciprocalCNP, nil
+	case "redefined-wnp":
+		return mb.RedefinedWNP, nil
+	case "reciprocal-wnp":
+		return mb.ReciprocalWNP, nil
+	default:
+		return 0, fmt.Errorf("unknown pruning algorithm %q", s)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	mb "metablocking"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadProfilesDirty(t *testing.T) {
+	path := writeFile(t, "p.csv", `id,source,attribute,value
+0,1,name,Jack Miller
+0,1,job,seller
+1,1,name,Erick Green
+`)
+	c, err := readProfiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if c.Task.String() != "Dirty ER" {
+		t.Fatalf("Task = %v", c.Task)
+	}
+	if len(c.Profile(0).Attributes) != 2 {
+		t.Fatalf("profile 0 attrs = %d", len(c.Profile(0).Attributes))
+	}
+}
+
+func TestReadProfilesCleanClean(t *testing.T) {
+	path := writeFile(t, "p.csv", `id,source,attribute,value
+0,1,name,a
+1,2,name,b
+2,2,name,c
+`)
+	c, err := readProfiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Task.String() != "Clean-Clean ER" || c.Split != 1 || c.Size() != 3 {
+		t.Fatalf("Task=%v Split=%d Size=%d", c.Task, c.Split, c.Size())
+	}
+}
+
+func TestReadProfilesErrors(t *testing.T) {
+	for name, content := range map[string]string{
+		"bad id":        "x,1,a,v\n",
+		"bad source":    "0,3,a,v\n",
+		"mixed sources": "0,1,a,v\n0,2,b,w\n",
+		"empty":         "id,source,attribute,value\n",
+	} {
+		path := writeFile(t, "p.csv", content)
+		if _, err := readProfiles(path); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+	if _, err := readProfiles("/nonexistent/file.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadTruth(t *testing.T) {
+	path := writeFile(t, "t.csv", "0,5\n1,6\n")
+	gt, err := readTruth(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() != 2 || !gt.Contains(5, 0) {
+		t.Fatalf("ground truth wrong: %v", gt.Pairs())
+	}
+	bad := writeFile(t, "bad.csv", "x,y\n")
+	if _, err := readTruth(bad); err == nil {
+		t.Error("bad truth accepted")
+	}
+}
+
+func TestWritePairs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := writePairs(path, []mb.Pair{{A: 1, B: 2}, {A: 3, B: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "1,2\n3,4\n" {
+		t.Fatalf("output = %q", data)
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if _, err := parseDataset("D2C"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseDataset("nope"); err == nil {
+		t.Error("bad dataset accepted")
+	}
+	for _, s := range []string{"token", "qgrams", "suffix", "attrcluster"} {
+		if _, err := parseBlocking(s); err != nil {
+			t.Errorf("blocking %q: %v", s, err)
+		}
+	}
+	if _, err := parseBlocking("standard?"); err == nil {
+		t.Error("bad blocking accepted")
+	}
+	for _, s := range []string{"arcs", "cbs", "ecbs", "js", "ejs"} {
+		if _, err := parseScheme(s); err != nil {
+			t.Errorf("scheme %q: %v", s, err)
+		}
+	}
+	if _, err := parseScheme("xx"); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	for _, s := range []string{"cep", "cnp", "wep", "wnp", "redefined-cnp", "reciprocal-cnp", "redefined-wnp", "reciprocal-wnp"} {
+		if _, err := parseAlgorithm(s); err != nil {
+			t.Errorf("algorithm %q: %v", s, err)
+		}
+	}
+	if _, err := parseAlgorithm("xx"); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+}
+
+func TestLoadInputValidation(t *testing.T) {
+	if _, _, err := loadInput("", "", "", 1); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, _, err := loadInput("a.csv", "", "D1C", 1); err == nil {
+		t.Error("both inputs accepted")
+	}
+	c, gt, err := loadInput("", "", "D1C", 0.02)
+	if err != nil || c == nil || gt == nil {
+		t.Fatalf("dataset load failed: %v", err)
+	}
+}

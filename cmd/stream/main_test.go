@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStreamRun(t *testing.T) {
+	in := strings.NewReader(`{"attributes":{"name":["jack miller"],"job":["car seller"]}}
+{"attributes":{"name":["erick green"]}}
+
+{"attributes":{"fullname":["jack q miller"],"work":["car vendor"]}}
+`)
+	var out bytes.Buffer
+	if err := run(in, &out, options{k: 10, scheme: "js", maxBlock: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("emitted %d candidate rows, want 1: %q", len(lines), out.String())
+	}
+	// Profile 2 (jack q miller / car vendor) must pair with profile 0 at
+	// JS = |{jack,miller,car}| / |{jack,miller,car,seller,q,vendor}| = 0.5.
+	if !strings.HasPrefix(lines[0], "2,0,0.5") {
+		t.Fatalf("candidate row = %q", lines[0])
+	}
+}
+
+func TestStreamRejectsGarbage(t *testing.T) {
+	if err := run(strings.NewReader("not json\n"), &bytes.Buffer{}, options{k: 3, scheme: "cbs"}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestParseSchemeStream(t *testing.T) {
+	for _, s := range []string{"arcs", "cbs", "ecbs", "js"} {
+		if _, err := parseScheme(s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	if _, err := parseScheme("ejs"); err == nil {
+		t.Error("ejs must be rejected (needs global degrees)")
+	}
+}

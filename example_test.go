@@ -1,0 +1,66 @@
+package metablocking_test
+
+import (
+	"fmt"
+
+	mb "metablocking"
+)
+
+// The package-level example walks through the paper's running example
+// (Figure 1): six noisy profiles, Token Blocking, and Reciprocal WNP
+// pruning down to the four comparisons of Figure 9.
+func Example() {
+	mk := func(pairs ...string) mb.Profile {
+		var p mb.Profile
+		for i := 0; i+1 < len(pairs); i += 2 {
+			p.Add(pairs[i], pairs[i+1])
+		}
+		return p
+	}
+	collection := mb.NewDirty([]mb.Profile{
+		mk("FullName", "Jack Lloyd Miller", "job", "autoseller"),
+		mk("name", "Erick Green", "profession", "vehicle vendor"),
+		mk("fullname", "Jack Miller", "Work", "car vendor-seller"),
+		mk("name", "Erick Lloyd Green", "profession", "car trader"),
+		mk("Fullname", "James Jordan", "job", "car seller"),
+		mk("name", "Nick Papas", "profession", "car dealer"),
+	})
+
+	res, err := mb.Pipeline{
+		DisablePurging: true, // keep the walk-through numbers exact
+		Scheme:         mb.JS,
+		Algorithm:      mb.ReciprocalWNP,
+	}.Run(collection)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("input comparisons: %d\n", res.InputComparisons)
+	fmt.Printf("retained: %d\n", len(res.Pairs))
+	// Output:
+	// input comparisons: 13
+	// retained: 4
+}
+
+// ExamplePipeline_graphFree shows the blocking-graph-free workflow of
+// Figure 7(b): Block Filtering plus Comparison Propagation.
+func ExamplePipeline_graphFree() {
+	ds := mb.GenerateDataset(mb.D1C, 0.02)
+	res, err := mb.Pipeline{GraphFree: true, FilterRatio: 0.55}.Run(ds.Collection)
+	if err != nil {
+		panic(err)
+	}
+	rep := mb.Evaluate(res.Pairs, ds.GroundTruth, res.InputComparisons)
+	fmt.Printf("recall above 0.9: %v\n", rep.PC() > 0.9)
+	// Output:
+	// recall above 0.9: true
+}
+
+// ExampleEvaluate demonstrates the paper's effectiveness measures.
+func ExampleEvaluate() {
+	gt := mb.NewGroundTruth([]mb.Pair{{A: 0, B: 1}, {A: 2, B: 3}})
+	retained := []mb.Pair{{A: 0, B: 1}, {A: 1, B: 2}} // one hit, one miss
+	rep := mb.Evaluate(retained, gt, 100)
+	fmt.Printf("PC=%.2f PQ=%.2f RR=%.2f\n", rep.PC(), rep.PQ(), rep.RR())
+	// Output:
+	// PC=0.50 PQ=0.50 RR=0.98
+}

@@ -1,0 +1,68 @@
+// Pay-as-you-go ER: resolve as many duplicates as possible under a hard
+// comparison budget — the efficiency-intensive application class of §3.
+//
+// The weighted blocking graph is turned into a prioritized comparison
+// stream (heaviest edges first); the example reports the recall reached at
+// growing budget prefixes, versus executing the same comparisons in random
+// order.
+//
+//	go run ./examples/payasyougo
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	mb "metablocking"
+)
+
+func main() {
+	ds := mb.GenerateDataset(mb.D1C, 0.3)
+	blocks := mb.BuildBlocks(ds.Collection, mb.TokenBlocking{}, 0.8)
+	fmt.Printf("blocks entail %d comparisons; %d true matches exist\n",
+		blocks.Comparisons(), ds.GroundTruth.Size())
+
+	sched := mb.NewProgressiveScheduler(blocks, mb.ARCS)
+	total := sched.Len()
+
+	// Random-order baseline over the same comparison set.
+	random := make([]mb.Comparison, 0, total)
+	for {
+		c, ok := sched.Next()
+		if !ok {
+			break
+		}
+		random = append(random, c)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(random), func(i, j int) { random[i], random[j] = random[j], random[i] })
+	sched.Reset()
+
+	fmt.Printf("\n%12s %14s %14s\n", "budget", "progressive", "random order")
+	detectedP, detectedR := 0, 0
+	emittedP, emittedR := 0, 0
+	for _, budget := range []int{500, 1000, 2000, 5000, 10000, total} {
+		if budget > total {
+			budget = total
+		}
+		for emittedP < budget {
+			c, _ := sched.Next()
+			emittedP++
+			if ds.GroundTruth.Contains(c.Pair.A, c.Pair.B) {
+				detectedP++
+			}
+		}
+		for emittedR < budget {
+			c := random[emittedR]
+			emittedR++
+			if ds.GroundTruth.Contains(c.Pair.A, c.Pair.B) {
+				detectedR++
+			}
+		}
+		fmt.Printf("%12d %13.1f%% %13.1f%%\n", budget,
+			100*float64(detectedP)/float64(ds.GroundTruth.Size()),
+			100*float64(detectedR)/float64(ds.GroundTruth.Size()))
+	}
+	fmt.Println("\nthe prioritized stream finds nearly all duplicates within a tiny")
+	fmt.Println("budget prefix — the property pay-as-you-go applications rely on")
+}

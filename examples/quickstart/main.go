@@ -1,0 +1,66 @@
+// Quickstart: the paper's running example end to end.
+//
+// Six noisy, schema-heterogeneous profiles (Figure 1a) are blocked with
+// Token Blocking, restructured by Meta-blocking (JS weighting + Reciprocal
+// WNP pruning), matched with the Jaccard matcher, and clustered.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mb "metablocking"
+)
+
+func main() {
+	mk := func(pairs ...string) mb.Profile {
+		var p mb.Profile
+		for i := 0; i+1 < len(pairs); i += 2 {
+			p.Add(pairs[i], pairs[i+1])
+		}
+		return p
+	}
+
+	// The entity collection of Figure 1(a): p1≡p3 and p2≡p4 despite the
+	// different attribute names and noisy values.
+	profiles := []mb.Profile{
+		mk("FullName", "Jack Lloyd Miller", "job", "autoseller"),
+		mk("name", "Erick Green", "profession", "vehicle vendor"),
+		mk("fullname", "Jack Miller", "Work", "car vendor-seller"),
+		mk("name", "Erick Lloyd Green", "profession", "car trader"),
+		mk("Fullname", "James Jordan", "job", "car seller"),
+		mk("name", "Nick Papas", "profession", "car dealer"),
+	}
+	collection := mb.NewDirty(profiles)
+
+	// Blocking + meta-blocking in one pipeline. Purging is disabled so
+	// the numbers match the paper's walk-through exactly.
+	pipeline := mb.Pipeline{
+		Blocking:       mb.TokenBlocking{},
+		DisablePurging: true,
+		Scheme:         mb.JS,
+		Algorithm:      mb.ReciprocalWNP,
+	}
+	res, err := pipeline.Run(collection)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("input blocks entail %d comparisons\n", res.InputComparisons)
+	fmt.Printf("meta-blocking retained %d comparisons (overhead %v):\n", len(res.Pairs), res.OTime)
+	for _, p := range res.Pairs {
+		fmt.Printf("  compare %v and %v\n", collection.Profile(p.A), collection.Profile(p.B))
+	}
+
+	// Entity matching over the retained comparisons only.
+	matcher := mb.NewJaccardMatcher(collection, 0.25)
+	matches := mb.Matches(matcher, res.Pairs)
+	fmt.Printf("\nmatches found: %d\n", len(matches))
+	for _, cluster := range mb.Cluster(collection, matches) {
+		fmt.Printf("  duplicate cluster: %v\n", cluster)
+	}
+	fmt.Println("\n(the toy Jaccard matcher also pairs p2-p4 at the same 2/7 similarity as")
+	fmt.Println(" the true duplicates — matching quality is orthogonal to blocking, §3)")
+}

@@ -1,0 +1,49 @@
+// Supervised meta-blocking: when a labelled sample of comparisons is
+// available, a classifier over all co-occurrence features prunes the
+// blocking graph more accurately than any single weighting scheme
+// (paper §2, ref [23]).
+//
+// The example trains on a 5% edge sample of a synthetic benchmark and
+// compares the classifier against the best unsupervised weight-based
+// configuration.
+//
+//	go run ./examples/supervised
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mb "metablocking"
+)
+
+func main() {
+	ds := mb.GenerateDataset(mb.D2C, 0.2)
+	blocks := mb.BuildBlocks(ds.Collection, mb.TokenBlocking{}, 0.8)
+	baseline := blocks.Comparisons()
+	fmt.Printf("input: %d comparisons, %d true matches\n\n", baseline, ds.GroundTruth.Size())
+
+	// Supervised: logistic regression over ARCS/CBS/ECBS/JS/degrees.
+	sup, err := mb.RunSupervised(blocks, ds.GroundTruth, mb.SupervisedConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	supRep := mb.Evaluate(sup.Pairs, ds.GroundTruth, baseline)
+	fmt.Printf("supervised (trained on %d labelled edges):\n", sup.TrainingEdges)
+	fmt.Printf("  retained %d comparisons  PC=%.3f  PQ=%.4f  overhead=%v\n",
+		len(sup.Pairs), supRep.PC(), supRep.PQ(), sup.OTime)
+	fmt.Printf("  learned weights per feature:\n")
+	for f, name := range [6]string{"ARCS", "CBS", "ECBS", "JS", "DegreeI", "DegreeJ"} {
+		fmt.Printf("    %-8s %+.3f\n", name, sup.Model.Weights[f])
+	}
+
+	// Unsupervised reference: Reciprocal WNP with JS.
+	res, err := mb.Pipeline{FilterRatio: 0.8, Scheme: mb.JS, Algorithm: mb.ReciprocalWNP}.Run(ds.Collection)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := mb.Evaluate(res.Pairs, ds.GroundTruth, baseline)
+	fmt.Printf("\nunsupervised Reciprocal WNP (JS):\n")
+	fmt.Printf("  retained %d comparisons  PC=%.3f  PQ=%.4f  overhead=%v\n",
+		len(res.Pairs), rep.PC(), rep.PQ(), res.OTime)
+}

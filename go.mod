@@ -1,0 +1,3 @@
+module metablocking
+
+go 1.24

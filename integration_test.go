@@ -1,0 +1,103 @@
+package metablocking
+
+import (
+	"testing"
+)
+
+// TestIntegrationMatrix drives the public API across every dataset family,
+// weighting scheme and pruning algorithm at small scale and checks the
+// paper's global invariants hold on each combination:
+//
+//   - weight-based pruning retains more comparisons and more recall than
+//     cardinality-based pruning of the same family (shallow vs deep, §3)
+//   - Redefined variants never lose recall against the originals (§5.1)
+//   - Reciprocal variants never retain more than Redefined ones (§5.2)
+//   - every configuration stays within [0, input] comparisons
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix is slow")
+	}
+	datasets := []DatasetID{D1C, D1D, BIB, MOV}
+	scales := map[DatasetID]float64{D1C: 0.05, D1D: 0.05, BIB: 0.1, MOV: 0.1}
+	for _, id := range datasets {
+		ds := GenerateDataset(id, scales[id])
+		for _, scheme := range []Scheme{ARCS, CBS, ECBS, JS, EJS} {
+			results := make(map[Algorithm]Report)
+			retained := make(map[Algorithm]int)
+			var input int64
+			for _, alg := range []Algorithm{CEP, CNP, WEP, WNP, RedefinedCNP, ReciprocalCNP, RedefinedWNP, ReciprocalWNP} {
+				res, err := Pipeline{FilterRatio: 0.8, Scheme: scheme, Algorithm: alg}.Run(ds.Collection)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", ds.Name, scheme, alg, err)
+				}
+				input = res.InputComparisons
+				if int64(len(res.Pairs)) > input {
+					t.Fatalf("%s/%v/%v: retained %d of %d input comparisons",
+						ds.Name, scheme, alg, len(res.Pairs), input)
+				}
+				results[alg] = Evaluate(res.Pairs, ds.GroundTruth, input)
+				retained[alg] = len(res.Pairs)
+			}
+
+			// Shallow vs deep pruning.
+			if results[WEP].PC() < results[CEP].PC()-0.02 {
+				t.Errorf("%s/%v: WEP recall %.3f below CEP's %.3f",
+					ds.Name, scheme, results[WEP].PC(), results[CEP].PC())
+			}
+			if results[WNP].PC() < results[CNP].PC()-0.02 {
+				t.Errorf("%s/%v: WNP recall %.3f below CNP's %.3f",
+					ds.Name, scheme, results[WNP].PC(), results[CNP].PC())
+			}
+			// Redefined keeps recall, drops redundancy.
+			if results[RedefinedCNP].Detected != results[CNP].Detected {
+				t.Errorf("%s/%v: Redefined CNP changed recall", ds.Name, scheme)
+			}
+			if results[RedefinedWNP].Detected != results[WNP].Detected {
+				t.Errorf("%s/%v: Redefined WNP changed recall", ds.Name, scheme)
+			}
+			if retained[RedefinedCNP] > retained[CNP] || retained[RedefinedWNP] > retained[WNP] {
+				t.Errorf("%s/%v: redefined retained more than original", ds.Name, scheme)
+			}
+			// Reciprocal prunes deepest in its family.
+			if retained[ReciprocalCNP] > retained[RedefinedCNP] {
+				t.Errorf("%s/%v: Reciprocal CNP above Redefined CNP", ds.Name, scheme)
+			}
+			if retained[ReciprocalWNP] > retained[RedefinedWNP] {
+				t.Errorf("%s/%v: Reciprocal WNP above Redefined WNP", ds.Name, scheme)
+			}
+		}
+	}
+}
+
+// TestIntegrationEffectivenessContracts checks the application-class
+// contracts of §3 on the effectiveness-intensive configurations: both the
+// graph-based (Reciprocal WNP) and the graph-free (r=0.55) workflows must
+// keep recall near the 0.95 bar while pruning the vast majority of the
+// brute-force comparisons. (Which of the two retains fewer comparisons is
+// scale- and dataset-dependent — see EXPERIMENTS.md Table 6 for the
+// recorded relation at scale 0.5.)
+func TestIntegrationEffectivenessContracts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration is slow")
+	}
+	for _, id := range []DatasetID{D1C, D1D, MOV} {
+		ds := GenerateDataset(id, 0.2)
+		base := ds.Collection.BruteForceComparisons()
+		for name, p := range map[string]Pipeline{
+			"graph-free":  {GraphFree: true, FilterRatio: 0.55},
+			"graph-based": {FilterRatio: 0.8, Scheme: JS, Algorithm: ReciprocalWNP},
+		} {
+			res, err := p.Run(ds.Collection)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Evaluate(res.Pairs, ds.GroundTruth, base)
+			if rep.PC() < 0.89 {
+				t.Errorf("%v/%s: PC %.3f below the effectiveness bar", id, name, rep.PC())
+			}
+			if rep.RR() < 0.9 {
+				t.Errorf("%v/%s: RR %.3f — pruning too shallow", id, name, rep.RR())
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package block
+
+import (
+	"reflect"
+	"testing"
+
+	"metablocking/internal/entity"
+)
+
+// dirtyFixture builds a small Dirty ER collection:
+//
+//	block 0 "x": {0,1,2}   → 3 comparisons
+//	block 1 "y": {0,1}     → 1 comparison
+//	block 2 "z": {2,3}     → 1 comparison
+func dirtyFixture() *Collection {
+	return &Collection{
+		Task:        entity.Dirty,
+		NumEntities: 4,
+		Split:       4,
+		Blocks: []Block{
+			{Key: "x", E1: []entity.ID{0, 1, 2}},
+			{Key: "y", E1: []entity.ID{0, 1}},
+			{Key: "z", E1: []entity.ID{2, 3}},
+		},
+	}
+}
+
+// cleanFixture builds a Clean-Clean collection with split 2:
+//
+//	block 0 "x": E1{0,1} × E2{2,3} → 4 comparisons
+//	block 1 "y": E1{0}   × E2{3}   → 1 comparison
+func cleanFixture() *Collection {
+	return &Collection{
+		Task:        entity.CleanClean,
+		NumEntities: 4,
+		Split:       2,
+		Blocks: []Block{
+			{Key: "x", E1: []entity.ID{0, 1}, E2: []entity.ID{2, 3}},
+			{Key: "y", E1: []entity.ID{0}, E2: []entity.ID{3}},
+		},
+	}
+}
+
+func TestBlockCardinality(t *testing.T) {
+	dirty := Block{E1: []entity.ID{0, 1, 2}}
+	if dirty.Comparisons() != 3 || dirty.Size() != 3 {
+		t.Fatalf("dirty block: ‖b‖=%d |b|=%d, want 3 and 3", dirty.Comparisons(), dirty.Size())
+	}
+	clean := Block{E1: []entity.ID{0, 1}, E2: []entity.ID{2, 3, 4}}
+	if clean.Comparisons() != 6 || clean.Size() != 5 {
+		t.Fatalf("clean block: ‖b‖=%d |b|=%d, want 6 and 5", clean.Comparisons(), clean.Size())
+	}
+	empty := Block{E1: []entity.ID{7}}
+	if empty.Comparisons() != 0 {
+		t.Fatalf("singleton block has %d comparisons", empty.Comparisons())
+	}
+}
+
+func TestCollectionStats(t *testing.T) {
+	c := dirtyFixture()
+	if c.Len() != 3 {
+		t.Errorf("|B| = %d, want 3", c.Len())
+	}
+	if c.Comparisons() != 5 {
+		t.Errorf("‖B‖ = %d, want 5", c.Comparisons())
+	}
+	if c.Assignments() != 7 {
+		t.Errorf("Σ|b| = %d, want 7", c.Assignments())
+	}
+	if got := c.BPE(); got != 7.0/4.0 {
+		t.Errorf("BPE = %v, want 1.75", got)
+	}
+}
+
+func TestSortByCardinality(t *testing.T) {
+	c := dirtyFixture()
+	c.SortByCardinality()
+	got := []string{c.Blocks[0].Key, c.Blocks[1].Key, c.Blocks[2].Key}
+	// y and z tie at 1 comparison; key order breaks the tie.
+	want := []string{"y", "z", "x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := cleanFixture()
+	cl := c.Clone()
+	cl.Blocks[0].E1[0] = 99
+	cl.Blocks[0].E2[0] = 98
+	if c.Blocks[0].E1[0] == 99 || c.Blocks[0].E2[0] == 98 {
+		t.Fatal("Clone shares member slices with the original")
+	}
+	if cl.Split != c.Split || cl.Task != c.Task || cl.NumEntities != c.NumEntities {
+		t.Fatal("Clone drops collection metadata")
+	}
+}
+
+func TestForEachComparisonDirty(t *testing.T) {
+	c := dirtyFixture()
+	var got []entity.Pair
+	var blocks []int
+	c.ForEachComparison(func(blockID int, a, b entity.ID) bool {
+		got = append(got, entity.MakePair(a, b))
+		blocks = append(blocks, blockID)
+		return true
+	})
+	want := []entity.Pair{
+		{A: 0, B: 1}, {A: 0, B: 2}, {A: 1, B: 2}, // block 0
+		{A: 0, B: 1}, // block 1 (redundant)
+		{A: 2, B: 3}, // block 2
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("comparisons = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(blocks, []int{0, 0, 0, 1, 2}) {
+		t.Fatalf("block ids = %v", blocks)
+	}
+}
+
+func TestForEachComparisonClean(t *testing.T) {
+	c := cleanFixture()
+	count := 0
+	c.ForEachComparison(func(_ int, a, b entity.ID) bool {
+		if int(a) >= c.Split || int(b) < c.Split {
+			t.Fatalf("comparison (%d,%d) does not cross the split", a, b)
+		}
+		count++
+		return true
+	})
+	if int64(count) != c.Comparisons() {
+		t.Fatalf("visited %d comparisons, want %d", count, c.Comparisons())
+	}
+}
+
+func TestForEachComparisonEarlyStop(t *testing.T) {
+	c := dirtyFixture()
+	count := 0
+	c.ForEachComparison(func(_ int, _, _ entity.ID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d comparisons, want 2", count)
+	}
+}
+
+func TestDetectedDuplicates(t *testing.T) {
+	c := dirtyFixture()
+	gt := entity.NewGroundTruth([]entity.Pair{
+		{A: 0, B: 1}, // co-occurs in blocks 0 and 1
+		{A: 2, B: 3}, // co-occurs in block 2
+		{A: 0, B: 3}, // never co-occurs
+	})
+	if got := c.DetectedDuplicates(gt); got != 2 {
+		t.Fatalf("|D(B)| = %d, want 2", got)
+	}
+}
+
+func TestInFirst(t *testing.T) {
+	c := cleanFixture()
+	if !c.InFirst(1) || c.InFirst(2) {
+		t.Fatal("InFirst misclassifies around the split")
+	}
+}

@@ -1,0 +1,106 @@
+package block
+
+import "metablocking/internal/entity"
+
+// EntityIndex is the inverted index from entity IDs to the ascending list
+// of block IDs that contain them (paper §2). It underlies Comparison
+// Propagation (via the LeCoBI condition) and both edge-weighting
+// implementations of meta-blocking.
+type EntityIndex struct {
+	lists       [][]int32
+	numEntities int
+}
+
+// NewEntityIndex builds the index for the collection's current block order.
+// Block IDs are positional: block i of c.Blocks has ID i. Because blocks
+// are visited in order and member slices are only appended to, every block
+// list comes out ascending.
+func NewEntityIndex(c *Collection) *EntityIndex {
+	idx := &EntityIndex{
+		lists:       make([][]int32, c.NumEntities),
+		numEntities: c.NumEntities,
+	}
+	// First pass: count assignments per entity so each list is allocated
+	// exactly once.
+	counts := make([]int32, c.NumEntities)
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		for _, id := range b.E1 {
+			counts[id]++
+		}
+		for _, id := range b.E2 {
+			counts[id]++
+		}
+	}
+	for id, n := range counts {
+		if n > 0 {
+			idx.lists[id] = make([]int32, 0, n)
+		}
+	}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		for _, id := range b.E1 {
+			idx.lists[id] = append(idx.lists[id], int32(i))
+		}
+		for _, id := range b.E2 {
+			idx.lists[id] = append(idx.lists[id], int32(i))
+		}
+	}
+	return idx
+}
+
+// NumEntities returns the size of the ID space the index covers.
+func (x *EntityIndex) NumEntities() int { return x.numEntities }
+
+// BlockList returns the ascending block IDs containing the given entity.
+// The returned slice is shared; callers must not modify it.
+func (x *EntityIndex) BlockList(id entity.ID) []int32 { return x.lists[id] }
+
+// NumBlocks returns |Bi|, the number of blocks containing the entity.
+func (x *EntityIndex) NumBlocks(id entity.ID) int { return len(x.lists[id]) }
+
+// CommonBlocks returns |Bij|, the number of blocks shared by the two
+// entities, by intersecting their sorted block lists (the core of the
+// paper's Algorithm 2).
+func (x *EntityIndex) CommonBlocks(a, b entity.ID) int {
+	la, lb := x.lists[a], x.lists[b]
+	common, i, j := 0, 0, 0
+	for i < len(la) && j < len(lb) {
+		switch {
+		case la[i] < lb[j]:
+			i++
+		case la[i] > lb[j]:
+			j++
+		default:
+			common++
+			i++
+			j++
+		}
+	}
+	return common
+}
+
+// LeastCommonBlock returns the smallest block ID shared by the two
+// entities, or -1 if they share none.
+func (x *EntityIndex) LeastCommonBlock(a, b entity.ID) int32 {
+	la, lb := x.lists[a], x.lists[b]
+	i, j := 0, 0
+	for i < len(la) && j < len(lb) {
+		switch {
+		case la[i] < lb[j]:
+			i++
+		case la[i] > lb[j]:
+			j++
+		default:
+			return la[i]
+		}
+	}
+	return -1
+}
+
+// IsNonRedundant implements the Least Common Block Index (LeCoBI)
+// condition: a comparison (a, b) inside block blockID is non-redundant iff
+// blockID equals the least common block ID of the two entities.
+func (x *EntityIndex) IsNonRedundant(blockID int32, a, b entity.ID) bool {
+	return x.LeastCommonBlock(a, b) == blockID
+}

@@ -1,0 +1,108 @@
+// Package blocking implements the blocking methods the paper builds on:
+// the schema-agnostic, redundancy-positive methods (Token Blocking,
+// Q-grams Blocking, Suffix Arrays, Attribute Clustering) plus Standard
+// Blocking (disjoint) and Sorted Neighborhood (redundancy-neutral) for
+// completeness of the taxonomy in §2.
+package blocking
+
+import (
+	"sort"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// Method builds a block collection from an entity collection.
+type Method interface {
+	// Name identifies the method in reports and experiment output.
+	Name() string
+	// Build extracts the block collection. Implementations must produce a
+	// deterministic block order for a given input.
+	Build(c *entity.Collection) *block.Collection
+}
+
+// keyIndex accumulates, per blocking key, the profiles assigned to it,
+// split by source collection, and converts the result into blocks.
+type keyIndex struct {
+	task  entity.Task
+	split int
+	keys  map[string]*keyEntry
+}
+
+type keyEntry struct {
+	e1, e2 []entity.ID
+}
+
+func newKeyIndex(c *entity.Collection) *keyIndex {
+	return &keyIndex{task: c.Task, split: c.Split, keys: make(map[string]*keyEntry)}
+}
+
+// add assigns a profile to a blocking key. Repeated assignments of the same
+// profile to the same key are deduplicated by the caller supplying distinct
+// keys per profile (use a per-profile set).
+func (k *keyIndex) add(key string, id entity.ID) {
+	e := k.keys[key]
+	if e == nil {
+		e = &keyEntry{}
+		k.keys[key] = e
+	}
+	if k.task == entity.CleanClean && int(id) >= k.split {
+		e.e2 = append(e.e2, id)
+	} else {
+		e.e1 = append(e.e1, id)
+	}
+}
+
+// build converts the accumulated keys into a block collection, keeping only
+// keys that entail at least one comparison: two profiles for Dirty ER, or
+// one profile from each source for Clean-Clean ER. Blocks are ordered by
+// key for determinism.
+func (k *keyIndex) build(c *entity.Collection) *block.Collection {
+	keys := make([]string, 0, len(k.keys))
+	for key, e := range k.keys {
+		if k.task == entity.CleanClean {
+			if len(e.e1) == 0 || len(e.e2) == 0 {
+				continue
+			}
+		} else if len(e.e1) < 2 {
+			continue
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	out := &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+	out.Blocks = make([]block.Block, 0, len(keys))
+	for _, key := range keys {
+		e := k.keys[key]
+		b := block.Block{Key: key, E1: e.e1}
+		if k.task == entity.CleanClean {
+			b.E2 = e.e2
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	return out
+}
+
+// forEachProfileKeys runs fn once per profile with that profile's distinct
+// blocking keys, reusing a scratch set between profiles.
+func forEachProfileKeys(c *entity.Collection, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
+	seen := make(map[string]struct{})
+	var buf []string
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		buf = buf[:0]
+		clear(seen)
+		keysOf(p, func(key string) {
+			if key == "" {
+				return
+			}
+			if _, ok := seen[key]; ok {
+				return
+			}
+			seen[key] = struct{}{}
+			buf = append(buf, key)
+		})
+		fn(p.ID, buf)
+	}
+}

@@ -1,0 +1,150 @@
+package blocking
+
+import (
+	"math/rand"
+	"sort"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// CanopyClustering is the classic redundancy-negative blocking method
+// (paper §2, ref [19]: McCallum, Nigam, Ungar): profiles highly similar to
+// the current seed are removed from the candidate pool and placed
+// exclusively in its canopy, so the most similar profiles share exactly
+// one block. Similarity is the cheap shared-token count, evaluated through
+// an inverted index.
+//
+// Being redundancy-negative, its blocks are NOT a valid meta-blocking
+// input (block overlap carries no match signal); the method is included to
+// complete the taxonomy and as a comparison point for the examples.
+type CanopyClustering struct {
+	// LooseThreshold is the minimum number of shared tokens to join a
+	// canopy (default 2).
+	LooseThreshold int
+	// TightThreshold is the minimum number of shared tokens to be
+	// removed from the candidate pool (default 4); must be ≥ Loose.
+	TightThreshold int
+	// Seed drives the random seed-selection order (default 1).
+	Seed int64
+}
+
+// Name implements Method.
+func (CanopyClustering) Name() string { return "Canopy Clustering" }
+
+// Build implements Method.
+func (cc CanopyClustering) Build(c *entity.Collection) *block.Collection {
+	loose := cc.LooseThreshold
+	if loose < 1 {
+		loose = 2
+	}
+	tight := cc.TightThreshold
+	if tight < loose {
+		tight = loose * 2
+	}
+	seed := cc.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Inverted index: token → profiles containing it.
+	index := make(map[string][]entity.ID)
+	tokensOf := make([][]string, c.Size())
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		set := p.TokenSet()
+		toks := make([]string, 0, len(set))
+		for tok := range set {
+			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
+		tokensOf[i] = toks
+		for _, tok := range toks {
+			index[tok] = append(index[tok], p.ID)
+		}
+	}
+
+	// Candidate pool in random order.
+	pool := make([]entity.ID, c.Size())
+	for i := range pool {
+		pool[i] = entity.ID(i)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	inPool := make([]bool, c.Size())
+	for i := range inPool {
+		inPool[i] = true
+	}
+
+	out := &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+	shared := make([]int, c.Size())
+	var touched []entity.ID
+	for _, seedID := range pool {
+		if !inPool[seedID] {
+			continue
+		}
+		// Count shared tokens between the seed and every pool member.
+		touched = touched[:0]
+		for _, tok := range tokensOf[seedID] {
+			for _, j := range index[tok] {
+				if j == seedID || !inPool[j] {
+					continue
+				}
+				if shared[j] == 0 {
+					touched = append(touched, j)
+				}
+				shared[j]++
+			}
+		}
+		var members []entity.ID
+		for _, j := range touched {
+			if shared[j] >= loose {
+				members = append(members, j)
+			}
+			if shared[j] >= tight {
+				inPool[j] = false // exclusively in this canopy
+			}
+			shared[j] = 0
+		}
+		inPool[seedID] = false
+		if len(members) == 0 {
+			continue
+		}
+		members = append(members, seedID)
+		sortIDs(members)
+
+		if c.Task == entity.CleanClean {
+			var e1, e2 []entity.ID
+			for _, id := range members {
+				if c.InFirst(id) {
+					e1 = append(e1, id)
+				} else {
+					e2 = append(e2, id)
+				}
+			}
+			if len(e1) == 0 || len(e2) == 0 {
+				continue
+			}
+			out.Blocks = append(out.Blocks, block.Block{Key: canopyKey(seedID), E1: e1, E2: e2})
+			continue
+		}
+		out.Blocks = append(out.Blocks, block.Block{Key: canopyKey(seedID), E1: members})
+	}
+	return out
+}
+
+func canopyKey(seed entity.ID) string {
+	// Stable, human-readable canopy identifier.
+	const digits = "0123456789"
+	if seed == 0 {
+		return "canopy-0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v := seed; v > 0; v /= 10 {
+		i--
+		buf[i] = digits[v%10]
+	}
+	return "canopy-" + string(buf[i:])
+}

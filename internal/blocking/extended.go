@@ -1,0 +1,183 @@
+package blocking
+
+import (
+	"sort"
+	"strings"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// ExtendedQGramsBlocking increases the precision of Q-grams Blocking by
+// keying on *combinations* of q-grams instead of individual ones (Christen's
+// survey, paper ref [4]): for a token with k q-grams, every combination of
+// at least ⌈k·T⌉ grams forms a key, so two profiles co-occur only when
+// they share most of a token's grams rather than any single gram.
+type ExtendedQGramsBlocking struct {
+	// Q is the gram length (default 3).
+	Q int
+	// Threshold T in (0, 1] sets the minimum portion of a token's grams a
+	// combination must keep (default 0.9). Lower values are more
+	// recall-oriented but explode combinatorially; the number of dropped
+	// grams is additionally capped at 2.
+	Threshold float64
+}
+
+// Name implements Method.
+func (ExtendedQGramsBlocking) Name() string { return "Extended Q-grams Blocking" }
+
+// Build implements Method.
+func (x ExtendedQGramsBlocking) Build(c *entity.Collection) *block.Collection {
+	q := x.Q
+	if q < 2 {
+		q = 3
+	}
+	threshold := x.Threshold
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.9
+	}
+	idx := newKeyIndex(c)
+	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+		for _, a := range p.Attributes {
+			for _, tok := range entity.Tokenize(a.Value) {
+				for _, key := range extendedQGramKeys(tok, q, threshold) {
+					emit(key)
+				}
+			}
+		}
+	}, func(id entity.ID, keys []string) {
+		for _, k := range keys {
+			idx.add(k, id)
+		}
+	})
+	return idx.build(c)
+}
+
+// extendedQGramKeys derives the combination keys of one token.
+func extendedQGramKeys(tok string, q int, threshold float64) []string {
+	if len(tok) <= q {
+		return []string{tok}
+	}
+	var grams []string
+	for i := 0; i+q <= len(tok); i++ {
+		grams = append(grams, tok[i:i+q])
+	}
+	k := len(grams)
+	min := int(float64(k)*threshold + 0.9999) // ⌈k·T⌉
+	if min < 1 {
+		min = 1
+	}
+	maxDrop := k - min
+	if maxDrop > 2 {
+		maxDrop = 2 // combinatorial safety cap
+	}
+	var keys []string
+	keys = append(keys, strings.Join(grams, "")) // drop 0
+	if maxDrop >= 1 {
+		for d := 0; d < k; d++ {
+			keys = append(keys, joinExcept(grams, d, -1))
+		}
+	}
+	if maxDrop >= 2 {
+		for d1 := 0; d1 < k; d1++ {
+			for d2 := d1 + 1; d2 < k; d2++ {
+				keys = append(keys, joinExcept(grams, d1, d2))
+			}
+		}
+	}
+	return keys
+}
+
+func joinExcept(grams []string, skip1, skip2 int) string {
+	var b strings.Builder
+	for i, g := range grams {
+		if i == skip1 || i == skip2 {
+			continue
+		}
+		b.WriteString(g)
+	}
+	return b.String()
+}
+
+// ExtendedSortedNeighborhood slides the window over the sorted *distinct
+// blocking keys* rather than over the profile list (paper ref [4]),
+// making the method robust to skewed key frequencies: all profiles of the
+// keys inside a window form one block.
+type ExtendedSortedNeighborhood struct {
+	// Window is the number of consecutive distinct keys per block
+	// (default 2).
+	Window int
+	// Key derives each profile's sorting keys; nil uses every token.
+	Key func(p *entity.Profile) []string
+}
+
+// Name implements Method.
+func (ExtendedSortedNeighborhood) Name() string { return "Extended Sorted Neighborhood" }
+
+// Build implements Method.
+func (s ExtendedSortedNeighborhood) Build(c *entity.Collection) *block.Collection {
+	w := s.Window
+	if w < 2 {
+		w = 2
+	}
+	keyFn := s.Key
+	if keyFn == nil {
+		keyFn = func(p *entity.Profile) []string { return p.Tokens() }
+	}
+
+	keyed := make(map[string][]entity.ID)
+	seen := make(map[string]struct{})
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		clear(seen)
+		for _, k := range keyFn(p) {
+			if k == "" {
+				continue
+			}
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			keyed[k] = append(keyed[k], p.ID)
+		}
+	}
+	keys := make([]string, 0, len(keyed))
+	for k := range keyed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+	memberSet := make(map[entity.ID]struct{})
+	for start := 0; start+w <= len(keys); start++ {
+		clear(memberSet)
+		for _, k := range keys[start : start+w] {
+			for _, id := range keyed[k] {
+				memberSet[id] = struct{}{}
+			}
+		}
+		var e1, e2 []entity.ID
+		for id := range memberSet {
+			if c.Task == entity.CleanClean && !c.InFirst(id) {
+				e2 = append(e2, id)
+			} else {
+				e1 = append(e1, id)
+			}
+		}
+		if c.Task == entity.CleanClean {
+			if len(e1) == 0 || len(e2) == 0 {
+				continue
+			}
+		} else if len(e1) < 2 {
+			continue
+		}
+		sortIDs(e1)
+		sortIDs(e2)
+		b := block.Block{Key: keys[start], E1: e1}
+		if c.Task == entity.CleanClean {
+			b.E2 = e2
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package blocking
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// MinHashBlocking is Locality-Sensitive-Hashing blocking over the
+// profiles' token sets: every profile gets a MinHash signature of
+// Bands×Rows hash functions, the signature is cut into bands, and each
+// band's value becomes a blocking key. Profiles whose token sets have
+// Jaccard similarity s collide in at least one band with probability
+// 1 − (1 − s^Rows)^Bands, so near-duplicates co-occur with high
+// probability while dissimilar pairs rarely do.
+//
+// Like Token Blocking it is schema-agnostic and redundancy-positive (more
+// shared bands → more likely a match), so its output is a valid
+// meta-blocking input.
+type MinHashBlocking struct {
+	// Bands is the number of signature bands (default 8).
+	Bands int
+	// Rows is the number of hash values per band (default 4).
+	Rows int
+	// Seed derives the hash-function parameters (default 1).
+	Seed int64
+}
+
+// Name implements Method.
+func (MinHashBlocking) Name() string { return "MinHash LSH Blocking" }
+
+// Build implements Method.
+func (m MinHashBlocking) Build(c *entity.Collection) *block.Collection {
+	bands := m.Bands
+	if bands < 1 {
+		bands = 8
+	}
+	rows := m.Rows
+	if rows < 1 {
+		rows = 4
+	}
+	seed := m.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	numHashes := bands * rows
+
+	// Universal hashing over 64-bit token hashes: h_i(x) = a_i*x + b_i.
+	// Odd multipliers keep the map a bijection on uint64.
+	as := make([]uint64, numHashes)
+	bs := make([]uint64, numHashes)
+	for i := range as {
+		as[i] = rng.Uint64() | 1
+		bs[i] = rng.Uint64()
+	}
+
+	idx := newKeyIndex(c)
+	signature := make([]uint64, numHashes)
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		for h := range signature {
+			signature[h] = ^uint64(0)
+		}
+		empty := true
+		for tok := range p.TokenSet() {
+			empty = false
+			base := hashToken(tok)
+			for h := 0; h < numHashes; h++ {
+				if v := as[h]*base + bs[h]; v < signature[h] {
+					signature[h] = v
+				}
+			}
+		}
+		if empty {
+			continue
+		}
+		for b := 0; b < bands; b++ {
+			idx.add(bandKey(b, signature[b*rows:(b+1)*rows]), p.ID)
+		}
+	}
+	return idx.build(c)
+}
+
+func hashToken(tok string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	return h.Sum64()
+}
+
+// bandKey fingerprints one band of the signature into a compact key.
+func bandKey(band int, values []uint64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("b%d:%016x", band, h.Sum64())
+}

@@ -1,0 +1,100 @@
+package blocking
+
+import (
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// QGramsBlocking generalizes Token Blocking by keying on the character
+// q-grams of every token (paper §2, redundancy-positive). It is more
+// robust to typographical noise than whole tokens at the cost of larger,
+// less precise blocks.
+type QGramsBlocking struct {
+	// Q is the gram length; values below 2 default to 3.
+	Q int
+}
+
+// Name implements Method.
+func (q QGramsBlocking) Name() string { return "Q-grams Blocking" }
+
+func (q QGramsBlocking) size() int {
+	if q.Q < 2 {
+		return 3
+	}
+	return q.Q
+}
+
+// Build implements Method.
+func (q QGramsBlocking) Build(c *entity.Collection) *block.Collection {
+	n := q.size()
+	idx := newKeyIndex(c)
+	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+		for _, a := range p.Attributes {
+			for _, tok := range entity.Tokenize(a.Value) {
+				if len(tok) <= n {
+					emit(tok)
+					continue
+				}
+				for i := 0; i+n <= len(tok); i++ {
+					emit(tok[i : i+n])
+				}
+			}
+		}
+	}, func(id entity.ID, keys []string) {
+		for _, k := range keys {
+			idx.add(k, id)
+		}
+	})
+	return idx.build(c)
+}
+
+// SuffixArrayBlocking keys every token on its suffixes of at least
+// MinLength characters (paper §2 ref [1]). Oversized suffix blocks (more
+// than MaxBlockSize profiles) are dropped, as in the original method, since
+// short common suffixes are not discriminative.
+type SuffixArrayBlocking struct {
+	// MinLength is the minimum suffix length; values below 1 default to 4.
+	MinLength int
+	// MaxBlockSize drops suffix keys assigned to more profiles than this;
+	// 0 defaults to 50.
+	MaxBlockSize int
+}
+
+// Name implements Method.
+func (SuffixArrayBlocking) Name() string { return "Suffix Arrays Blocking" }
+
+// Build implements Method.
+func (s SuffixArrayBlocking) Build(c *entity.Collection) *block.Collection {
+	minLen := s.MinLength
+	if minLen < 1 {
+		minLen = 4
+	}
+	maxSize := s.MaxBlockSize
+	if maxSize <= 0 {
+		maxSize = 50
+	}
+	idx := newKeyIndex(c)
+	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+		for _, a := range p.Attributes {
+			for _, tok := range entity.Tokenize(a.Value) {
+				if len(tok) < minLen {
+					continue
+				}
+				for i := 0; i+minLen <= len(tok); i++ {
+					emit(tok[i:])
+				}
+			}
+		}
+	}, func(id entity.ID, keys []string) {
+		for _, k := range keys {
+			idx.add(k, id)
+		}
+	})
+	// Drop oversized suffix blocks before materializing.
+	for key, e := range idx.keys {
+		if len(e.e1)+len(e.e2) > maxSize {
+			delete(idx.keys, key)
+		}
+	}
+	return idx.build(c)
+}

@@ -1,0 +1,129 @@
+package blocking
+
+import (
+	"sort"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// KeyFunc derives a single blocking key from a profile. An empty key leaves
+// the profile unblocked.
+type KeyFunc func(p *entity.Profile) string
+
+// FirstTokenKey is the default Standard Blocking key: the first token of
+// the first non-empty attribute value.
+func FirstTokenKey(p *entity.Profile) string {
+	for _, a := range p.Attributes {
+		toks := entity.Tokenize(a.Value)
+		if len(toks) > 0 {
+			return toks[0]
+		}
+	}
+	return ""
+}
+
+// StandardBlocking assigns every profile to exactly one block via a key
+// function, producing disjoint blocks (paper §2, ref [9]). It is included
+// as the classic non-redundant baseline of the blocking taxonomy; it is NOT
+// redundancy-positive and therefore not a valid meta-blocking input.
+type StandardBlocking struct {
+	// Key derives the blocking key; nil defaults to FirstTokenKey.
+	Key KeyFunc
+}
+
+// Name implements Method.
+func (StandardBlocking) Name() string { return "Standard Blocking" }
+
+// Build implements Method.
+func (s StandardBlocking) Build(c *entity.Collection) *block.Collection {
+	key := s.Key
+	if key == nil {
+		key = FirstTokenKey
+	}
+	idx := newKeyIndex(c)
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		if k := key(p); k != "" {
+			idx.add(k, p.ID)
+		}
+	}
+	return idx.build(c)
+}
+
+// SortedNeighborhood implements the single-pass Sorted Neighborhood method
+// (paper §2, ref [13]): profiles are ordered by blocking key and a sliding
+// window of fixed size moves over the sorted list, each position yielding
+// one block. It is redundancy-neutral: all co-occurring pairs share the
+// same number of blocks, so block overlap carries no match signal.
+type SortedNeighborhood struct {
+	// Window is the sliding-window size in profiles; values < 2 default
+	// to 4.
+	Window int
+	// Key derives the sorting key; nil defaults to FirstTokenKey.
+	Key KeyFunc
+}
+
+// Name implements Method.
+func (SortedNeighborhood) Name() string { return "Sorted Neighborhood" }
+
+// Build implements Method.
+func (s SortedNeighborhood) Build(c *entity.Collection) *block.Collection {
+	w := s.Window
+	if w < 2 {
+		w = 4
+	}
+	key := s.Key
+	if key == nil {
+		key = FirstTokenKey
+	}
+
+	type keyed struct {
+		key string
+		id  entity.ID
+	}
+	order := make([]keyed, 0, len(c.Profiles))
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		if k := key(p); k != "" {
+			order = append(order, keyed{key: k, id: p.ID})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].key != order[j].key {
+			return order[i].key < order[j].key
+		}
+		return order[i].id < order[j].id
+	})
+
+	out := &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+	for start := 0; start+w <= len(order); start++ {
+		var e1, e2 []entity.ID
+		for _, k := range order[start : start+w] {
+			if c.Task == entity.CleanClean && !c.InFirst(k.id) {
+				e2 = append(e2, k.id)
+			} else {
+				e1 = append(e1, k.id)
+			}
+		}
+		if c.Task == entity.CleanClean {
+			if len(e1) == 0 || len(e2) == 0 {
+				continue
+			}
+		} else if len(e1) < 2 {
+			continue
+		}
+		sortIDs(e1)
+		sortIDs(e2)
+		b := block.Block{Key: order[start].key, E1: e1}
+		if c.Task == entity.CleanClean {
+			b.E2 = e2
+		}
+		out.Blocks = append(out.Blocks, b)
+	}
+	return out
+}
+
+func sortIDs(ids []entity.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,38 @@
+package blocking
+
+import (
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// TokenBlocking is the paper's primary blocking method (§1, §6.2): it
+// splits every attribute value into whitespace tokens and creates a block
+// for every distinct token shared by at least two profiles (one from each
+// source for Clean-Clean ER). It is schema-agnostic and redundancy-positive.
+type TokenBlocking struct {
+	// MinTokenLength drops tokens shorter than this many bytes; 0 keeps
+	// all tokens.
+	MinTokenLength int
+}
+
+// Name implements Method.
+func (TokenBlocking) Name() string { return "Token Blocking" }
+
+// Build implements Method.
+func (t TokenBlocking) Build(c *entity.Collection) *block.Collection {
+	idx := newKeyIndex(c)
+	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+		for _, a := range p.Attributes {
+			for _, tok := range entity.Tokenize(a.Value) {
+				if len(tok) >= t.MinTokenLength {
+					emit(tok)
+				}
+			}
+		}
+	}, func(id entity.ID, keys []string) {
+		for _, k := range keys {
+			idx.add(k, id)
+		}
+	})
+	return idx.build(c)
+}

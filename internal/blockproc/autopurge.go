@@ -1,0 +1,99 @@
+package blockproc
+
+import (
+	"sort"
+
+	"metablocking/internal/block"
+)
+
+// AutoBlockPurging derives the Block Purging cardinality limit
+// automatically from the block-size distribution — the comparison-based
+// purging of the paper's ref [21]. Let A(c) and C(c) be the cumulative
+// block assignments and comparisons of all blocks with cardinality ≤ c.
+// Walking the distinct cardinalities from the largest down, removing a
+// cardinality level is worthwhile while it improves the collection's
+// assignment efficiency A/C (co-occurrence evidence per comparison) by at
+// least the SmoothingFactor; the limit settles on the last level whose
+// removal still paid off. Oversized blocks contribute quadratic cost but
+// only linear evidence, so they are the ones trimmed.
+type AutoBlockPurging struct {
+	// SmoothingFactor; values <= 1 default to 1.025 (the reference
+	// implementation's setting).
+	SmoothingFactor float64
+}
+
+// Threshold computes the maximum retained block cardinality ‖b‖ for the
+// collection, or 0 when the collection is empty.
+func (a AutoBlockPurging) Threshold(c *block.Collection) int64 {
+	sf := a.SmoothingFactor
+	if sf <= 1 {
+		sf = 1.025
+	}
+	if c.Len() == 0 {
+		return 0
+	}
+	// Aggregate assignments and comparisons per distinct cardinality.
+	type bucket struct {
+		cardinality int64
+		assignments int64
+		comparisons int64
+	}
+	byCard := make(map[int64]*bucket)
+	for i := range c.Blocks {
+		card := c.Blocks[i].Comparisons()
+		b := byCard[card]
+		if b == nil {
+			b = &bucket{cardinality: card}
+			byCard[card] = b
+		}
+		b.assignments += int64(c.Blocks[i].Size())
+		b.comparisons += card
+	}
+	buckets := make([]*bucket, 0, len(byCard))
+	for _, b := range byCard {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].cardinality < buckets[j].cardinality })
+
+	// Cumulative-from-smallest assignments and comparisons per level.
+	cumA := make([]float64, len(buckets))
+	cumC := make([]float64, len(buckets))
+	var sumA, sumC float64
+	for i, b := range buckets {
+		sumA += float64(b.assignments)
+		sumC += float64(b.comparisons)
+		cumA[i] = sumA
+		cumC[i] = sumC
+	}
+
+	// Walk down from the full collection. At step i, "previous" is the
+	// collection truncated at level i+1 and "current" at level i; stop
+	// when dropping level i+1 no longer improved A/C by ≥ SF.
+	// If every removal paid off all the way down, only the smallest level
+	// remains.
+	threshold := buckets[0].cardinality
+	var prevA, prevC float64
+	for i := len(buckets) - 1; i >= 0; i-- {
+		curA, curC := cumA[i], cumC[i]
+		if prevC > 0 && curA*prevC < sf*curC*prevA {
+			threshold = buckets[i+1].cardinality
+			break
+		}
+		prevA, prevC = curA, curC
+	}
+	return threshold
+}
+
+// Apply purges the blocks whose cardinality exceeds the automatic
+// threshold. Block order is preserved.
+func (a AutoBlockPurging) Apply(c *block.Collection) *block.Collection {
+	limit := a.Threshold(c)
+	out := &block.Collection{Task: c.Task, NumEntities: c.NumEntities, Split: c.Split}
+	for i := range c.Blocks {
+		if c.Blocks[i].Comparisons() > limit {
+			continue
+		}
+		out.Blocks = append(out.Blocks, c.Blocks[i])
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package blockproc
+
+import (
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// Matcher decides whether two profiles match. Iterative Blocking is
+// evaluated with an oracle matcher backed by the ground truth, following
+// the paper's best-practice of treating entity matching as an orthogonal
+// task (§3, §6.4).
+type Matcher interface {
+	Match(a, b entity.ID) bool
+}
+
+// OracleMatcher answers match queries from the ground truth.
+type OracleMatcher struct {
+	GT *entity.GroundTruth
+}
+
+// Match implements Matcher.
+func (m OracleMatcher) Match(a, b entity.ID) bool { return m.GT.Contains(a, b) }
+
+// IterativeBlocking processes blocks sequentially and propagates every
+// identified duplicate to the subsequently processed blocks, saving
+// repeated comparisons between already-merged profiles and potentially
+// detecting extra duplicates through transitivity (paper §2, ref [27]).
+//
+// Following the paper's optimized configuration (§6.4), blocks are ordered
+// from the smallest to the largest cardinality, and for Clean-Clean ER the
+// ideal case is assumed: once two profiles have been matched, neither is
+// compared to any other co-occurring profile.
+type IterativeBlocking struct {
+	Matcher Matcher
+}
+
+// IterativeResult reports what an Iterative Blocking run executed.
+type IterativeResult struct {
+	// Comparisons is the number of pairwise comparisons executed.
+	Comparisons int64
+	// Matches holds the detected duplicate pairs in detection order.
+	Matches []entity.Pair
+}
+
+// Run executes Iterative Blocking over the collection and returns the
+// executed comparison count and detected matches. The input collection is
+// not modified.
+func (ib IterativeBlocking) Run(c *block.Collection) IterativeResult {
+	ordered := c.Clone()
+	ordered.SortByCardinality()
+
+	uf := newUnionFind(c.NumEntities)
+	// matched marks Clean-Clean profiles that found their (unique) match;
+	// under the ideal-case assumption they are excluded from any further
+	// comparison.
+	var matched []bool
+	if c.Task == entity.CleanClean {
+		matched = make([]bool, c.NumEntities)
+	}
+
+	var res IterativeResult
+	compare := func(a, b entity.ID) {
+		if matched != nil && (matched[a] || matched[b]) {
+			return
+		}
+		if uf.find(a) == uf.find(b) {
+			return // duplicates already merged: comparison saved
+		}
+		res.Comparisons++
+		if ib.Matcher.Match(a, b) {
+			uf.union(a, b)
+			if matched != nil {
+				matched[a], matched[b] = true, true
+			}
+			res.Matches = append(res.Matches, entity.MakePair(a, b))
+		}
+	}
+
+	for k := range ordered.Blocks {
+		blk := &ordered.Blocks[k]
+		if blk.E2 != nil {
+			for _, a := range blk.E1 {
+				for _, b := range blk.E2 {
+					compare(a, b)
+				}
+			}
+			continue
+		}
+		ids := blk.E1
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				compare(ids[i], ids[j])
+			}
+		}
+	}
+	return res
+}
+
+// unionFind is a weighted quick-union with path halving over entity IDs.
+type unionFind struct {
+	parent []entity.ID
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]entity.ID, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = entity.ID(i)
+	}
+	return uf
+}
+
+func (u *unionFind) find(x entity.ID) entity.ID {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b entity.ID) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

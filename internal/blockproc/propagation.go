@@ -1,0 +1,77 @@
+package blockproc
+
+import (
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// ComparisonPropagation discards all redundant comparisons from a block
+// collection without any impact on recall (paper §2, ref [21]). At scale it
+// works indirectly: blocks are enumerated in their processing order, the
+// Entity Index is built, and a comparison inside block b is executed only
+// if b's ID is the least common block ID of the two profiles (the LeCoBI
+// condition).
+type ComparisonPropagation struct{}
+
+// Apply returns the distinct comparisons of the collection, in block
+// processing order.
+func (ComparisonPropagation) Apply(c *block.Collection) []entity.Pair {
+	idx := block.NewEntityIndex(c)
+	var out []entity.Pair
+	c.ForEachComparison(func(blockID int, a, b entity.ID) bool {
+		if idx.IsNonRedundant(int32(blockID), a, b) {
+			out = append(out, entity.MakePair(a, b))
+		}
+		return true
+	})
+	return out
+}
+
+// ApplyDirect removes redundant comparisons with a central hash of executed
+// comparisons — the small-scale strategy the paper mentions (§2). It is the
+// test oracle for the LeCoBI-based implementation.
+func (ComparisonPropagation) ApplyDirect(c *block.Collection) []entity.Pair {
+	seen := make(map[entity.Pair]struct{})
+	var out []entity.Pair
+	c.ForEachComparison(func(_ int, a, b entity.ID) bool {
+		p := entity.MakePair(a, b)
+		if _, ok := seen[p]; !ok {
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}
+
+// DistinctComparisons returns the number of non-redundant comparisons in
+// the collection without materializing them.
+func DistinctComparisons(c *block.Collection) int64 {
+	idx := block.NewEntityIndex(c)
+	var n int64
+	c.ForEachComparison(func(blockID int, a, b entity.ID) bool {
+		if idx.IsNonRedundant(int32(blockID), a, b) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// GraphFreeMetaBlocking is the blocking-graph-free workflow of Figure 7(b):
+// Block Filtering (with an aggressive ratio) followed by Comparison
+// Propagation. It operates on the level of individual profiles instead of
+// profile pairs, trading precision for a minimal overhead time (§6.4).
+//
+// The paper's tuned ratios are 0.25 for efficiency-intensive applications
+// and 0.55 for effectiveness-intensive ones.
+type GraphFreeMetaBlocking struct {
+	// Ratio is the Block Filtering ratio r.
+	Ratio float64
+}
+
+// Apply returns the restructured comparisons.
+func (g GraphFreeMetaBlocking) Apply(c *block.Collection) []entity.Pair {
+	filtered := BlockFiltering{Ratio: g.Ratio}.Apply(c)
+	return ComparisonPropagation{}.Apply(filtered)
+}

@@ -1,0 +1,128 @@
+package blockproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// genCollection derives a random Dirty block collection from fuzz bytes,
+// so testing/quick drives structurally varied inputs.
+func genCollection(data []byte) *block.Collection {
+	if len(data) == 0 {
+		data = []byte{1}
+	}
+	seed := int64(0)
+	for _, b := range data {
+		seed = seed*31 + int64(b)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	numEntities := 5 + rng.Intn(40)
+	numBlocks := 1 + rng.Intn(30)
+	return randomDirty(rng, numEntities, numBlocks)
+}
+
+// Property: Block Filtering never increases any profile's number of block
+// assignments, never increases ‖B‖, and never invents new members.
+func TestQuickFilteringShrinks(t *testing.T) {
+	f := func(data []byte, ratioByte uint8) bool {
+		c := genCollection(data)
+		ratio := 0.05 + float64(ratioByte%90)/100
+		out := BlockFiltering{Ratio: ratio}.Apply(c)
+		if out.Comparisons() > c.Comparisons() {
+			return false
+		}
+		in := block.NewEntityIndex(c)
+		res := block.NewEntityIndex(out)
+		for id := 0; id < c.NumEntities; id++ {
+			if res.NumBlocks(entity.ID(id)) > in.NumBlocks(entity.ID(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Comparison Propagation's output has no duplicate pairs and its
+// size equals the number of distinct co-occurring pairs.
+func TestQuickPropagationDistinct(t *testing.T) {
+	f := func(data []byte) bool {
+		c := genCollection(data)
+		pairs := ComparisonPropagation{}.Apply(c)
+		seen := make(map[entity.Pair]struct{}, len(pairs))
+		for _, p := range pairs {
+			if _, dup := seen[p]; dup {
+				return false
+			}
+			seen[p] = struct{}{}
+		}
+		distinct := make(map[entity.Pair]struct{})
+		c.ForEachComparison(func(_ int, a, b entity.ID) bool {
+			distinct[entity.MakePair(a, b)] = struct{}{}
+			return true
+		})
+		return len(seen) == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Block Purging never increases |B| and the surviving blocks are
+// a subset of the input.
+func TestQuickPurgingSubset(t *testing.T) {
+	f := func(data []byte, ratioByte uint8) bool {
+		c := genCollection(data)
+		ratio := 0.1 + float64(ratioByte%90)/100
+		out := BlockPurging{MaxSizeRatio: ratio}.Apply(c)
+		if out.Len() > c.Len() {
+			return false
+		}
+		keys := make(map[string]int64)
+		for i := range c.Blocks {
+			keys[c.Blocks[i].Key] = c.Blocks[i].Comparisons()
+		}
+		for i := range out.Blocks {
+			if _, ok := keys[out.Blocks[i].Key]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Iterative Blocking with an oracle never reports more matches
+// than ground-truth pairs reachable through the blocks, and never executes
+// more than ‖B‖ comparisons.
+func TestQuickIterativeBounds(t *testing.T) {
+	f := func(data []byte) bool {
+		c := genCollection(data)
+		var gtPairs []entity.Pair
+		rng := rand.New(rand.NewSource(int64(len(data) + 1)))
+		for i := 0; i < 5; i++ {
+			a := entity.ID(rng.Intn(c.NumEntities))
+			b := entity.ID(rng.Intn(c.NumEntities))
+			if a != b {
+				gtPairs = append(gtPairs, entity.MakePair(a, b))
+			}
+		}
+		if len(gtPairs) == 0 {
+			return true
+		}
+		gt := entity.NewGroundTruth(gtPairs)
+		res := IterativeBlocking{Matcher: OracleMatcher{GT: gt}}.Run(c)
+		return res.Comparisons <= c.Comparisons() && len(res.Matches) <= gt.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

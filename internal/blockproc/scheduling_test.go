@@ -1,0 +1,84 @@
+package blockproc
+
+import (
+	"testing"
+
+	"metablocking/internal/blocking"
+	"metablocking/internal/datagen"
+	"metablocking/internal/paperexample"
+)
+
+func TestBlockSchedulingOrder(t *testing.T) {
+	c := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	out := BlockScheduling{}.Apply(c)
+	if out.Len() != c.Len() || out.Comparisons() != c.Comparisons() {
+		t.Fatal("scheduling must not change content")
+	}
+	var prev int64 = -1
+	for i := range out.Blocks {
+		card := out.Blocks[i].Comparisons()
+		if card < prev {
+			t.Fatalf("block %d out of order: %d after %d", i, card, prev)
+		}
+		prev = card
+	}
+	// Input untouched.
+	if c.Blocks[0].Key != "car" && c.Blocks[len(c.Blocks)-1].Key == "car" {
+		t.Log("input order preserved")
+	}
+}
+
+func TestDuplicatePropagationFindsAll(t *testing.T) {
+	c := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	gt := paperexample.GroundTruth()
+	res := DuplicatePropagation{Matcher: OracleMatcher{GT: gt}}.Run(c)
+	if len(res.Matches) != gt.Size() {
+		t.Fatalf("matches = %d, want %d", len(res.Matches), gt.Size())
+	}
+}
+
+func TestBlockPruningStopsEarly(t *testing.T) {
+	// The synthetic datasets front-load duplicates into small blocks, so
+	// the discovery rate collapses once the scheduled pass reaches the
+	// large noisy blocks — exactly where pruning must stop.
+	ds := datagen.D1D(0.08)
+	c := blocking.TokenBlocking{}.Build(ds.Collection)
+
+	full := IterativeBlocking{Matcher: OracleMatcher{GT: ds.GroundTruth}}.Run(c)
+	pruned := BlockPruning{
+		Matcher:    OracleMatcher{GT: ds.GroundTruth},
+		MinGain:    1e-3,
+		WindowSize: 2000,
+	}.Run(c)
+
+	if pruned.ProcessedBlocks >= pruned.TotalBlocks {
+		t.Fatalf("pruning never terminated early (%d of %d blocks)",
+			pruned.ProcessedBlocks, pruned.TotalBlocks)
+	}
+	if pruned.Comparisons >= full.Comparisons {
+		t.Fatalf("pruning executed %d comparisons, full run %d",
+			pruned.Comparisons, full.Comparisons)
+	}
+	// Smallest-first scheduling front-loads the duplicates: the truncated
+	// run must keep most of the recall.
+	recall := float64(len(pruned.Matches)) / float64(ds.GroundTruth.Size())
+	if recall < 0.8 {
+		t.Fatalf("early-terminated recall %.3f too low", recall)
+	}
+	t.Logf("pruning: %d/%d blocks, %.1f%% comparisons, recall %.3f",
+		pruned.ProcessedBlocks, pruned.TotalBlocks,
+		100*float64(pruned.Comparisons)/float64(full.Comparisons), recall)
+}
+
+func TestBlockPruningProcessesEverythingWhenGainStaysHigh(t *testing.T) {
+	c := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	gt := paperexample.GroundTruth()
+	res := BlockPruning{Matcher: OracleMatcher{GT: gt}}.Run(c)
+	if res.ProcessedBlocks != res.TotalBlocks {
+		t.Fatalf("tiny input should process all blocks: %d of %d",
+			res.ProcessedBlocks, res.TotalBlocks)
+	}
+	if len(res.Matches) != 2 {
+		t.Fatalf("matches = %d", len(res.Matches))
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// Graph is the implicit blocking graph GB of a block collection (paper §3).
+// It is never materialized: nodes are the profiles appearing in blocks and
+// edges are the non-redundant comparisons, traversed on demand through the
+// Entity Index. A Graph is bound to one weighting scheme.
+//
+// A Graph holds reusable scratch arrays and is therefore NOT safe for
+// concurrent use; create one Graph per goroutine.
+type Graph struct {
+	// OriginalWeighting switches every traversal from Optimized Edge
+	// Weighting (Alg. 3, the default) to the Original one (Alg. 2), for
+	// the efficiency comparison of Table 5.
+	OriginalWeighting bool
+
+	blocks *block.Collection
+	index  *block.EntityIndex
+	ctx    weightContext
+
+	// invCard caches 1/‖b‖ per block for ARCS.
+	invCard []float64
+	// degrees caches |vi| (distinct neighbors per node) for EJS.
+	degrees []int32
+
+	// ScanCount scratch (Alg. 3): flags[j] holds the epoch of the last
+	// scan that touched j, so commonBlocks[j] is valid only when
+	// flags[j] equals the current epoch — no reallocation per node, and
+	// no stale state across repeated traversals of the same graph.
+	flags        []int64
+	epoch        int64
+	commonBlocks []float64
+	neighbors    []entity.ID
+}
+
+// NewGraph builds the implicit blocking graph for the given (redundancy-
+// positive) block collection and weighting scheme. Construction builds the
+// Entity Index and, for EJS, one extra pass to compute node degrees.
+func NewGraph(c *block.Collection, scheme Scheme) *Graph {
+	g := &Graph{
+		blocks:       c,
+		index:        block.NewEntityIndex(c),
+		flags:        make([]int64, c.NumEntities),
+		commonBlocks: make([]float64, c.NumEntities),
+	}
+	if scheme.usesReciprocalCardinality() {
+		g.invCard = make([]float64, len(c.Blocks))
+		for i := range c.Blocks {
+			if n := c.Blocks[i].Comparisons(); n > 0 {
+				g.invCard[i] = 1 / float64(n)
+			}
+		}
+	}
+	numNodes := 0
+	for id := 0; id < c.NumEntities; id++ {
+		if g.index.NumBlocks(entity.ID(id)) > 0 {
+			numNodes++
+		}
+	}
+	g.ctx = weightContext{scheme: scheme, numBlocks: float64(len(c.Blocks)), numNodes: float64(numNodes)}
+	if scheme.NeedsDegrees() {
+		g.computeDegrees()
+	}
+	return g
+}
+
+// Blocks returns the underlying block collection.
+func (g *Graph) Blocks() *block.Collection { return g.blocks }
+
+// Index returns the underlying Entity Index.
+func (g *Graph) Index() *block.EntityIndex { return g.index }
+
+// Scheme returns the weighting scheme the graph was built with.
+func (g *Graph) Scheme() Scheme { return g.ctx.scheme }
+
+// NumNodes returns |VB|, the graph order (profiles placed in ≥1 block).
+func (g *Graph) NumNodes() int { return int(g.ctx.numNodes) }
+
+// NumEdges returns |EB|, the graph size (distinct comparisons). It requires
+// a full traversal and is intended for reporting, not hot paths.
+func (g *Graph) NumEdges() int64 {
+	var n int64
+	g.ForEachNode(func(_ entity.ID, neighbors []entity.ID, _ []float64) {
+		n += int64(len(neighbors))
+	})
+	return n / 2 // every edge is seen from both endpoints
+}
+
+// scanNeighborhood runs the core of Algorithm 3 (lines 6-12) for node i:
+// it enumerates the distinct co-occurring profiles and accumulates, per
+// neighbor, the number of shared blocks (or Σ 1/‖b‖ for ARCS). The
+// returned slices are scratch, valid until the next scan.
+func (g *Graph) scanNeighborhood(i entity.ID) []entity.ID {
+	g.neighbors = g.neighbors[:0]
+	g.epoch++
+	clean := g.blocks.Task == entity.CleanClean
+	iFirst := g.blocks.InFirst(i)
+	for _, bid := range g.index.BlockList(i) {
+		b := &g.blocks.Blocks[bid]
+		inc := 1.0
+		if g.invCard != nil {
+			inc = g.invCard[bid]
+		}
+		if clean {
+			// Edges only cross the two source collections.
+			if iFirst {
+				g.accumulate(i, b.E2, inc, false)
+			} else {
+				g.accumulate(i, b.E1, inc, false)
+			}
+		} else {
+			g.accumulate(i, b.E1, inc, true)
+		}
+	}
+	return g.neighbors
+}
+
+// accumulate records co-occurrences of i with the given profiles. When
+// skipSelf is set, the profile i itself is skipped (Dirty ER blocks list
+// every member on one side).
+func (g *Graph) accumulate(i entity.ID, others []entity.ID, inc float64, skipSelf bool) {
+	for _, j := range others {
+		if skipSelf && j == i {
+			continue
+		}
+		if g.flags[j] != g.epoch {
+			g.flags[j] = g.epoch
+			g.commonBlocks[j] = 0
+			g.neighbors = append(g.neighbors, j)
+		}
+		g.commonBlocks[j] += inc
+	}
+}
+
+// computeDegrees fills g.degrees with |vi| — the number of distinct
+// neighbors of every node — via one ScanCount pass.
+func (g *Graph) computeDegrees() {
+	g.degrees = make([]int32, g.blocks.NumEntities)
+	for id := 0; id < g.blocks.NumEntities; id++ {
+		i := entity.ID(id)
+		if g.index.NumBlocks(i) == 0 {
+			continue
+		}
+		g.degrees[i] = int32(len(g.scanNeighborhood(i)))
+	}
+}
+
+// weightOf computes the edge weight between i and a neighbor j whose
+// accumulator has just been filled by scanNeighborhood(i).
+func (g *Graph) weightOf(i, j entity.ID) float64 {
+	var di, dj int32
+	if g.degrees != nil {
+		di, dj = g.degrees[i], g.degrees[j]
+	}
+	return g.ctx.weight(g.commonBlocks[j], g.index.NumBlocks(i), g.index.NumBlocks(j), di, dj)
+}
+
+// ForEachNode invokes fn once per node that has at least one incident
+// edge, passing the distinct neighbors and their edge weights (Optimized
+// Edge Weighting, Alg. 3). The slices passed to fn are scratch buffers,
+// only valid for the duration of the call.
+func (g *Graph) ForEachNode(fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
+	var weights []float64
+	for id := 0; id < g.blocks.NumEntities; id++ {
+		i := entity.ID(id)
+		if g.index.NumBlocks(i) == 0 {
+			continue
+		}
+		neighbors := g.scanNeighborhood(i)
+		if len(neighbors) == 0 {
+			continue
+		}
+		weights = weights[:0]
+		for _, j := range neighbors {
+			weights = append(weights, g.weightOf(i, j))
+		}
+		fn(i, neighbors, weights)
+	}
+}
+
+// ForEachEdge invokes fn once per edge of the blocking graph with its
+// weight, using the optimized per-node scan and emitting each pair from its
+// smaller endpoint only.
+func (g *Graph) ForEachEdge(fn func(i, j entity.ID, w float64)) {
+	clean := g.blocks.Task == entity.CleanClean
+	limit := g.blocks.NumEntities
+	if clean {
+		limit = g.blocks.Split // E2 nodes' edges are all emitted from the E1 side
+	}
+	for id := 0; id < limit; id++ {
+		i := entity.ID(id)
+		if g.index.NumBlocks(i) == 0 {
+			continue
+		}
+		for _, j := range g.scanNeighborhood(i) {
+			if !clean && j < i {
+				continue // emitted when scanning j
+			}
+			fn(i, j, g.weightOf(i, j))
+		}
+	}
+}

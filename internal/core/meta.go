@@ -1,0 +1,53 @@
+package core
+
+import (
+	"time"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// Config selects a full meta-blocking configuration: one weighting scheme
+// combined with one pruning algorithm (Fig. 3 — every combination of the
+// two parameters is valid), plus the edge-weighting implementation.
+type Config struct {
+	Scheme    Scheme
+	Algorithm Algorithm
+	// OriginalWeighting uses Algorithm 2 instead of the Optimized Edge
+	// Weighting of Algorithm 3.
+	OriginalWeighting bool
+	// Workers enables parallel pruning: 0 keeps the serial implementation,
+	// negative uses GOMAXPROCS, positive that many workers. Parallel
+	// pruning always uses Optimized Edge Weighting and returns pairs in
+	// canonical order; OriginalWeighting takes precedence when both are
+	// set.
+	Workers int
+}
+
+// Result is the output of one meta-blocking run.
+type Result struct {
+	// Pairs holds the retained comparisons; the original node-centric
+	// algorithms (CNP, WNP) may retain a pair twice.
+	Pairs []entity.Pair
+	// OTime is the overhead: graph construction plus pruning.
+	OTime time.Duration
+}
+
+// Run restructures the block collection with the given configuration and
+// returns the retained comparisons along with the measured overhead time.
+func Run(c *block.Collection, cfg Config) Result {
+	start := time.Now()
+	g := NewGraph(c, cfg.Scheme)
+	g.OriginalWeighting = cfg.OriginalWeighting
+	var pairs []entity.Pair
+	if cfg.Workers != 0 && !cfg.OriginalWeighting {
+		workers := cfg.Workers
+		if workers < 0 {
+			workers = 0 // PruneParallel resolves 0 to GOMAXPROCS
+		}
+		pairs = g.PruneParallel(cfg.Algorithm, workers)
+	} else {
+		pairs = g.Prune(cfg.Algorithm)
+	}
+	return Result{Pairs: pairs, OTime: time.Since(start)}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"metablocking/internal/entity"
+)
+
+// shard returns a Graph view sharing the immutable state (blocks, Entity
+// Index, per-block cardinalities, degrees) but with private ScanCount
+// scratch, so multiple shards can traverse concurrently.
+func (g *Graph) shard() *Graph {
+	return &Graph{
+		OriginalWeighting: g.OriginalWeighting,
+		blocks:            g.blocks,
+		index:             g.index,
+		ctx:               g.ctx,
+		invCard:           g.invCard,
+		degrees:           g.degrees,
+		flags:             make([]int64, g.blocks.NumEntities),
+		commonBlocks:      make([]float64, g.blocks.NumEntities),
+	}
+}
+
+// forEachNodeRange is ForEachNode restricted to node IDs in [lo, hi).
+func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
+	var weights []float64
+	for id := lo; id < hi; id++ {
+		i := entity.ID(id)
+		if g.index.NumBlocks(i) == 0 {
+			continue
+		}
+		neighbors := g.scanNeighborhood(i)
+		if len(neighbors) == 0 {
+			continue
+		}
+		weights = weights[:0]
+		for _, j := range neighbors {
+			weights = append(weights, g.weightOf(i, j))
+		}
+		fn(i, neighbors, weights)
+	}
+}
+
+// forEachEdgeRange is ForEachEdge restricted to edges whose emitting
+// endpoint (the smaller ID for Dirty ER, the E1 member for Clean-Clean ER)
+// lies in [lo, hi).
+func (g *Graph) forEachEdgeRange(lo, hi int, fn func(i, j entity.ID, w float64)) {
+	clean := g.blocks.Task == entity.CleanClean
+	if clean && hi > g.blocks.Split {
+		hi = g.blocks.Split
+	}
+	for id := lo; id < hi; id++ {
+		i := entity.ID(id)
+		if g.index.NumBlocks(i) == 0 {
+			continue
+		}
+		for _, j := range g.scanNeighborhood(i) {
+			if !clean && j < i {
+				continue
+			}
+			fn(i, j, g.weightOf(i, j))
+		}
+	}
+}
+
+// parallelRanges splits [0, n) into roughly equal chunks, one per worker,
+// and runs fn(worker, lo, hi) concurrently on shard copies of the graph.
+func (g *Graph) parallelRanges(workers int, fn func(w *Graph, worker, lo, hi int)) {
+	n := g.blocks.NumEntities
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers > 64 {
+		workers = 64 // per-worker result buckets are sized for 64 workers
+	}
+	if workers <= 1 {
+		fn(g, 0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			fn(g.shard(), worker, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// PruneParallel applies the pruning algorithm using the given number of
+// workers (0 = GOMAXPROCS) and returns the same retained comparisons as
+// Prune, in a canonical order. It supports the Optimized Edge Weighting
+// only; node-centric sharding by ID range keeps every neighborhood on one
+// worker, so the per-node criteria are computed exactly as in the serial
+// implementation.
+func (g *Graph) PruneParallel(a Algorithm, workers int) []entity.Pair {
+	var out []entity.Pair
+	switch a {
+	case CEP:
+		out = g.cepParallel(workers)
+	case WEP:
+		out = g.wepParallel(workers)
+	case CNP:
+		out = g.cnpParallel(workers)
+	case WNP:
+		out = g.wnpParallel(workers)
+	case RedefinedCNP:
+		out = g.redefinedCNPParallel(false, workers)
+	case ReciprocalCNP:
+		out = g.redefinedCNPParallel(true, workers)
+	case RedefinedWNP:
+		out = g.redefinedWNPParallel(false, workers)
+	case ReciprocalWNP:
+		out = g.redefinedWNPParallel(true, workers)
+	default:
+		out = g.Prune(a)
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(pairs []entity.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+}
+
+func (g *Graph) wepParallel(workers int) []entity.Pair {
+	// Pass 1: collect every edge weight, then take the order-insensitive
+	// (sorted) mean so the threshold is bit-identical to the serial one.
+	weightBuckets := make([][]float64, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		var local []float64
+		w.forEachEdgeRange(lo, hi, func(_, _ entity.ID, wt float64) {
+			local = append(local, wt)
+		})
+		weightBuckets[worker%len(weightBuckets)] = append(weightBuckets[worker%len(weightBuckets)], local...)
+	})
+	var weights []float64
+	for _, b := range weightBuckets {
+		weights = append(weights, b...)
+	}
+	if len(weights) == 0 {
+		return nil
+	}
+	mean := sortedMeanInPlace(weights)
+
+	// Pass 2: retain in per-worker buckets.
+	buckets := make([][]entity.Pair, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		var local []entity.Pair
+		w.forEachEdgeRange(lo, hi, func(i, j entity.ID, wt float64) {
+			if wt >= mean {
+				local = append(local, entity.MakePair(i, j))
+			}
+		})
+		buckets[worker%len(buckets)] = append(buckets[worker%len(buckets)], local...)
+	})
+	return flatten(buckets)
+}
+
+func (g *Graph) cepParallel(workers int) []entity.Pair {
+	k := g.CardinalityEdgeThreshold()
+	if k == 0 {
+		return nil
+	}
+	heaps := make([]*edgeHeap, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		h := newEdgeHeap(k)
+		w.forEachEdgeRange(lo, hi, func(i, j entity.ID, wt float64) {
+			h.offer(wt, i, j)
+		})
+		heaps[worker%len(heaps)] = h
+	})
+	// Merge: the global top-K of the per-worker top-Ks.
+	final := newEdgeHeap(k)
+	for _, h := range heaps {
+		if h == nil {
+			continue
+		}
+		for _, e := range h.items {
+			final.offer(e.w, e.i, e.j)
+		}
+	}
+	out := make([]entity.Pair, 0, final.len())
+	for _, e := range final.items {
+		out = append(out, entity.MakePair(e.i, e.j))
+	}
+	return out
+}
+
+func (g *Graph) cnpParallel(workers int) []entity.Pair {
+	k := g.CardinalityNodeThreshold()
+	buckets := make([][]entity.Pair, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		h := newEdgeHeap(k)
+		var local []entity.Pair
+		w.forEachNodeRange(lo, hi, func(i entity.ID, neighbors []entity.ID, weights []float64) {
+			h.reset()
+			for n, j := range neighbors {
+				h.offer(weights[n], i, j)
+			}
+			for _, e := range h.items {
+				local = append(local, entity.MakePair(e.i, e.j))
+			}
+		})
+		buckets[worker%len(buckets)] = local
+	})
+	return flatten(buckets)
+}
+
+func (g *Graph) wnpParallel(workers int) []entity.Pair {
+	buckets := make([][]entity.Pair, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		var local []entity.Pair
+		w.forEachNodeRange(lo, hi, func(i entity.ID, neighbors []entity.ID, weights []float64) {
+			threshold := mean(weights)
+			for n, j := range neighbors {
+				if weights[n] >= threshold {
+					local = append(local, entity.MakePair(i, j))
+				}
+			}
+		})
+		buckets[worker%len(buckets)] = local
+	})
+	return flatten(buckets)
+}
+
+func (g *Graph) redefinedCNPParallel(reciprocal bool, workers int) []entity.Pair {
+	k := g.CardinalityNodeThreshold()
+	type mark struct {
+		p entity.Pair
+		m uint8
+	}
+	buckets := make([][]mark, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		h := newEdgeHeap(k)
+		var local []mark
+		w.forEachNodeRange(lo, hi, func(i entity.ID, neighbors []entity.ID, weights []float64) {
+			h.reset()
+			for n, j := range neighbors {
+				h.offer(weights[n], i, j)
+			}
+			for _, e := range h.items {
+				p := entity.MakePair(e.i, e.j)
+				bit := uint8(1)
+				if e.i > e.j {
+					bit = 2
+				}
+				local = append(local, mark{p: p, m: bit})
+			}
+		})
+		buckets[worker%len(buckets)] = local
+	})
+	marks := make(map[entity.Pair]uint8)
+	for _, b := range buckets {
+		for _, mk := range b {
+			marks[mk.p] |= mk.m
+		}
+	}
+	return collectMarks(marks, reciprocal)
+}
+
+func (g *Graph) redefinedWNPParallel(reciprocal bool, workers int) []entity.Pair {
+	thresholds := make([]float64, g.blocks.NumEntities)
+	g.parallelRanges(workers, func(w *Graph, _, lo, hi int) {
+		w.forEachNodeRange(lo, hi, func(i entity.ID, _ []entity.ID, weights []float64) {
+			thresholds[i] = mean(weights) // disjoint index ranges: no race
+		})
+	})
+	buckets := make([][]entity.Pair, 64)
+	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		var local []entity.Pair
+		w.forEachEdgeRange(lo, hi, func(i, j entity.ID, wt float64) {
+			okI, okJ := wt >= thresholds[i], wt >= thresholds[j]
+			if (reciprocal && okI && okJ) || (!reciprocal && (okI || okJ)) {
+				local = append(local, entity.MakePair(i, j))
+			}
+		})
+		buckets[worker%len(buckets)] = local
+	})
+	return flatten(buckets)
+}
+
+func flatten(buckets [][]entity.Pair) []entity.Pair {
+	var n int
+	for _, b := range buckets {
+		n += len(b)
+	}
+	out := make([]entity.Pair, 0, n)
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"metablocking/internal/block"
+	"metablocking/internal/blocking"
+	"metablocking/internal/datagen"
+	"metablocking/internal/paperexample"
+)
+
+// TestPruneParallelMatchesSerial: for every algorithm, scheme, worker
+// count and task type, the parallel implementation must retain exactly
+// the serial result (after canonical ordering).
+func TestPruneParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	inputs := map[string]*block.Collection{
+		"dirty":   randomDirtyBlocks(rng, 60, 50),
+		"clean":   randomCleanBlocks(rng, 25, 60, 50),
+		"example": blocking.TokenBlocking{}.Build(paperexample.Collection()),
+	}
+	for name, blocks := range inputs {
+		for _, scheme := range AllSchemes {
+			for _, alg := range AllAlgorithms {
+				want := NewGraph(blocks, scheme).Prune(alg)
+				sortPairs(want)
+				for _, workers := range []int{1, 2, 3, 8} {
+					got := NewGraph(blocks, scheme).PruneParallel(alg, workers)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/%v/%v workers=%d: parallel (%d pairs) ≠ serial (%d pairs)",
+							name, scheme, alg, workers, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPruneParallelOnSyntheticDataset exercises the parallel path on a
+// realistic blocking graph with default worker count.
+func TestPruneParallelOnSyntheticDataset(t *testing.T) {
+	ds := datagen.D1C(0.05)
+	blocks := blocking.TokenBlocking{}.Build(ds.Collection)
+	for _, alg := range []Algorithm{CEP, WEP, RedefinedCNP, ReciprocalWNP} {
+		serial := NewGraph(blocks, ECBS).Prune(alg)
+		sortPairs(serial)
+		parallel := NewGraph(blocks, ECBS).PruneParallel(alg, 0)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%v: parallel ≠ serial on synthetic data: %d vs %d pairs",
+				alg, len(parallel), len(serial))
+		}
+	}
+}
+
+// TestShardSharesImmutableState ensures shards see the same graph but own
+// their scratch.
+func TestShardSharesImmutableState(t *testing.T) {
+	g := exampleGraph(t, EJS)
+	s := g.shard()
+	if s.index != g.index || s.blocks != g.blocks {
+		t.Fatal("shard must share index and blocks")
+	}
+	if &s.flags[0] == &g.flags[0] {
+		t.Fatal("shard must not share scratch arrays")
+	}
+	if s.ctx != g.ctx {
+		t.Fatal("shard must inherit the weight context")
+	}
+}
+
+// TestRunWorkersWithOriginalWeighting: OriginalWeighting takes precedence
+// over Workers (parallel traversals are optimized-only), and the result
+// still matches the serial optimized run.
+func TestRunWorkersWithOriginalWeighting(t *testing.T) {
+	blocks := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	serial := Run(blocks, Config{Scheme: JS, Algorithm: WEP})
+	both := Run(blocks, Config{Scheme: JS, Algorithm: WEP, OriginalWeighting: true, Workers: 4})
+	if len(serial.Pairs) != len(both.Pairs) {
+		t.Fatalf("results differ: %d vs %d", len(serial.Pairs), len(both.Pairs))
+	}
+	negative := Run(blocks, Config{Scheme: JS, Algorithm: WEP, Workers: -1})
+	if len(negative.Pairs) != len(serial.Pairs) {
+		t.Fatalf("Workers=-1 changed the result: %d vs %d", len(negative.Pairs), len(serial.Pairs))
+	}
+}

@@ -1,0 +1,101 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"metablocking/internal/blocking"
+	"metablocking/internal/blockproc"
+	"metablocking/internal/entity"
+)
+
+func TestBIBShape(t *testing.T) {
+	ds := BIB(0.2)
+	c := ds.Collection
+	if c.Task != entity.CleanClean {
+		t.Fatal("BIB must be Clean-Clean")
+	}
+	if err := ds.GroundTruth.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// Schema heterogeneity: DBLP side structured, Scholar side one field.
+	if n := len(c.Profiles[0].Attributes); n != 4 {
+		t.Fatalf("DBLP profile has %d attributes, want 4", n)
+	}
+	if n := len(c.Profiles[c.Split].Attributes); n != 1 {
+		t.Fatalf("Scholar profile has %d attributes, want 1", n)
+	}
+	// Blocking quality: duplicates share names/titles, so Token Blocking
+	// keeps high recall at low precision.
+	blocks := blockproc.BlockPurging{}.Apply(blocking.TokenBlocking{}.Build(c))
+	pc := float64(blocks.DetectedDuplicates(ds.GroundTruth)) / float64(ds.GroundTruth.Size())
+	if pc < 0.95 {
+		t.Fatalf("BIB blocking recall = %.3f", pc)
+	}
+	t.Logf("BIB: |E|=%d |D|=%d PC=%.3f ‖B‖=%d", c.Size(), ds.GroundTruth.Size(), pc, blocks.Comparisons())
+}
+
+func TestMOVShape(t *testing.T) {
+	ds := MOV(0.2)
+	c := ds.Collection
+	if err := ds.GroundTruth.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	// The DBpedia side must be far more verbose (the D2 asymmetry).
+	tokens1, tokens2 := 0, 0
+	for i := 0; i < c.Split; i++ {
+		tokens1 += len(c.Profiles[i].Tokens())
+	}
+	for i := c.Split; i < c.Size(); i++ {
+		tokens2 += len(c.Profiles[i].Tokens())
+	}
+	mean1 := float64(tokens1) / float64(c.Split)
+	mean2 := float64(tokens2) / float64(c.Size()-c.Split)
+	if mean2 < 2.5*mean1 {
+		t.Fatalf("verbosity asymmetry missing: %.1f vs %.1f tokens/profile", mean1, mean2)
+	}
+	blocks := blockproc.BlockPurging{}.Apply(blocking.TokenBlocking{}.Build(c))
+	pc := float64(blocks.DetectedDuplicates(ds.GroundTruth)) / float64(ds.GroundTruth.Size())
+	if pc < 0.95 {
+		t.Fatalf("MOV blocking recall = %.3f", pc)
+	}
+	t.Logf("MOV: tokens/profile %.1f vs %.1f, PC=%.3f", mean1, mean2, pc)
+}
+
+func TestDomainDatasetsDeterministic(t *testing.T) {
+	a, b := BIB(0.05), BIB(0.05)
+	if a.Collection.Size() != b.Collection.Size() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Collection.Profiles {
+		if a.Collection.Profiles[i].String() != b.Collection.Profiles[i].String() {
+			t.Fatal("BIB not deterministic")
+		}
+	}
+}
+
+func TestSurnamesArePlausibleTokens(t *testing.T) {
+	ds := BIB(0.02)
+	for i := range ds.Collection.Profiles {
+		for _, a := range ds.Collection.Profiles[i].Attributes {
+			for _, tok := range entity.Tokenize(a.Value) {
+				if strings.ContainsAny(tok, " ,;") {
+					t.Fatalf("token %q contains separators", tok)
+				}
+			}
+		}
+	}
+}
+
+// TestDomainMetaBlockingEndToEnd runs the recommended configuration on the
+// domain datasets — the scenario the examples demonstrate.
+func TestDomainMetaBlockingEndToEnd(t *testing.T) {
+	for _, ds := range []Dataset{BIB(0.1), MOV(0.1)} {
+		blocks := blockproc.BlockFiltering{Ratio: 0.8}.Apply(
+			blockproc.BlockPurging{}.Apply(blocking.TokenBlocking{}.Build(ds.Collection)))
+		pc := float64(blocks.DetectedDuplicates(ds.GroundTruth)) / float64(ds.GroundTruth.Size())
+		if pc < 0.9 {
+			t.Errorf("%s: post-filtering recall %.3f", ds.Name, pc)
+		}
+	}
+}

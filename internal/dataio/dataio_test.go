@@ -1,0 +1,132 @@
+package dataio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"metablocking/internal/entity"
+	"metablocking/internal/paperexample"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := paperexample.Collection()
+	var buf bytes.Buffer
+	if err := WriteProfilesCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfilesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != want.Task || got.Size() != want.Size() {
+		t.Fatalf("task/size mismatch: %v/%d", got.Task, got.Size())
+	}
+	if !reflect.DeepEqual(got.Profiles, want.Profiles) {
+		t.Fatal("profiles differ after CSV round trip")
+	}
+}
+
+func TestCSVCleanCleanRoundTrip(t *testing.T) {
+	var a, b entity.Profile
+	a.Add("name", "x")
+	b.Add("title", "y")
+	want := entity.NewCleanClean([]entity.Profile{a}, []entity.Profile{b})
+	var buf bytes.Buffer
+	if err := WriteProfilesCSV(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfilesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != entity.CleanClean || got.Split != 1 {
+		t.Fatalf("clean-clean lost: task=%v split=%d", got.Task, got.Split)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	want := paperexample.Collection()
+	var buf bytes.Buffer
+	if err := WriteProfilesJSONL(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfilesJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != want.Size() || got.Task != want.Task {
+		t.Fatalf("size/task mismatch")
+	}
+	// JSONL groups attributes by name; token sets must survive exactly.
+	for i := range want.Profiles {
+		w := want.Profiles[i].TokenSet()
+		g := got.Profiles[i].TokenSet()
+		if !reflect.DeepEqual(w, g) {
+			t.Fatalf("profile %d tokens differ: %v vs %v", i, g, w)
+		}
+	}
+}
+
+func TestJSONLDefaultsSourceOne(t *testing.T) {
+	in := `{"id": 0, "attributes": {"name": ["a"]}}
+{"id": 1, "attributes": {"name": ["b"]}}`
+	c, err := ReadProfilesJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Task != entity.Dirty || c.Size() != 2 {
+		t.Fatalf("got %v/%d", c.Task, c.Size())
+	}
+}
+
+func TestJSONLErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"garbage":      "not json",
+		"bad source":   `{"id":0,"source":7,"attributes":{}}`,
+		"mixed source": `{"id":0,"source":1,"attributes":{}}` + "\n" + `{"id":0,"source":2,"attributes":{}}`,
+		"empty":        "",
+	} {
+		if _, err := ReadProfilesJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad id":     "x,1,a,v\n",
+		"bad source": "0,3,a,v\n",
+		"mixed":      "0,1,a,v\n0,2,b,w\n",
+		"empty":      "id,source,attribute,value\n",
+		"ragged":     "0,1,a\n",
+	} {
+		if _, err := ReadProfilesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestGroundTruthCSV(t *testing.T) {
+	gt, err := ReadGroundTruthCSV(strings.NewReader("0,5\n6,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Size() != 2 || !gt.Contains(5, 0) || !gt.Contains(1, 6) {
+		t.Fatalf("ground truth wrong: %v", gt.Pairs())
+	}
+	if _, err := ReadGroundTruthCSV(strings.NewReader("x,y\n")); err == nil {
+		t.Error("bad pair accepted")
+	}
+}
+
+func TestWritePairsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePairsCSV(&buf, []entity.Pair{{A: 1, B: 2}, {A: 3, B: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "1,2\n3,4\n" {
+		t.Fatalf("output = %q", buf.String())
+	}
+}

@@ -1,0 +1,182 @@
+package entity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Task distinguishes the two Entity Resolution tasks of the paper (§3).
+type Task int
+
+const (
+	// Dirty ER takes a single entity collection that contains duplicates
+	// and produces equivalence clusters (a.k.a. Deduplication).
+	Dirty Task = iota
+	// CleanClean ER receives two duplicate-free but overlapping entity
+	// collections and identifies matches between them (Record Linkage).
+	CleanClean
+)
+
+// String returns the conventional name of the task.
+func (t Task) String() string {
+	switch t {
+	case Dirty:
+		return "Dirty ER"
+	case CleanClean:
+		return "Clean-Clean ER"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Collection is the input of an ER task: all entity profiles plus, for
+// Clean-Clean ER, the boundary between the two source collections.
+//
+// Profiles are stored in ID order: Profiles[i].ID == ID(i). For Clean-Clean
+// ER, IDs < Split belong to the first source collection E1 and the rest to
+// E2; for Dirty ER, Split is len(Profiles).
+type Collection struct {
+	Task     Task
+	Profiles []Profile
+	Split    int
+}
+
+// NewDirty builds a Dirty ER collection, assigning dense IDs in order.
+func NewDirty(profiles []Profile) *Collection {
+	c := &Collection{Task: Dirty, Profiles: profiles, Split: len(profiles)}
+	c.renumber()
+	return c
+}
+
+// NewCleanClean builds a Clean-Clean ER collection from the two source
+// collections, assigning E1 the IDs 0..len(e1)-1 and E2 the rest.
+func NewCleanClean(e1, e2 []Profile) *Collection {
+	profiles := make([]Profile, 0, len(e1)+len(e2))
+	profiles = append(profiles, e1...)
+	profiles = append(profiles, e2...)
+	c := &Collection{Task: CleanClean, Profiles: profiles, Split: len(e1)}
+	c.renumber()
+	return c
+}
+
+func (c *Collection) renumber() {
+	for i := range c.Profiles {
+		c.Profiles[i].ID = ID(i)
+	}
+}
+
+// Size returns |E|, the number of profiles in the collection.
+func (c *Collection) Size() int { return len(c.Profiles) }
+
+// Profile returns the profile with the given ID.
+func (c *Collection) Profile(id ID) *Profile { return &c.Profiles[id] }
+
+// InFirst reports whether the given profile belongs to the first source
+// collection (always true for Dirty ER inputs below Split).
+func (c *Collection) InFirst(id ID) bool { return int(id) < c.Split }
+
+// BruteForceComparisons returns ‖E‖, the number of comparisons executed by
+// the brute-force approach: n1·n2 for Clean-Clean ER and n(n-1)/2 for
+// Dirty ER.
+func (c *Collection) BruteForceComparisons() int64 {
+	n := int64(len(c.Profiles))
+	if c.Task == CleanClean {
+		n1 := int64(c.Split)
+		return n1 * (n - n1)
+	}
+	return n * (n - 1) / 2
+}
+
+// NamePairs returns |P| (total number of name–value pairs) and |N| (number
+// of distinct attribute names) over the given ID range [lo, hi).
+func (c *Collection) NamePairs(lo, hi int) (pairs int, names int) {
+	distinct := make(map[string]struct{})
+	for i := lo; i < hi; i++ {
+		pairs += len(c.Profiles[i].Attributes)
+		for _, a := range c.Profiles[i].Attributes {
+			distinct[a.Name] = struct{}{}
+		}
+	}
+	return pairs, len(distinct)
+}
+
+// ToDirty merges a Clean-Clean collection into a single Dirty collection
+// that contains the duplicates in itself, exactly as the paper derives the
+// DxD datasets from the DxC ones (§6.1). Ground truth carries over
+// unchanged because IDs are preserved.
+func (c *Collection) ToDirty() *Collection {
+	profiles := make([]Profile, len(c.Profiles))
+	copy(profiles, c.Profiles)
+	return NewDirty(profiles)
+}
+
+// Pair is an unordered pair of profile IDs with A < B.
+type Pair struct {
+	A, B ID
+}
+
+// MakePair builds the canonical (ordered) form of a pair.
+func MakePair(a, b ID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// GroundTruth is the set of duplicate pairs D(E) of a collection.
+type GroundTruth struct {
+	pairs map[Pair]struct{}
+}
+
+// NewGroundTruth builds a ground truth from duplicate pairs. Pairs are
+// canonicalized; duplicates are ignored.
+func NewGroundTruth(pairs []Pair) *GroundTruth {
+	gt := &GroundTruth{pairs: make(map[Pair]struct{}, len(pairs))}
+	for _, p := range pairs {
+		gt.pairs[MakePair(p.A, p.B)] = struct{}{}
+	}
+	return gt
+}
+
+// Size returns |D(E)|, the number of existing duplicate pairs.
+func (g *GroundTruth) Size() int { return len(g.pairs) }
+
+// Contains reports whether (a, b) is a duplicate pair.
+func (g *GroundTruth) Contains(a, b ID) bool {
+	_, ok := g.pairs[MakePair(a, b)]
+	return ok
+}
+
+// Pairs returns all duplicate pairs in a deterministic order.
+func (g *GroundTruth) Pairs() []Pair {
+	out := make([]Pair, 0, len(g.pairs))
+	for p := range g.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Validate checks that the ground truth is consistent with the collection:
+// all IDs in range and, for Clean-Clean ER, every pair crossing the split.
+func (g *GroundTruth) Validate(c *Collection) error {
+	n := ID(c.Size())
+	for p := range g.pairs {
+		if p.A < 0 || p.B >= n {
+			return fmt.Errorf("ground truth pair (%d,%d) out of range [0,%d)", p.A, p.B, n)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("ground truth pair (%d,%d) is reflexive", p.A, p.B)
+		}
+		if c.Task == CleanClean && c.InFirst(p.A) == c.InFirst(p.B) {
+			return errors.New("clean-clean ground truth pair does not cross the collection split")
+		}
+	}
+	return nil
+}

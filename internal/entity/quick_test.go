@@ -1,0 +1,78 @@
+package entity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: MakePair is symmetric and always canonical (A <= B).
+func TestMakePairProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		p := MakePair(a, b)
+		q := MakePair(b, a)
+		return p == q && p.A <= p.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Tokenize never returns empty tokens and lower-cases everything.
+func TestTokenizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Tokenize is idempotent — re-tokenizing the joined tokens gives
+// the same tokens.
+func TestTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Tokenize(s)
+		twice := Tokenize(strings.Join(once, " "))
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ground truth Contains matches membership of the canonical pair
+// list regardless of insertion order.
+func TestGroundTruthProperties(t *testing.T) {
+	f := func(raw []Pair) bool {
+		gt := NewGroundTruth(raw)
+		for _, p := range raw {
+			if p.A == p.B {
+				continue
+			}
+			if !gt.Contains(p.A, p.B) || !gt.Contains(p.B, p.A) {
+				return false
+			}
+		}
+		return gt.Size() == len(gt.Pairs())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

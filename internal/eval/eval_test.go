@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"metablocking/internal/block"
+	"metablocking/internal/blocking"
+	"metablocking/internal/entity"
+	"metablocking/internal/paperexample"
+)
+
+func TestReportMeasures(t *testing.T) {
+	r := Report{Comparisons: 100, Detected: 8, Duplicates: 10, Baseline: 1000}
+	if r.PC() != 0.8 {
+		t.Errorf("PC = %v, want 0.8", r.PC())
+	}
+	if r.PQ() != 0.08 {
+		t.Errorf("PQ = %v, want 0.08", r.PQ())
+	}
+	if r.RR() != 0.9 {
+		t.Errorf("RR = %v, want 0.9", r.RR())
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestReportZeroDivisions(t *testing.T) {
+	var r Report
+	if r.PC() != 0 || r.PQ() != 0 || r.RR() != 0 {
+		t.Fatal("zero-value report must not divide by zero")
+	}
+}
+
+func TestEvaluateBlocksPaperExample(t *testing.T) {
+	c := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	gt := paperexample.GroundTruth()
+	base := paperexample.Collection().BruteForceComparisons() // 15
+	r := EvaluateBlocks(c, gt, base)
+	if r.Comparisons != 13 {
+		t.Errorf("‖B‖ = %d, want 13", r.Comparisons)
+	}
+	if r.PC() != 1.0 {
+		t.Errorf("PC = %v, want 1 (both duplicates co-occur)", r.PC())
+	}
+	if math.Abs(r.PQ()-2.0/13.0) > 1e-12 {
+		t.Errorf("PQ = %v, want 2/13", r.PQ())
+	}
+	if math.Abs(r.RR()-(1-13.0/15.0)) > 1e-12 {
+		t.Errorf("RR = %v, want 2/15", r.RR())
+	}
+}
+
+func TestEvaluatePairsCountsRedundant(t *testing.T) {
+	gt := entity.NewGroundTruth([]entity.Pair{{A: 0, B: 1}})
+	pairs := []entity.Pair{
+		entity.MakePair(0, 1),
+		entity.MakePair(0, 1), // redundant: counted in ‖B'‖, not in |D|
+		entity.MakePair(2, 3),
+	}
+	r := EvaluatePairs(pairs, gt, 10)
+	if r.Comparisons != 3 {
+		t.Errorf("‖B'‖ = %d, want 3", r.Comparisons)
+	}
+	if r.Detected != 1 {
+		t.Errorf("|D(B')| = %d, want 1", r.Detected)
+	}
+	if r.RR() != 0.7 {
+		t.Errorf("RR = %v, want 0.7", r.RR())
+	}
+}
+
+type constSim float64
+
+func (s constSim) Similarity(_, _ entity.ID) float64 { return float64(s) }
+
+func TestResolutionTimeAddsOverhead(t *testing.T) {
+	pairs := []entity.Pair{{A: 0, B: 1}, {A: 1, B: 2}}
+	overhead := 5 * time.Millisecond
+	rt := ResolutionTime(constSim(0.5), pairs, overhead)
+	if rt < overhead {
+		t.Fatalf("RTime %v below overhead %v", rt, overhead)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || MeanInt64(nil) != 0 || MeanDuration(nil) != 0 {
+		t.Fatal("empty means must be zero")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+	if MeanInt64([]int64{2, 4}) != 3 {
+		t.Fatal("MeanInt64 broken")
+	}
+	if MeanDuration([]time.Duration{time.Second, 3 * time.Second}) != 2*time.Second {
+		t.Fatal("MeanDuration broken")
+	}
+}
+
+func TestEvaluateMatches(t *testing.T) {
+	gt := entity.NewGroundTruth([]entity.Pair{{A: 0, B: 1}, {A: 2, B: 3}, {A: 4, B: 5}})
+	matches := []entity.Pair{
+		entity.MakePair(0, 1), // TP
+		entity.MakePair(1, 0), // duplicate of the TP: ignored
+		entity.MakePair(2, 3), // TP
+		entity.MakePair(0, 5), // FP
+	}
+	q := EvaluateMatches(matches, gt)
+	if q.TruePositives != 2 || q.FalsePositives != 1 || q.FalseNegatives != 1 {
+		t.Fatalf("quality = %+v", q)
+	}
+	if q.Precision() != 2.0/3.0 {
+		t.Errorf("precision = %v", q.Precision())
+	}
+	if q.Recall() != 2.0/3.0 {
+		t.Errorf("recall = %v", q.Recall())
+	}
+	if q.F1() != 2.0/3.0 {
+		t.Errorf("F1 = %v", q.F1())
+	}
+	var zero PairwiseQuality
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero-value quality must not divide by zero")
+	}
+}
+
+func TestComputeBlockStats(t *testing.T) {
+	c := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	s := ComputeBlockStats(c)
+	if s.Blocks != 8 || s.Comparisons != 13 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinSize != 2 || s.MaxSize != 4 || s.MedianSize != 2 {
+		t.Fatalf("size distribution = %+v", s)
+	}
+	// The single largest block (car, 6 comparisons) is the top 1%.
+	if s.TopShare != 6.0/13.0 {
+		t.Fatalf("TopShare = %v, want 6/13", s.TopShare)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if empty := ComputeBlockStats(&block.Collection{}); empty.Blocks != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}

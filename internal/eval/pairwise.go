@@ -1,0 +1,60 @@
+package eval
+
+import "metablocking/internal/entity"
+
+// PairwiseQuality evaluates a matcher's *output* (decided matches) rather
+// than a blocking method's candidate set: standard pairwise precision,
+// recall and F1 against the ground truth. It completes the end-to-end
+// story — blocking measures (PC/PQ/RR) govern what gets compared, pairwise
+// measures govern what gets linked.
+type PairwiseQuality struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// EvaluateMatches scores decided match pairs against the ground truth.
+// Duplicate pairs in matches are counted once.
+func EvaluateMatches(matches []entity.Pair, gt *entity.GroundTruth) PairwiseQuality {
+	var q PairwiseQuality
+	seen := make(map[entity.Pair]struct{}, len(matches))
+	for _, p := range matches {
+		cp := entity.MakePair(p.A, p.B)
+		if _, dup := seen[cp]; dup {
+			continue
+		}
+		seen[cp] = struct{}{}
+		if gt.Contains(cp.A, cp.B) {
+			q.TruePositives++
+		} else {
+			q.FalsePositives++
+		}
+	}
+	q.FalseNegatives = gt.Size() - q.TruePositives
+	return q
+}
+
+// Precision returns TP / (TP + FP).
+func (q PairwiseQuality) Precision() float64 {
+	if q.TruePositives+q.FalsePositives == 0 {
+		return 0
+	}
+	return float64(q.TruePositives) / float64(q.TruePositives+q.FalsePositives)
+}
+
+// Recall returns TP / (TP + FN).
+func (q PairwiseQuality) Recall() float64 {
+	if q.TruePositives+q.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(q.TruePositives) / float64(q.TruePositives+q.FalseNegatives)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (q PairwiseQuality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

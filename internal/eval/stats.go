@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"metablocking/internal/block"
+)
+
+// BlockStats summarizes a block collection's structure: the size and
+// cardinality distribution that drives every method in this repository
+// (Block Purging trims the tail, Block Filtering reorders by it, ARCS
+// weights by it). Used for dataset calibration and diagnostics.
+type BlockStats struct {
+	Blocks      int
+	Comparisons int64
+	Assignments int64
+	BPE         float64
+	// MinSize..MaxSize describe the block-size (|b|) distribution.
+	MinSize, MaxSize int
+	MedianSize       int
+	P90Size, P99Size int
+	// TopShare is the fraction of ‖B‖ contributed by the largest 1% of
+	// blocks — the skew Block Purging and Filtering exploit.
+	TopShare float64
+}
+
+// ComputeBlockStats derives the statistics of a collection.
+func ComputeBlockStats(c *block.Collection) BlockStats {
+	s := BlockStats{
+		Blocks:      c.Len(),
+		Comparisons: c.Comparisons(),
+		Assignments: c.Assignments(),
+		BPE:         c.BPE(),
+	}
+	if c.Len() == 0 {
+		return s
+	}
+	sizes := make([]int, c.Len())
+	cards := make([]int64, c.Len())
+	for i := range c.Blocks {
+		sizes[i] = c.Blocks[i].Size()
+		cards[i] = c.Blocks[i].Comparisons()
+	}
+	sort.Ints(sizes)
+	s.MinSize = sizes[0]
+	s.MaxSize = sizes[len(sizes)-1]
+	s.MedianSize = sizes[len(sizes)/2]
+	s.P90Size = sizes[percentileIndex(len(sizes), 0.90)]
+	s.P99Size = sizes[percentileIndex(len(sizes), 0.99)]
+
+	sort.Slice(cards, func(i, j int) bool { return cards[i] < cards[j] })
+	top := len(cards) / 100
+	if top < 1 {
+		top = 1
+	}
+	var topSum int64
+	for _, card := range cards[len(cards)-top:] {
+		topSum += card
+	}
+	if s.Comparisons > 0 {
+		s.TopShare = float64(topSum) / float64(s.Comparisons)
+	}
+	return s
+}
+
+func percentileIndex(n int, p float64) int {
+	idx := int(p * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// String renders the stats on one line.
+func (s BlockStats) String() string {
+	return fmt.Sprintf("|B|=%d ‖B‖=%d BPE=%.2f sizes[min/med/p90/p99/max]=%d/%d/%d/%d/%d top1%%=%.0f%%",
+		s.Blocks, s.Comparisons, s.BPE,
+		s.MinSize, s.MedianSize, s.P90Size, s.P99Size, s.MaxSize, 100*s.TopShare)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSVReports runs every experiment and writes one CSV per table and
+// figure into dir, for downstream plotting and regression tracking:
+//
+//	table1_original.csv, table1_filtered.csv, table2.csv, figure10.csv,
+//	table3_original.csv, table3_filtered.csv, table4.csv, table5.csv,
+//	table6.csv
+func (s *Suite) WriteCSVReports(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := writeCSV(f, header, rows); err != nil {
+			return fmt.Errorf("experiments: writing %s: %w", name, err)
+		}
+		return f.Close()
+	}
+
+	t2 := s.Table2()
+	rows := make([][]string, 0, len(t2))
+	for _, r := range t2 {
+		rows = append(rows, []string{
+			r.Name, itoa(r.Entities1), itoa(r.Entities2), itoa(r.Duplicates),
+			itoa(r.Names), itoa(r.Pairs), ftoa(r.MeanPairs), i64toa(r.BruteForce),
+		})
+	}
+	if err := write("table2.csv", []string{"dataset", "e1", "e2", "duplicates", "names", "pairs", "mean_pairs", "brute_force"}, rows); err != nil {
+		return err
+	}
+
+	t1a, t1b := s.Table1()
+	for name, t1 := range map[string][]Table1Row{"table1_original.csv": t1a, "table1_filtered.csv": t1b} {
+		rows = rows[:0]
+		for _, r := range t1 {
+			rows = append(rows, []string{
+				r.Name, itoa(r.Blocks), i64toa(r.Comparisons), ftoa(r.BPE),
+				ftoa(r.PC), ftoa(r.PQ), ftoa(r.RR), itoa(r.GraphOrder), i64toa(r.GraphSize),
+			})
+		}
+		if err := write(name, []string{"dataset", "blocks", "comparisons", "bpe", "pc", "pq", "rr", "graph_order", "graph_size"}, rows); err != nil {
+			return err
+		}
+	}
+
+	fig := s.Figure10()
+	rows = rows[:0]
+	for _, series := range fig {
+		for _, pt := range series.Points {
+			rows = append(rows, []string{series.Name, ftoa(pt.Ratio), ftoa(pt.PC), ftoa(pt.RR)})
+		}
+	}
+	if err := write("figure10.csv", []string{"dataset", "ratio", "pc", "rr"}, rows); err != nil {
+		return err
+	}
+
+	t3a, t3b := s.Table3()
+	for name, t3 := range map[string][]PruneResult{"table3_original.csv": t3a, "table3_filtered.csv": t3b} {
+		if err := write(name, pruneHeader(), pruneRows(t3)); err != nil {
+			return err
+		}
+	}
+	if err := write("table5.csv", pruneHeader(), pruneRows(s.Table5())); err != nil {
+		return err
+	}
+	if err := write("table4.csv", pruneHeader(), pruneRows(s.Table4())); err != nil {
+		return err
+	}
+
+	t6 := s.Table6()
+	rows = rows[:0]
+	for _, r := range t6 {
+		rows = append(rows, []string{
+			r.Dataset, r.Method, i64toa(r.Comparisons), ftoa(r.PC), ftoa(r.PQ),
+			i64toa(r.OTime.Microseconds()),
+		})
+	}
+	return write("table6.csv", []string{"dataset", "method", "comparisons", "pc", "pq", "otime_us"}, rows)
+}
+
+func pruneHeader() []string {
+	return []string{"dataset", "algorithm", "comparisons", "pc", "pq", "otime_us"}
+}
+
+func pruneRows(results []PruneResult) [][]string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Dataset, r.Algorithm.String(), i64toa(r.Comparisons),
+			ftoa(r.PC), ftoa(r.PQ), i64toa(r.OTime.Microseconds()),
+		})
+	}
+	return rows
+}
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func i64toa(v int64) string { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"metablocking/internal/core"
+)
+
+// testSuite builds a tiny suite; experiments on it finish in seconds.
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	return NewSuite(0.04, nil)
+}
+
+func TestDatasetsPreparedOnce(t *testing.T) {
+	s := testSuite(t)
+	a := s.Datasets()
+	b := s.Datasets()
+	if len(a) != 6 {
+		t.Fatalf("datasets = %d, want 6", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Datasets() is not cached")
+		}
+	}
+	wantOrder := []string{"D1C", "D2C", "D3C", "D1D", "D2D", "D3D"}
+	for i, p := range a {
+		if p.Dataset.Name != wantOrder[i] {
+			t.Fatalf("dataset %d is %s, want %s", i, p.Dataset.Name, wantOrder[i])
+		}
+		if p.Original.Len() == 0 || p.Filtered.Len() == 0 {
+			t.Fatalf("%s: empty block collections", p.Dataset.Name)
+		}
+		if p.Filtered.Comparisons() >= p.Original.Comparisons() {
+			t.Fatalf("%s: filtering did not reduce ‖B‖", p.Dataset.Name)
+		}
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	s := testSuite(t)
+	rows := s.Table2()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Duplicates <= 0 || r.BruteForce <= 0 || r.Pairs <= 0 {
+			t.Fatalf("%s: degenerate row %+v", r.Name, r)
+		}
+	}
+	// Dirty variants have no second collection.
+	if rows[3].Entities2 != 0 || rows[0].Entities2 == 0 {
+		t.Fatal("E2 column wrong")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := testSuite(t)
+	original, filtered := s.Table1()
+	if len(original) != 6 || len(filtered) != 6 {
+		t.Fatalf("row counts: %d, %d", len(original), len(filtered))
+	}
+	for i := range original {
+		o, f := original[i], filtered[i]
+		// Paper Table 1: near-perfect recall before filtering, small loss
+		// after; precision rises; ‖B‖ shrinks.
+		if o.PC < 0.95 {
+			t.Errorf("%s: original PC = %.3f", o.Name, o.PC)
+		}
+		if f.PC < o.PC-0.05 {
+			t.Errorf("%s: filtering lost too much recall: %.3f → %.3f", o.Name, o.PC, f.PC)
+		}
+		if f.Comparisons >= o.Comparisons {
+			t.Errorf("%s: ‖B‖ not reduced", o.Name)
+		}
+		if f.PQ <= o.PQ {
+			t.Errorf("%s: PQ not improved by filtering", o.Name)
+		}
+	}
+}
+
+func TestFigure10Monotone(t *testing.T) {
+	s := testSuite(t)
+	series := s.Figure10()
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2 (D2C, D2D)", len(series))
+	}
+	for _, se := range series {
+		if len(se.Points) != 20 {
+			t.Fatalf("%s: points = %d, want 20", se.Name, len(se.Points))
+		}
+		for i := 1; i < len(se.Points); i++ {
+			if se.Points[i].PC+1e-9 < se.Points[i-1].PC {
+				t.Errorf("%s: PC not monotone at r=%.2f", se.Name, se.Points[i].Ratio)
+			}
+			if se.Points[i].RR-1e-9 > se.Points[i-1].RR {
+				t.Errorf("%s: RR not anti-monotone at r=%.2f", se.Name, se.Points[i].Ratio)
+			}
+		}
+		last := se.Points[len(se.Points)-1]
+		if last.Ratio != 1.0 || last.RR != 0 {
+			t.Errorf("%s: r=1 must have RR=0, got %+v", se.Name, last)
+		}
+	}
+}
+
+func TestPruneAveragedRelations(t *testing.T) {
+	s := testSuite(t)
+	p := s.Datasets()[0] // D1C
+	cnp := s.pruneAveraged(p, p.Filtered, core.CNP, false)
+	redef := s.pruneAveraged(p, p.Filtered, core.RedefinedCNP, false)
+	recip := s.pruneAveraged(p, p.Filtered, core.ReciprocalCNP, false)
+	// Paper §5: Redefined keeps CNP's recall with fewer comparisons;
+	// Reciprocal trades recall for far fewer comparisons.
+	if redef.PC != cnp.PC {
+		t.Errorf("Redefined CNP changed recall: %.4f vs %.4f", redef.PC, cnp.PC)
+	}
+	if !(recip.Comparisons <= redef.Comparisons && redef.Comparisons <= cnp.Comparisons) {
+		t.Errorf("comparison ordering violated: %d, %d, %d",
+			recip.Comparisons, redef.Comparisons, cnp.Comparisons)
+	}
+	if recip.PQ < redef.PQ {
+		t.Errorf("Reciprocal CNP must have the highest precision: %.4f < %.4f", recip.PQ, redef.PQ)
+	}
+}
+
+func TestTable6Baselines(t *testing.T) {
+	s := testSuite(t)
+	rows := s.Table6()
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d, want 18 (3 methods × 6 datasets)", len(rows))
+	}
+	for _, r := range rows {
+		if r.PC <= 0 || r.PC > 1 {
+			t.Errorf("%s/%s: PC = %v", r.Method, r.Dataset, r.PC)
+		}
+		if r.Comparisons <= 0 {
+			t.Errorf("%s/%s: no comparisons", r.Method, r.Dataset)
+		}
+	}
+	// Iterative Blocking detects essentially all duplicates (oracle
+	// matcher + near-perfect input recall).
+	for _, r := range rows[12:] {
+		if r.PC < 0.95 {
+			t.Errorf("iterative blocking PC = %.3f on %s", r.PC, r.Dataset)
+		}
+	}
+}
+
+func TestOutputRendering(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(0.04, &buf)
+	s.Table2()
+	out := buf.String()
+	for _, want := range []string{"Table 2", "D1C", "D3D", "‖E‖"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if sci(0) != "0" || sci(123) != "123" || sci(1230000) != "1.23e+06" {
+		t.Fatalf("sci: %q %q %q", sci(0), sci(123), sci(1230000))
+	}
+	for in, want := range map[time.Duration]string{
+		90 * time.Minute:        "1.5h",
+		90 * time.Second:        "1.5m",
+		1500 * time.Millisecond: "1.50s",
+		15 * time.Millisecond:   "15ms",
+		150 * time.Microsecond:  "150µs",
+	} {
+		if got := dur(in); got != want {
+			t.Errorf("dur(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	p := newASCIIPlot(5)
+	p.add("up", '*', []float64{0, 0.25, 0.5, 0.75, 1})
+	p.add("down", 'o', []float64{1, 0.75, 0.5, 0.25, 0})
+	out := p.render("x")
+	if !strings.Contains(out, "* = up") || !strings.Contains(out, "o = down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 rows + axis + legend.
+	if len(lines) != 7 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Top row holds the y=1 points: the last '*' and first 'o'.
+	if !strings.Contains(lines[0], "*") || !strings.Contains(lines[0], "o") {
+		t.Fatalf("top row wrong: %q", lines[0])
+	}
+	// Out-of-range values are clamped, not dropped.
+	q := newASCIIPlot(3)
+	q.add("clamped", 'x', []float64{-1, 2})
+	if qo := q.render("x"); !strings.Contains(qo, "x") {
+		t.Fatal("clamped values missing")
+	}
+	if (&asciiPlot{}).render("x") != "" {
+		t.Fatal("empty plot must render empty")
+	}
+}
+
+// TestTable3And5Smoke runs the pruning tables at tiny scale and checks the
+// paper's headline efficiency relations numerically.
+func TestTable3And5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pruning tables are slow")
+	}
+	s := NewSuite(0.03, nil)
+	before, after := s.Table3()
+	if len(before) != 24 || len(after) != 24 {
+		t.Fatalf("row counts: %d, %d (want 24 each: 4 algs × 6 datasets)", len(before), len(after))
+	}
+	for i := range before {
+		if after[i].Comparisons > before[i].Comparisons {
+			t.Errorf("%s/%v: filtering increased ‖B'‖", before[i].Dataset, before[i].Algorithm)
+		}
+	}
+	opt := s.Table5()
+	if len(opt) != 24 {
+		t.Fatalf("table 5 rows = %d", len(opt))
+	}
+	// Optimized weighting must beat the original on the same filtered
+	// blocks, at least in aggregate (tiny scales are noisy per-cell).
+	var origTotal, optTotal float64
+	for i := range after {
+		origTotal += after[i].OTime.Seconds()
+		optTotal += opt[i].OTime.Seconds()
+	}
+	if optTotal >= origTotal {
+		t.Errorf("optimized weighting (%vs) not faster than original (%vs) in aggregate",
+			optTotal, origTotal)
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	s := NewSuite(0.03, nil)
+	rows := s.Table4()
+	if len(rows) != 24 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PC <= 0 || r.PQ <= 0 {
+			t.Errorf("%s/%v: degenerate row", r.Dataset, r.Algorithm)
+		}
+	}
+}
+
+func TestSchemeBreakdownSmoke(t *testing.T) {
+	s := NewSuite(0.03, nil)
+	rows := s.SchemeBreakdown()
+	if len(rows) != 60 {
+		t.Fatalf("rows = %d (want 2 algs × 5 schemes × 6 datasets)", len(rows))
+	}
+}
+
+func TestBlockingMethodsSmoke(t *testing.T) {
+	s := NewSuite(0.03, nil)
+	rows := s.BlockingMethods()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d (want 10 methods on D1C)", len(rows))
+	}
+	byName := map[string]BlockingMethodRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	// Redundancy-positive methods keep near-perfect recall; Standard
+	// Blocking cannot (single key per profile).
+	if byName["Token Blocking"].PC < 0.95 {
+		t.Errorf("token blocking PC = %.3f", byName["Token Blocking"].PC)
+	}
+	if byName["Standard Blocking"].PC >= byName["Token Blocking"].PC {
+		t.Errorf("standard blocking recall (%.3f) should trail token blocking (%.3f)",
+			byName["Standard Blocking"].PC, byName["Token Blocking"].PC)
+	}
+}
+
+func TestExtensionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions are slow")
+	}
+	s := NewSuite(0.03, nil)
+	sup := s.Supervised()
+	if len(sup) != 6 {
+		t.Fatalf("supervised rows = %d", len(sup))
+	}
+	prog := s.Progressive()
+	if len(prog) != 24 {
+		t.Fatalf("progressive rows = %d", len(prog))
+	}
+	// Recall must be monotone in the budget for each dataset.
+	for i := 1; i < len(prog); i++ {
+		if prog[i].Dataset == prog[i-1].Dataset && prog[i].Recall+1e-9 < prog[i-1].Recall {
+			t.Errorf("%s: progressive recall not monotone", prog[i].Dataset)
+		}
+	}
+	par := s.Parallel()
+	if len(par) != 6 {
+		t.Fatalf("parallel rows = %d", len(par))
+	}
+}
+
+func TestWriteCSVReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report generation is slow")
+	}
+	dir := t.TempDir()
+	s := NewSuite(0.03, nil)
+	if err := s.WriteCSVReports(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"table1_original.csv", "table1_filtered.csv", "table2.csv",
+		"figure10.csv", "table3_original.csv", "table3_filtered.csv",
+		"table4.csv", "table5.csv", "table6.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Errorf("%s has only %d lines", name, lines)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"metablocking/internal/core"
+	"metablocking/internal/eval"
+	"metablocking/internal/progressive"
+	"metablocking/internal/supervised"
+)
+
+// SupervisedRow compares supervised meta-blocking against the unsupervised
+// reference on one dataset.
+type SupervisedRow struct {
+	Dataset       string
+	Comparisons   int64
+	PC, PQ        float64
+	TrainingEdges int
+	OTime         time.Duration
+}
+
+// Supervised runs Supervised Meta-blocking (ref [23]) on the filtered
+// blocks of every dataset — the extension experiment enabled by the
+// synthetic ground truth (see internal/supervised).
+func (s *Suite) Supervised() []SupervisedRow {
+	var out []SupervisedRow
+	s.printf("\n=== Extension: Supervised Meta-blocking (logistic regression, 5%% labelled sample) ===\n")
+	s.prunePrintHeader()
+	for _, p := range s.Datasets() {
+		res, err := supervised.Run(p.Filtered, p.Dataset.GroundTruth, supervised.Config{})
+		if err != nil {
+			s.printf("%-5s error: %v\n", p.Dataset.Name, err)
+			continue
+		}
+		rep := eval.EvaluatePairs(res.Pairs, p.Dataset.GroundTruth, p.Filtered.Comparisons())
+		row := SupervisedRow{
+			Dataset:       p.Dataset.Name,
+			Comparisons:   rep.Comparisons,
+			PC:            rep.PC(),
+			PQ:            rep.PQ(),
+			TrainingEdges: res.TrainingEdges,
+			OTime:         res.OTime,
+		}
+		out = append(out, row)
+		s.prunePrint("", PruneResult{
+			Dataset:     row.Dataset,
+			Comparisons: row.Comparisons,
+			PC:          row.PC,
+			PQ:          row.PQ,
+			OTime:       row.OTime,
+		})
+	}
+	return out
+}
+
+// ProgressiveRow is the recall of the prioritized comparison stream at one
+// budget, expressed in comparisons-per-duplicate.
+type ProgressiveRow struct {
+	Dataset string
+	// BudgetPerDup is the emitted comparisons divided by |D(E)|.
+	BudgetPerDup int
+	Recall       float64
+}
+
+// Progressive evaluates pay-as-you-go scheduling: recall at budgets of 1,
+// 2, 5 and 10 comparisons per existing duplicate, using ARCS weights on
+// the filtered blocks.
+func (s *Suite) Progressive() []ProgressiveRow {
+	var out []ProgressiveRow
+	s.printf("\n=== Extension: Progressive (pay-as-you-go) recall at fixed budgets ===\n")
+	s.printf("%-5s %12s %12s %12s %12s\n", "", "1×|D|", "2×|D|", "5×|D|", "10×|D|")
+	perDup := []int{1, 2, 5, 10}
+	for _, p := range s.Datasets() {
+		sched := progressive.NewScheduler(p.Filtered, core.ARCS)
+		budgets := make([]int, len(perDup))
+		for i, m := range perDup {
+			budgets[i] = m * p.Dataset.GroundTruth.Size()
+		}
+		curve := progressive.RecallCurve(sched, p.Dataset.GroundTruth, budgets)
+		s.printf("%-5s", p.Dataset.Name)
+		for i, pt := range curve {
+			out = append(out, ProgressiveRow{
+				Dataset:      p.Dataset.Name,
+				BudgetPerDup: perDup[i],
+				Recall:       pt.Recall,
+			})
+			s.printf(" %11.3f", pt.Recall)
+		}
+		s.printf("\n")
+	}
+	return out
+}
+
+// ParallelRow reports the wall-clock of serial vs parallel pruning.
+type ParallelRow struct {
+	Dataset  string
+	Serial   time.Duration
+	Parallel time.Duration
+	Workers  int
+}
+
+// Parallel measures the speedup of parallel Reciprocal WNP over the serial
+// implementation on the filtered blocks.
+func (s *Suite) Parallel() []ParallelRow {
+	workers := runtime.GOMAXPROCS(0)
+	var out []ParallelRow
+	s.printf("\n=== Extension: Parallel pruning speedup (Reciprocal WNP, JS, %d workers) ===\n", workers)
+	s.printf("%-5s %12s %12s %9s\n", "", "serial", "parallel", "speedup")
+	best := func(cfg core.Config, p *Prepared) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for run := 0; run < 3; run++ { // best-of-3 to damp scheduler noise
+			start := time.Now()
+			core.Run(p.Filtered, cfg)
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	for _, p := range s.Datasets() {
+		serial := best(core.Config{Scheme: core.JS, Algorithm: core.ReciprocalWNP}, p)
+		parallel := best(core.Config{Scheme: core.JS, Algorithm: core.ReciprocalWNP, Workers: -1}, p)
+
+		out = append(out, ParallelRow{Dataset: p.Dataset.Name, Serial: serial, Parallel: parallel, Workers: workers})
+		s.printf("%-5s %12s %12s %8.1fx\n", p.Dataset.Name, dur(serial), dur(parallel),
+			float64(serial)/float64(parallel))
+	}
+	return out
+}
+
+// Extensions runs all extension experiments.
+func (s *Suite) Extensions() {
+	s.Supervised()
+	s.Progressive()
+	s.Parallel()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import "metablocking/internal/blockproc"
+
+// Figure10Point is one point of the filtering-ratio sweep.
+type Figure10Point struct {
+	Ratio  float64
+	PC, RR float64
+}
+
+// Figure10Series is the sweep for one dataset.
+type Figure10Series struct {
+	Name   string
+	Points []Figure10Point
+}
+
+// Figure10 sweeps Block Filtering's ratio r over [0.05, 1.0] with a step
+// of 0.05 and reports PC and RR of the restructured blocks of D2C and D2D
+// (the datasets the paper plots; the others behave alike, §6.2).
+func (s *Suite) Figure10() []Figure10Series {
+	var out []Figure10Series
+	s.printf("\n=== Figure 10: Effect of Block Filtering's ratio r on D2C and D2D ===\n")
+	for _, p := range s.Datasets() {
+		if p.Dataset.Name != "D2C" && p.Dataset.Name != "D2D" {
+			continue
+		}
+		series := Figure10Series{Name: p.Dataset.Name}
+		base := p.Original.Comparisons()
+		s.printf("%-5s %6s %8s %8s\n", "", "r", "PC", "RR")
+		for r := 5; r <= 100; r += 5 {
+			ratio := float64(r) / 100
+			restructured := blockproc.BlockFiltering{Ratio: ratio}.Apply(p.Original)
+			rep := p.EvaluateBlockCollection(restructured, base)
+			pt := Figure10Point{Ratio: ratio, PC: rep.PC(), RR: rep.RR()}
+			series.Points = append(series.Points, pt)
+			s.printf("%-5s %6.2f %8.3f %8.3f\n", p.Dataset.Name, pt.Ratio, pt.PC, pt.RR)
+		}
+		out = append(out, series)
+
+		plot := newASCIIPlot(11)
+		pcs := make([]float64, len(series.Points))
+		rrs := make([]float64, len(series.Points))
+		for i, pt := range series.Points {
+			pcs[i], rrs[i] = pt.PC, pt.RR
+		}
+		plot.add("PC", '*', pcs)
+		plot.add("RR", 'o', rrs)
+		s.printf("\n%s (r = 0.05 … 1.00)\n%s\n", p.Dataset.Name, plot.render("r"))
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// asciiPlot renders series of y-values over a shared x-axis as a compact
+// terminal chart, used to draw Figure 10 the way the paper prints it: two
+// curves (PC and RR) per dataset over the filtering ratio.
+type asciiPlot struct {
+	width, height int
+	series        []plotSeries
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	ys     []float64
+}
+
+func newASCIIPlot(height int) *asciiPlot {
+	return &asciiPlot{height: height}
+}
+
+func (p *asciiPlot) add(name string, marker byte, ys []float64) {
+	if len(ys) > p.width {
+		p.width = len(ys)
+	}
+	p.series = append(p.series, plotSeries{name: name, marker: marker, ys: ys})
+}
+
+// render draws all series on a [0,1] y-axis. Points map to the nearest
+// row; later series overwrite earlier ones on collisions.
+func (p *asciiPlot) render(xLabel string) string {
+	if p.width == 0 || p.height < 2 {
+		return ""
+	}
+	grid := make([][]byte, p.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.width))
+	}
+	for _, s := range p.series {
+		for x, y := range s.ys {
+			if y < 0 {
+				y = 0
+			}
+			if y > 1 {
+				y = 1
+			}
+			row := int((1 - y) * float64(p.height-1))
+			grid[row][x] = s.marker
+		}
+	}
+	var b strings.Builder
+	for r := range grid {
+		yTick := 1 - float64(r)/float64(p.height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", yTick, grid[r])
+	}
+	fmt.Fprintf(&b, "      +%s+ %s\n", strings.Repeat("-", p.width), xLabel)
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c = %s", s.marker, s.name))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Join(legend, "   "))
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"time"
+
+	"metablocking/internal/block"
+	"metablocking/internal/core"
+	"metablocking/internal/eval"
+)
+
+// PruneResult is a pruning scheme's performance on one dataset, averaged
+// across the five weighting schemes as the paper's tables do.
+type PruneResult struct {
+	Dataset     string
+	Algorithm   core.Algorithm
+	Comparisons int64 // ‖B'‖ (mean)
+	PC, PQ      float64
+	OTime       time.Duration
+}
+
+// pruneAveraged runs the pruning algorithm under every weighting scheme on
+// the given block collection and averages the resulting measures.
+func (s *Suite) pruneAveraged(p *Prepared, c *block.Collection, alg core.Algorithm, originalWeighting bool) PruneResult {
+	var (
+		comparisons []int64
+		pcs, pqs    []float64
+		otimes      []time.Duration
+	)
+	for _, scheme := range core.AllSchemes {
+		res := core.Run(c, core.Config{
+			Scheme:            scheme,
+			Algorithm:         alg,
+			OriginalWeighting: originalWeighting,
+		})
+		rep := eval.EvaluatePairs(res.Pairs, p.Dataset.GroundTruth, c.Comparisons())
+		comparisons = append(comparisons, rep.Comparisons)
+		pcs = append(pcs, rep.PC())
+		pqs = append(pqs, rep.PQ())
+		otimes = append(otimes, res.OTime)
+	}
+	return PruneResult{
+		Dataset:     p.Dataset.Name,
+		Algorithm:   alg,
+		Comparisons: eval.MeanInt64(comparisons),
+		PC:          eval.Mean(pcs),
+		PQ:          eval.Mean(pqs),
+		OTime:       eval.MeanDuration(otimes),
+	}
+}
+
+func (s *Suite) prunePrintHeader() {
+	s.printf("%-15s %-5s %10s %7s %10s %9s\n", "", "", "‖B'‖", "PC", "PQ", "OTime")
+}
+
+func (s *Suite) prunePrint(label string, r PruneResult) {
+	s.printf("%-15s %-5s %10s %7.3f %10.2e %9s\n",
+		label, r.Dataset, sci(r.Comparisons), r.PC, r.PQ, dur(r.OTime))
+}
+
+// Table3 evaluates the four existing pruning schemes (CEP, CNP, WEP, WNP)
+// with the Original Edge Weighting of Algorithm 2, before (a-d left) and
+// after (a-d right) Block Filtering, averaged across all five weighting
+// schemes.
+func (s *Suite) Table3() (before, after []PruneResult) {
+	s.printf("\n=== Table 3: Existing pruning schemes (Original Edge Weighting), before and after Block Filtering ===\n")
+	for _, alg := range []core.Algorithm{core.CEP, core.CNP, core.WEP, core.WNP} {
+		s.printf("\n--- %v ---\n", alg)
+		s.prunePrintHeader()
+		for _, p := range s.Datasets() {
+			r := s.pruneAveraged(p, p.Original, alg, true)
+			before = append(before, r)
+			s.prunePrint("original", r)
+		}
+		for _, p := range s.Datasets() {
+			r := s.pruneAveraged(p, p.Filtered, alg, true)
+			after = append(after, r)
+			s.prunePrint("block-filtered", r)
+		}
+	}
+	return before, after
+}
+
+// Table5 reports the overhead time of the four existing pruning schemes
+// with Optimized Edge Weighting (Algorithm 3) on the filtered blocks.
+func (s *Suite) Table5() []PruneResult {
+	var out []PruneResult
+	s.printf("\n=== Table 5: OTime with Optimized Edge Weighting (after Block Filtering) ===\n")
+	s.printf("%-5s", "")
+	for _, p := range s.Datasets() {
+		s.printf(" %9s", p.Dataset.Name)
+	}
+	s.printf("\n")
+	for _, alg := range []core.Algorithm{core.CEP, core.CNP, core.WEP, core.WNP} {
+		s.printf("%-5v", alg)
+		for _, p := range s.Datasets() {
+			r := s.pruneAveraged(p, p.Filtered, alg, false)
+			out = append(out, r)
+			s.printf(" %9s", dur(r.OTime))
+		}
+		s.printf("\n")
+	}
+	return out
+}
+
+// Table4 evaluates the paper's new pruning schemes — Redefined and
+// Reciprocal CNP/WNP — on top of Block Filtering with Optimized Edge
+// Weighting, averaged across all weighting schemes.
+func (s *Suite) Table4() []PruneResult {
+	var out []PruneResult
+	s.printf("\n=== Table 4: Redefined and Reciprocal Node-centric Pruning (after Block Filtering) ===\n")
+	for _, alg := range []core.Algorithm{core.RedefinedCNP, core.ReciprocalCNP, core.RedefinedWNP, core.ReciprocalWNP} {
+		s.printf("\n--- %v ---\n", alg)
+		s.prunePrintHeader()
+		for _, p := range s.Datasets() {
+			r := s.pruneAveraged(p, p.Filtered, alg, false)
+			out = append(out, r)
+			s.prunePrint("", r)
+		}
+	}
+	return out
+}

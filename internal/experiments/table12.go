@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"time"
+
+	"metablocking/internal/block"
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+)
+
+// Table2Row holds one dataset's technical characteristics (paper Table 2).
+type Table2Row struct {
+	Name       string
+	Entities1  int // |E1| (or |E| for Dirty ER)
+	Entities2  int // |E2| (0 for Dirty ER)
+	Duplicates int // |D(E)|
+	Names      int // |N| distinct attribute names
+	Pairs      int // |P| name-value pairs
+	MeanPairs  float64
+	BruteForce int64 // ‖E‖
+	RTime      string
+}
+
+// Table2 reports the dataset characteristics.
+func (s *Suite) Table2() []Table2Row {
+	var rows []Table2Row
+	s.printf("\n=== Table 2: Technical characteristics of the entity collections ===\n")
+	s.printf("%-5s %9s %9s %9s %7s %10s %6s %12s %10s\n",
+		"", "|E1|", "|E2|", "|D(E)|", "|N|", "|P|", "|p̄|", "‖E‖", "RT(E)")
+	for _, p := range s.Datasets() {
+		c := p.Dataset.Collection
+		pairs, names := c.NamePairs(0, c.Size())
+		n1, n2 := c.Split, c.Size()-c.Split
+		if c.Task == entity.Dirty {
+			n1, n2 = c.Size(), 0
+		}
+		row := Table2Row{
+			Name:       p.Dataset.Name,
+			Entities1:  n1,
+			Entities2:  n2,
+			Duplicates: p.Dataset.GroundTruth.Size(),
+			Names:      names,
+			Pairs:      pairs,
+			MeanPairs:  float64(pairs) / float64(c.Size()),
+			BruteForce: c.BruteForceComparisons(),
+		}
+		row.RTime = dur(p.ResolutionTime(row.BruteForce, 0))
+		rows = append(rows, row)
+		s.printf("%-5s %9d %9d %9d %7d %10s %6.1f %12s %10s\n",
+			row.Name, row.Entities1, row.Entities2, row.Duplicates,
+			row.Names, sci(int64(row.Pairs)), row.MeanPairs,
+			sci(row.BruteForce), row.RTime)
+	}
+	return rows
+}
+
+// Table1Row holds one block collection's statistics (paper Table 1).
+type Table1Row struct {
+	Name        string
+	Blocks      int     // |B|
+	Comparisons int64   // ‖B‖
+	BPE         float64 // Σ|b| / |E|
+	PC, PQ, RR  float64
+	GraphOrder  int    // |VB|
+	GraphSize   int64  // |EB|
+	OTime       string // overhead of deriving the collection
+	RTime       string // OTime + matching over ‖B‖
+}
+
+// Table1 reports the original block collections (a) and the ones
+// restructured by Block Filtering with r=0.80 (b).
+func (s *Suite) Table1() (original, filtered []Table1Row) {
+	s.printf("\n=== Table 1(a): Original block collections (Token Blocking + Block Purging) ===\n")
+	s.table1Header()
+	for _, p := range s.Datasets() {
+		row := s.table1Row(p, p.Original, p.Dataset.Collection.BruteForceComparisons(), p.BlockingTime)
+		original = append(original, row)
+		s.table1Print(row)
+	}
+	s.printf("\n=== Table 1(b): After Block Filtering (r=%.2f) ===\n", FilterRatio)
+	s.table1Header()
+	for _, p := range s.Datasets() {
+		row := s.table1Row(p, p.Filtered, p.Original.Comparisons(), p.BlockingTime+p.FilteringTime)
+		filtered = append(filtered, row)
+		s.table1Print(row)
+	}
+	return original, filtered
+}
+
+func (s *Suite) table1Header() {
+	s.printf("%-5s %8s %10s %7s %7s %10s %7s %9s %10s %8s %9s\n",
+		"", "|B|", "‖B‖", "BPE", "PC", "PQ", "RR", "|VB|", "|EB|", "OTime", "RTime")
+}
+
+func (s *Suite) table1Row(p *Prepared, c *block.Collection, baseline int64, overhead time.Duration) Table1Row {
+	rep := p.EvaluateBlockCollection(c, baseline)
+	g := core.NewGraph(c, core.CBS)
+	row := Table1Row{
+		Name:        p.Dataset.Name,
+		Blocks:      c.Len(),
+		Comparisons: c.Comparisons(),
+		BPE:         c.BPE(),
+		PC:          rep.PC(),
+		PQ:          rep.PQ(),
+		RR:          rep.RR(),
+		GraphOrder:  g.NumNodes(),
+		GraphSize:   g.NumEdges(),
+		OTime:       dur(overhead),
+		RTime:       dur(p.ResolutionTime(c.Comparisons(), overhead)),
+	}
+	return row
+}
+
+func (s *Suite) table1Print(r Table1Row) {
+	s.printf("%-5s %8d %10s %7.2f %7.3f %10.2e %7.3f %9d %10s %8s %9s\n",
+		r.Name, r.Blocks, sci(r.Comparisons), r.BPE, r.PC, r.PQ, r.RR,
+		r.GraphOrder, sci(r.GraphSize), r.OTime, r.RTime)
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"time"
+
+	"metablocking/internal/blockproc"
+	"metablocking/internal/eval"
+)
+
+// BaselineResult is one baseline method's performance on one dataset.
+type BaselineResult struct {
+	Dataset     string
+	Method      string
+	Comparisons int64
+	PC, PQ      float64
+	OTime       time.Duration
+}
+
+// Table6 evaluates the baseline block-processing methods: Graph-free
+// Meta-blocking tuned for efficiency-intensive (r=0.25) and
+// effectiveness-intensive (r=0.55) applications, and Iterative Blocking
+// with an oracle matcher and smallest-first block ordering (§6.4).
+func (s *Suite) Table6() []BaselineResult {
+	var out []BaselineResult
+
+	run := func(label string, f func(p *Prepared) BaselineResult) {
+		s.printf("\n--- %s ---\n", label)
+		s.prunePrintHeader()
+		for _, p := range s.Datasets() {
+			r := f(p)
+			out = append(out, r)
+			s.prunePrint("", PruneResult{
+				Dataset:     r.Dataset,
+				Comparisons: r.Comparisons,
+				PC:          r.PC,
+				PQ:          r.PQ,
+				OTime:       r.OTime,
+			})
+		}
+	}
+
+	s.printf("\n=== Table 6: Baseline methods ===\n")
+	graphFree := func(ratio float64) func(p *Prepared) BaselineResult {
+		return func(p *Prepared) BaselineResult {
+			start := time.Now()
+			pairs := blockproc.GraphFreeMetaBlocking{Ratio: ratio}.Apply(p.Original)
+			otime := time.Since(start)
+			rep := eval.EvaluatePairs(pairs, p.Dataset.GroundTruth, p.Original.Comparisons())
+			return BaselineResult{
+				Dataset:     p.Dataset.Name,
+				Method:      "graph-free",
+				Comparisons: rep.Comparisons,
+				PC:          rep.PC(),
+				PQ:          rep.PQ(),
+				OTime:       otime,
+			}
+		}
+	}
+	run("(a) Efficiency-intensive Graph-free Meta-blocking (r=0.25)", graphFree(0.25))
+	run("(b) Effectiveness-intensive Graph-free Meta-blocking (r=0.55)", graphFree(0.55))
+	run("(c) Iterative Blocking", func(p *Prepared) BaselineResult {
+		start := time.Now()
+		res := blockproc.IterativeBlocking{
+			Matcher: blockproc.OracleMatcher{GT: p.Dataset.GroundTruth},
+		}.Run(p.Original)
+		otime := time.Since(start)
+		detected := len(res.Matches)
+		return BaselineResult{
+			Dataset:     p.Dataset.Name,
+			Method:      "iterative",
+			Comparisons: res.Comparisons,
+			PC:          float64(detected) / float64(p.Dataset.GroundTruth.Size()),
+			PQ:          float64(detected) / float64(res.Comparisons),
+			OTime:       otime,
+		}
+	})
+	return out
+}

@@ -1,0 +1,38 @@
+package incremental_test
+
+import (
+	"fmt"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+// Example streams three profiles: the third is a noisy duplicate of the
+// first and surfaces as its top candidate on arrival.
+func Example() {
+	resolver, err := incremental.NewResolver(incremental.Config{
+		Scheme: core.JS,
+		K:      3,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	add := func(name, value string) (entity.ID, []incremental.Candidate) {
+		var p entity.Profile
+		p.Add(name, value)
+		return resolver.Add(p)
+	}
+
+	add("name", "Jack Lloyd Miller")
+	add("name", "Erick Green")
+	id, candidates := add("fullname", "Jack Miller")
+
+	fmt.Printf("profile %d has %d candidate(s)\n", id, len(candidates))
+	fmt.Printf("top candidate: profile %d (weight %.2f)\n",
+		candidates[0].ID, candidates[0].Weight)
+	// Output:
+	// profile 2 has 1 candidate(s)
+	// top candidate: profile 0 (weight 0.67)
+}

@@ -1,0 +1,200 @@
+// Package incremental adapts Enhanced Meta-blocking to Incremental Entity
+// Resolution — the future-work direction the paper closes with (§7).
+//
+// A Resolver maintains a growing, schema-agnostic Token Blocking index.
+// Every arriving profile is blocked immediately and compared only against
+// a pruned set of candidate neighbors, derived from the same weighted
+// co-occurrence signal meta-blocking uses: the resolver scans the new
+// profile's blocks with the ScanCount technique of Algorithm 3, weights
+// each co-occurring profile, and keeps either the top-K candidates
+// (cardinality pruning, CNP-style) or the ones at or above the mean weight
+// (weight pruning, WNP-style). Oversized blocks are ignored while
+// gathering candidates, mirroring Block Purging.
+package incremental
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+)
+
+// Config tunes the incremental resolver.
+type Config struct {
+	// Scheme weights candidate edges. ARCS, CBS, ECBS and JS are
+	// supported; EJS requires global node degrees, which an incremental
+	// setting cannot maintain cheaply.
+	Scheme core.Scheme
+	// K, when positive, keeps the top-K weighted candidates per arriving
+	// profile (cardinality pruning). When zero, candidates at or above
+	// the mean weight of the neighborhood are kept (weight pruning).
+	K int
+	// MaxBlockSize ignores blocks with more members when collecting
+	// candidates — the incremental analogue of Block Purging. Zero
+	// defaults to 1000.
+	MaxBlockSize int
+	// MinTokenLength drops shorter tokens at blocking time.
+	MinTokenLength int
+}
+
+// Candidate is a pruned comparison suggestion for a newly added profile.
+type Candidate struct {
+	ID     entity.ID
+	Weight float64
+}
+
+// Resolver incrementally blocks profiles and emits pruned candidate
+// comparisons. It is not safe for concurrent use.
+type Resolver struct {
+	cfg Config
+
+	profiles []entity.Profile
+	// blocks maps token → member profile IDs, in arrival order.
+	blocks map[string][]entity.ID
+	// blocksOf[i] lists the tokens (block keys) of profile i.
+	blocksOf [][]string
+
+	// ScanCount scratch, grown on demand.
+	flags  []int64
+	epoch  int64
+	common []float64
+}
+
+// NewResolver validates the configuration and returns an empty resolver.
+func NewResolver(cfg Config) (*Resolver, error) {
+	if cfg.Scheme == core.EJS {
+		return nil, fmt.Errorf("incremental: EJS needs global node degrees; use ARCS, CBS, ECBS or JS")
+	}
+	if cfg.MaxBlockSize == 0 {
+		cfg.MaxBlockSize = 1000
+	}
+	return &Resolver{cfg: cfg, blocks: make(map[string][]entity.ID)}, nil
+}
+
+// Size returns the number of profiles resolved so far.
+func (r *Resolver) Size() int { return len(r.profiles) }
+
+// Profile returns a previously added profile.
+func (r *Resolver) Profile(id entity.ID) *entity.Profile { return &r.profiles[id] }
+
+// Add blocks the profile, assigns it the next ID, and returns the pruned
+// candidate comparisons against the profiles added before it, heaviest
+// first. A profile with no co-occurring predecessors yields no candidates.
+func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
+	id := entity.ID(len(r.profiles))
+	p.ID = id
+	r.profiles = append(r.profiles, p)
+	r.flags = append(r.flags, 0)
+	r.common = append(r.common, 0)
+
+	// Distinct tokens of the new profile, in first-appearance order.
+	seen := make(map[string]struct{})
+	var keys []string
+	for _, a := range p.Attributes {
+		for _, tok := range entity.Tokenize(a.Value) {
+			if len(tok) < r.cfg.MinTokenLength {
+				continue
+			}
+			if _, ok := seen[tok]; ok {
+				continue
+			}
+			seen[tok] = struct{}{}
+			keys = append(keys, tok)
+		}
+	}
+	r.blocksOf = append(r.blocksOf, keys)
+
+	// Gather weighted candidates from the profile's blocks BEFORE adding
+	// it to them (candidates are strictly older profiles).
+	candidates := r.collect(id, keys)
+
+	for _, k := range keys {
+		r.blocks[k] = append(r.blocks[k], id)
+	}
+	return id, candidates
+}
+
+// collect runs the ScanCount accumulation over the new profile's blocks
+// and applies the local pruning criterion.
+func (r *Resolver) collect(id entity.ID, keys []string) []Candidate {
+	r.epoch++
+	var neighbors []entity.ID
+	for _, k := range keys {
+		members := r.blocks[k]
+		if len(members) == 0 || len(members) > r.cfg.MaxBlockSize {
+			continue
+		}
+		inc := 1.0
+		if r.cfg.Scheme == core.ARCS {
+			// The block is about to gain the new profile; its
+			// cardinality for this comparison counts the new member.
+			n := int64(len(members)+1) * int64(len(members)) / 2
+			inc = 1 / float64(n)
+		}
+		for _, j := range members {
+			if r.flags[j] != r.epoch {
+				r.flags[j] = r.epoch
+				r.common[j] = 0
+				neighbors = append(neighbors, j)
+			}
+			r.common[j] += inc
+		}
+	}
+	if len(neighbors) == 0 {
+		return nil
+	}
+
+	out := make([]Candidate, 0, len(neighbors))
+	for _, j := range neighbors {
+		out = append(out, Candidate{ID: j, Weight: r.weight(id, j)})
+	}
+	if r.cfg.K > 0 {
+		sortCandidates(out)
+		if len(out) > r.cfg.K {
+			out = out[:r.cfg.K]
+		}
+		return out
+	}
+	var sum float64
+	for _, c := range out {
+		sum += c.Weight
+	}
+	mean := sum / float64(len(out))
+	kept := out[:0]
+	for _, c := range out {
+		if c.Weight >= mean {
+			kept = append(kept, c)
+		}
+	}
+	sortCandidates(kept)
+	return kept
+}
+
+// weight evaluates the configured scheme for the new profile i and an
+// older profile j, using the current (growing) block statistics.
+func (r *Resolver) weight(i, j entity.ID) float64 {
+	common := r.common[j]
+	bi, bj := len(r.blocksOf[i]), len(r.blocksOf[j])
+	switch r.cfg.Scheme {
+	case core.ARCS, core.CBS:
+		return common
+	case core.ECBS:
+		nb := float64(len(r.blocks)) + 1
+		return common * math.Log(nb/float64(bi)) * math.Log(nb/float64(bj))
+	case core.JS:
+		return common / (float64(bi) + float64(bj) - common)
+	default:
+		return common
+	}
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].Weight != cs[b].Weight {
+			return cs[a].Weight > cs[b].Weight
+		}
+		return cs[a].ID < cs[b].ID
+	})
+}

@@ -1,0 +1,170 @@
+package incremental
+
+import (
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/paperexample"
+)
+
+func mustResolver(t *testing.T, cfg Config) *Resolver {
+	t.Helper()
+	r, err := NewResolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRejectEJS(t *testing.T) {
+	if _, err := NewResolver(Config{Scheme: core.EJS}); err == nil {
+		t.Fatal("EJS must be rejected")
+	}
+}
+
+func TestAddAssignsSequentialIDs(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.JS})
+	c := paperexample.Collection()
+	for i := range c.Profiles {
+		id, _ := r.Add(c.Profiles[i])
+		if id != entity.ID(i) {
+			t.Fatalf("profile %d got ID %d", i, id)
+		}
+	}
+	if r.Size() != 6 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if got := r.Profile(2).Attributes[0].Value; got != "Jack Miller" {
+		t.Fatalf("Profile(2) = %q", got)
+	}
+}
+
+func TestFirstProfileHasNoCandidates(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.JS})
+	c := paperexample.Collection()
+	_, cands := r.Add(c.Profiles[0])
+	if len(cands) != 0 {
+		t.Fatalf("first profile got candidates %v", cands)
+	}
+}
+
+// TestPaperExampleStream streams the running example and checks that each
+// duplicate's partner is proposed when the later profile arrives — with
+// the strongest weight first.
+func TestPaperExampleStream(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.JS, K: 2})
+	c := paperexample.Collection()
+	candidatesOf := make(map[entity.ID][]Candidate)
+	for i := range c.Profiles {
+		id, cands := r.Add(c.Profiles[i])
+		candidatesOf[id] = cands
+	}
+	// p3 (ID 2) arrives after its duplicate p1 (ID 0): 0 must be its top
+	// candidate (they share jack and miller).
+	if cs := candidatesOf[2]; len(cs) == 0 || cs[0].ID != 0 {
+		t.Fatalf("p3's candidates = %v, want p1 first", cs)
+	}
+	// p4 (ID 3) arrives after p2 (ID 1): 1 must be among its top-2.
+	found := false
+	for _, c := range candidatesOf[3] {
+		if c.ID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("p4's candidates = %v, want p2 included", candidatesOf[3])
+	}
+}
+
+func TestCandidatesRespectK(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.CBS, K: 3})
+	// Ten profiles all sharing one token: each new arrival sees at most
+	// 3 candidates.
+	for i := 0; i < 10; i++ {
+		var p entity.Profile
+		p.Add("v", "shared")
+		_, cands := r.Add(p)
+		if len(cands) > 3 {
+			t.Fatalf("arrival %d got %d candidates", i, len(cands))
+		}
+		if i > 0 && len(cands) == 0 {
+			t.Fatalf("arrival %d got no candidates", i)
+		}
+	}
+}
+
+func TestWeightPruningKeepsAboveMean(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.CBS}) // K=0 → mean threshold
+	mk := func(value string) entity.Profile {
+		var p entity.Profile
+		p.Add("v", value)
+		return p
+	}
+	r.Add(mk("aaa bbb ccc"))
+	r.Add(mk("xxx yyy"))
+	// Shares 3 tokens with profile 0 and none with profile 1.
+	_, cands := r.Add(mk("aaa bbb ccc"))
+	if len(cands) != 1 || cands[0].ID != 0 {
+		t.Fatalf("candidates = %v, want only profile 0", cands)
+	}
+}
+
+func TestMaxBlockSizeSkipsOversized(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.CBS, MaxBlockSize: 2})
+	mk := func(value string) entity.Profile {
+		var p entity.Profile
+		p.Add("v", value)
+		return p
+	}
+	r.Add(mk("stop common"))
+	r.Add(mk("stop other"))
+	r.Add(mk("stop more"))
+	// "stop" now has 3 members > MaxBlockSize → ignored; the new profile
+	// shares only "stop" and must get no candidates.
+	_, cands := r.Add(mk("stop unique"))
+	if len(cands) != 0 {
+		t.Fatalf("oversized block leaked candidates: %v", cands)
+	}
+}
+
+// TestStreamRecall streams a synthetic Dirty dataset and measures how many
+// duplicate pairs were proposed when their second member arrived. The
+// pruned candidate stream must preserve most of the recall of full Token
+// Blocking (which is ~0.99 on this data).
+func TestStreamRecall(t *testing.T) {
+	ds := datagen.D1D(0.1)
+	r := mustResolver(t, Config{Scheme: core.JS, K: 10})
+	detected := 0
+	for i := range ds.Collection.Profiles {
+		id, cands := r.Add(ds.Collection.Profiles[i])
+		for _, c := range cands {
+			if ds.GroundTruth.Contains(id, c.ID) {
+				detected++
+			}
+		}
+	}
+	recall := float64(detected) / float64(ds.GroundTruth.Size())
+	if recall < 0.9 {
+		t.Fatalf("incremental recall = %.3f, want ≥ 0.9", recall)
+	}
+	t.Logf("incremental recall %.3f with K=10", recall)
+}
+
+// TestSchemesProduceWeights sanity-checks each supported scheme.
+func TestSchemesProduceWeights(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.ARCS, core.CBS, core.ECBS, core.JS} {
+		r := mustResolver(t, Config{Scheme: scheme})
+		mk := func(value string) entity.Profile {
+			var p entity.Profile
+			p.Add("v", value)
+			return p
+		}
+		r.Add(mk("alpha beta"))
+		_, cands := r.Add(mk("alpha beta"))
+		if len(cands) != 1 || cands[0].Weight <= 0 {
+			t.Fatalf("%v: candidates = %v", scheme, cands)
+		}
+	}
+}

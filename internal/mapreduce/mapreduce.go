@@ -1,0 +1,124 @@
+// Package mapreduce is a small, generic, in-memory MapReduce engine:
+// goroutine-parallel map tasks, hash-partitioned shuffle, and parallel
+// reduce tasks. It exists to express the MapReduce formulation of
+// meta-blocking (the scaling strategy of the paper's ref [20] lineage,
+// "Beyond 100 million entities") inside this repository without external
+// infrastructure; see the sibling package mrmeta for the jobs.
+package mapreduce
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+)
+
+// Mapper transforms one input into zero or more key–value pairs.
+type Mapper[I any, K comparable, V any] func(input I, emit func(K, V))
+
+// Reducer folds all values of one key into zero or more outputs.
+type Reducer[K comparable, V, O any] func(key K, values []V, emit func(O))
+
+// Config tunes a job run.
+type Config struct {
+	// Mappers is the number of concurrent map tasks (0 = GOMAXPROCS).
+	Mappers int
+	// Partitions is the number of shuffle partitions and concurrent
+	// reduce tasks (0 = GOMAXPROCS).
+	Partitions int
+}
+
+func (c Config) mappers() int {
+	if c.Mappers > 0 {
+		return c.Mappers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) partitions() int {
+	if c.Partitions > 0 {
+		return c.Partitions
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes one MapReduce job over the inputs. Output order is
+// unspecified (callers needing determinism sort the result); within one
+// key, values arrive at the reducer in a deterministic order only if the
+// map phase is deterministic per input and Mappers == 1 — reducers must
+// therefore be commutative-associative folds, the standard MapReduce
+// contract.
+func Run[I any, K comparable, V, O any](inputs []I, m Mapper[I, K, V], r Reducer[K, V, O], cfg Config) []O {
+	numMappers := cfg.mappers()
+	numParts := cfg.partitions()
+	seed := maphash.MakeSeed()
+
+	// Map phase: each mapper writes into its own set of per-partition
+	// buckets — no locks on the hot path.
+	type bucket map[K][]V
+	perMapper := make([][]bucket, numMappers)
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + numMappers - 1) / numMappers
+	for w := 0; w < numMappers; w++ {
+		lo := w * chunk
+		if lo >= len(inputs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		buckets := make([]bucket, numParts)
+		for p := range buckets {
+			buckets[p] = make(bucket)
+		}
+		perMapper[w] = buckets
+		wg.Add(1)
+		go func(lo, hi int, buckets []bucket) {
+			defer wg.Done()
+			emit := func(k K, v V) {
+				p := int(maphash.Comparable(seed, k) % uint64(numParts))
+				buckets[p][k] = append(buckets[p][k], v)
+			}
+			for i := lo; i < hi; i++ {
+				m(inputs[i], emit)
+			}
+		}(lo, hi, buckets)
+	}
+	wg.Wait()
+
+	// Shuffle + reduce: each partition merges its buckets from every
+	// mapper and reduces, in parallel.
+	outs := make([][]O, numParts)
+	for p := 0; p < numParts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			merged := make(map[K][]V)
+			for _, buckets := range perMapper {
+				if buckets == nil {
+					continue
+				}
+				for k, vs := range buckets[p] {
+					merged[k] = append(merged[k], vs...)
+				}
+			}
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for k, vs := range merged {
+				r(k, vs, emit)
+			}
+			outs[p] = out
+		}(p)
+	}
+	wg.Wait()
+
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	result := make([]O, 0, total)
+	for _, o := range outs {
+		result = append(result, o...)
+	}
+	return result
+}

@@ -1,0 +1,102 @@
+package mapreduce
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+type wordCount struct {
+	word  string
+	count int
+}
+
+func runWordCount(t *testing.T, docs []string, cfg Config) []wordCount {
+	t.Helper()
+	out := Run(docs,
+		func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		func(word string, counts []int, emit func(wordCount)) {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			emit(wordCount{word: word, count: total})
+		},
+		cfg)
+	sort.Slice(out, func(i, j int) bool { return out[i].word < out[j].word })
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a"}
+	want := []wordCount{{"a", 3}, {"b", 2}, {"c", 1}}
+	for _, cfg := range []Config{
+		{},
+		{Mappers: 1, Partitions: 1},
+		{Mappers: 4, Partitions: 3},
+		{Mappers: 16, Partitions: 7},
+	} {
+		got := runWordCount(t, docs, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("cfg %+v: got %v", cfg, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cfg %+v: got %v, want %v", cfg, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	got := runWordCount(t, nil, Config{})
+	if len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+}
+
+func TestMoreMappersThanInputs(t *testing.T) {
+	got := runWordCount(t, []string{"solo"}, Config{Mappers: 8, Partitions: 8})
+	if len(got) != 1 || got[0] != (wordCount{"solo", 1}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestLargeShuffle checks correctness under real concurrency: many inputs,
+// many keys, hash-partitioned across mappers and reducers.
+func TestLargeShuffle(t *testing.T) {
+	inputs := make([]int, 5000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	type sums struct {
+		key int
+		sum int
+	}
+	out := Run(inputs,
+		func(n int, emit func(int, int)) {
+			emit(n%97, n) // 97 keys
+		},
+		func(key int, values []int, emit func(sums)) {
+			total := 0
+			for _, v := range values {
+				total += v
+			}
+			emit(sums{key: key, sum: total})
+		},
+		Config{Mappers: 8, Partitions: 5})
+	if len(out) != 97 {
+		t.Fatalf("keys = %d, want 97", len(out))
+	}
+	var grand int
+	for _, s := range out {
+		grand += s.sum
+	}
+	if want := 5000 * 4999 / 2; grand != want {
+		t.Fatalf("grand sum = %d, want %d", grand, want)
+	}
+}

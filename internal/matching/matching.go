@@ -1,0 +1,108 @@
+// Package matching implements the entity-matching stage that the paper
+// treats as orthogonal to blocking (§3): the Jaccard similarity of all
+// value tokens of two profiles, used to estimate Resolution Time, plus the
+// equivalence clustering of matched pairs.
+package matching
+
+import (
+	"sort"
+
+	"metablocking/internal/entity"
+)
+
+// JaccardMatcher compares profiles by the Jaccard similarity of their
+// value-token sets. Token sets are precomputed per profile so repeated
+// comparisons cost only the merge of two sorted slices. It is safe for
+// concurrent use after construction.
+type JaccardMatcher struct {
+	// Threshold is the minimum similarity for a match.
+	Threshold float64
+	tokens    [][]string
+}
+
+// NewJaccardMatcher precomputes the sorted distinct token lists of every
+// profile in the collection.
+func NewJaccardMatcher(c *entity.Collection, threshold float64) *JaccardMatcher {
+	m := &JaccardMatcher{Threshold: threshold, tokens: make([][]string, c.Size())}
+	for i := range c.Profiles {
+		set := c.Profiles[i].TokenSet()
+		list := make([]string, 0, len(set))
+		for t := range set {
+			list = append(list, t)
+		}
+		sort.Strings(list)
+		m.tokens[i] = list
+	}
+	return m
+}
+
+// Similarity returns the Jaccard similarity of the token sets of the two
+// profiles.
+func (m *JaccardMatcher) Similarity(a, b entity.ID) float64 {
+	ta, tb := m.tokens[a], m.tokens[b]
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	common, i, j := 0, 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch {
+		case ta[i] < tb[j]:
+			i++
+		case ta[i] > tb[j]:
+			j++
+		default:
+			common++
+			i++
+			j++
+		}
+	}
+	return float64(common) / float64(len(ta)+len(tb)-common)
+}
+
+// Match implements blockproc.Matcher.
+func (m *JaccardMatcher) Match(a, b entity.ID) bool {
+	return m.Similarity(a, b) >= m.Threshold
+}
+
+// Cluster groups matched pairs into equivalence clusters via transitive
+// closure — the output of Dirty ER (§3). Clusters are returned sorted by
+// their smallest member, singletons omitted.
+func Cluster(numEntities int, matches []entity.Pair) [][]entity.ID {
+	parent := make([]entity.ID, numEntities)
+	for i := range parent {
+		parent[i] = entity.ID(i)
+	}
+	var find func(entity.ID) entity.ID
+	find = func(x entity.ID) entity.ID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range matches {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	groups := make(map[entity.ID][]entity.ID)
+	for i := range parent {
+		id := entity.ID(i)
+		groups[find(id)] = append(groups[find(id)], id)
+	}
+	var out [][]entity.ID
+	for root, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		_ = root
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,274 @@
+// Package mrmeta expresses meta-blocking as MapReduce jobs over the
+// in-memory engine of package mapreduce — the formulation the paper's
+// ref [20] lineage uses to scale blocking-based ER beyond one machine.
+//
+// Job 1 (entity index): map blocks → (entity, block id); reduce → block
+// lists. Job 2 (edge weighting): map blocks → (pair, contribution); reduce
+// → edge weights, using the broadcast entity statistics of job 1. The
+// driver then applies an edge-centric pruning criterion (WEP's mean
+// threshold or CEP's top-K) over the weighted edges.
+//
+// Outputs are validated against the sequential core implementation in the
+// tests; the point of this package is the faithful distributed
+// formulation, not raw speed (the in-memory engine pays shuffle
+// materialization costs the sequential traversals avoid).
+package mrmeta
+
+import (
+	"math"
+	"sort"
+
+	"metablocking/internal/block"
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/mapreduce"
+)
+
+// blockInput is one map input of either job: a block with its positional
+// ID.
+type blockInput struct {
+	id  int32
+	blk *block.Block
+	// comparisons caches ‖b‖ for ARCS contributions.
+	comparisons int64
+	clean       bool
+}
+
+// WeightedEdge is one output of the edge-weighting job.
+type WeightedEdge struct {
+	Pair   entity.Pair
+	Weight float64
+}
+
+// Job holds the broadcast state shared by all tasks: the input blocks and
+// the entity statistics (block lists per entity) produced by job 1.
+type Job struct {
+	blocks *block.Collection
+	scheme core.Scheme
+	cfg    mapreduce.Config
+
+	// blocksPerEntity is |Bi| per entity (job 1 output).
+	blocksPerEntity []int32
+	numBlocks       float64
+	nodes           float64
+}
+
+// numNodes lazily counts |VB| — the entities appearing in ≥1 block.
+func (j *Job) numNodes() float64 {
+	if j.nodes == 0 {
+		for _, n := range j.blocksPerEntity {
+			if n > 0 {
+				j.nodes++
+			}
+		}
+	}
+	return j.nodes
+}
+
+// NewJob prepares the broadcast state by running the entity-index job.
+func NewJob(c *block.Collection, scheme core.Scheme, cfg mapreduce.Config) *Job {
+	j := &Job{blocks: c, scheme: scheme, cfg: cfg, numBlocks: float64(c.Len())}
+	j.blocksPerEntity = j.runIndexJob()
+	return j
+}
+
+// runIndexJob is job 1: entity → |Bi| via map(block) → (entity, 1),
+// reduce(entity, ones) → count.
+func (j *Job) runIndexJob() []int32 {
+	type indexOut struct {
+		id    entity.ID
+		count int32
+	}
+	inputs := j.inputs()
+	outs := mapreduce.Run(inputs,
+		func(in blockInput, emit func(entity.ID, int32)) {
+			for _, id := range in.blk.E1 {
+				emit(id, 1)
+			}
+			for _, id := range in.blk.E2 {
+				emit(id, 1)
+			}
+		},
+		func(id entity.ID, ones []int32, emit func(indexOut)) {
+			var n int32
+			for _, v := range ones {
+				n += v
+			}
+			emit(indexOut{id: id, count: n})
+		},
+		j.cfg)
+	counts := make([]int32, j.blocks.NumEntities)
+	for _, o := range outs {
+		counts[o.id] = o.count
+	}
+	return counts
+}
+
+func (j *Job) inputs() []blockInput {
+	clean := j.blocks.Task == entity.CleanClean
+	inputs := make([]blockInput, j.blocks.Len())
+	for i := range j.blocks.Blocks {
+		b := &j.blocks.Blocks[i]
+		inputs[i] = blockInput{
+			id:          int32(i),
+			blk:         b,
+			comparisons: b.Comparisons(),
+			clean:       clean,
+		}
+	}
+	return inputs
+}
+
+// WeightedEdges is job 2: map every block to its comparisons' (pair,
+// contribution) and reduce each pair's contributions into the edge weight.
+// The map side emits every comparison, including redundant repetitions —
+// the reduce side's aggregate equals |Bij| (or Σ 1/‖b‖), exactly the
+// statistic the weighting schemes need, so no LeCoBI test is required.
+func (j *Job) WeightedEdges() []WeightedEdge {
+	// EJS needs node degrees, which require one more aggregation: degree
+	// = number of distinct neighbors. Derive it from the pair keys after
+	// the main shuffle instead of a third job.
+	edges := mapreduce.Run(j.inputs(),
+		func(in blockInput, emit func(entity.Pair, float64)) {
+			contribution := 1.0
+			if j.scheme == core.ARCS && in.comparisons > 0 {
+				contribution = 1 / float64(in.comparisons)
+			}
+			if in.clean {
+				for _, a := range in.blk.E1 {
+					for _, b := range in.blk.E2 {
+						emit(entity.MakePair(a, b), contribution)
+					}
+				}
+				return
+			}
+			ids := in.blk.E1
+			for x := 0; x < len(ids); x++ {
+				for y := x + 1; y < len(ids); y++ {
+					emit(entity.MakePair(ids[x], ids[y]), contribution)
+				}
+			}
+		},
+		func(p entity.Pair, contributions []float64, emit func(WeightedEdge)) {
+			// Contributions arrive in shuffle order; sort before folding
+			// so the aggregate is deterministic (float addition is not
+			// associative). Only ARCS has non-uniform contributions.
+			sort.Float64s(contributions)
+			var sum float64
+			for _, c := range contributions {
+				sum += c
+			}
+			emit(WeightedEdge{Pair: p, Weight: sum}) // finalized below
+		},
+		j.cfg)
+
+	var degrees []int32
+	if j.scheme.NeedsDegrees() {
+		degrees = make([]int32, j.blocks.NumEntities)
+		for _, e := range edges {
+			degrees[e.Pair.A]++
+			degrees[e.Pair.B]++
+		}
+	}
+	for i := range edges {
+		edges[i].Weight = j.finalize(edges[i].Pair, edges[i].Weight, degrees)
+	}
+	return edges
+}
+
+// finalize turns the aggregated co-occurrence statistic into the scheme's
+// weight, mirroring core's weight formulas.
+func (j *Job) finalize(p entity.Pair, agg float64, degrees []int32) float64 {
+	bi := float64(j.blocksPerEntity[p.A])
+	bj := float64(j.blocksPerEntity[p.B])
+	var di, dj float64
+	if degrees != nil {
+		di, dj = float64(degrees[p.A]), float64(degrees[p.B])
+	}
+	// Canonicalize operand pairs exactly as core.weightContext.weight does,
+	// so the (non-associative) float products come out bit-identical.
+	if bi > bj || (bi == bj && di > dj) {
+		bi, bj = bj, bi
+		di, dj = dj, di
+	}
+	switch j.scheme {
+	case core.ARCS, core.CBS:
+		return agg
+	case core.ECBS:
+		return agg * math.Log(j.numBlocks/bi) * math.Log(j.numBlocks/bj)
+	case core.JS:
+		return agg / (bi + bj - agg)
+	case core.EJS:
+		js := agg / (bi + bj - agg)
+		return js * math.Log(j.numNodes()/di) * math.Log(j.numNodes()/dj)
+	default:
+		return agg
+	}
+}
+
+// WEP prunes the weighted edges at the global mean (Weighted Edge
+// Pruning), returning the retained pairs in canonical order.
+func (j *Job) WEP() []entity.Pair {
+	edges := j.WeightedEdges()
+	if len(edges) == 0 {
+		return nil
+	}
+	// Order-insensitive (sorted) mean, bit-identical to core's threshold
+	// when the per-edge weights are.
+	weights := make([]float64, len(edges))
+	for i, e := range edges {
+		weights[i] = e.Weight
+	}
+	sort.Float64s(weights)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	mean := sum / float64(len(weights))
+	var out []entity.Pair
+	for _, e := range edges {
+		if e.Weight >= mean {
+			out = append(out, e.Pair)
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// CEP retains the globally top-K weighted edges, K = ⌊Σ|b|/2⌋, with the
+// same canonical tie-breaking as the core implementation.
+func (j *Job) CEP() []entity.Pair {
+	k := int(j.blocks.Assignments() / 2)
+	edges := j.WeightedEdges()
+	if k <= 0 || len(edges) == 0 {
+		return nil
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		ea, eb := edges[a], edges[b]
+		if ea.Weight != eb.Weight {
+			return ea.Weight > eb.Weight
+		}
+		if ea.Pair.A != eb.Pair.A {
+			return ea.Pair.A < eb.Pair.A
+		}
+		return ea.Pair.B < eb.Pair.B
+	})
+	if k > len(edges) {
+		k = len(edges)
+	}
+	out := make([]entity.Pair, 0, k)
+	for _, e := range edges[:k] {
+		out = append(out, e.Pair)
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(pairs []entity.Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+}

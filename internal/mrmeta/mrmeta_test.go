@@ -1,0 +1,181 @@
+package mrmeta
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"metablocking/internal/block"
+	"metablocking/internal/blocking"
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/mapreduce"
+	"metablocking/internal/paperexample"
+)
+
+// TestWeightedEdgesMatchCore: the MapReduce edge-weighting job must derive
+// the same graph as the sequential traversals, for every scheme and both
+// ER tasks.
+func TestWeightedEdgesMatchCore(t *testing.T) {
+	inputs := map[string]func() *block.Collection{
+		"example": func() *block.Collection {
+			return blocking.TokenBlocking{}.Build(paperexample.Collection())
+		},
+		"cleanclean": func() *block.Collection {
+			ds := datagen.D1C(0.02)
+			return blocking.TokenBlocking{}.Build(ds.Collection)
+		},
+	}
+	for name, mk := range inputs {
+		for _, scheme := range core.AllSchemes {
+			blocks := mk()
+			want := make(map[entity.Pair]float64)
+			core.NewGraph(blocks, scheme).ForEachEdge(func(i, j entity.ID, w float64) {
+				want[entity.MakePair(i, j)] = w
+			})
+
+			job := NewJob(blocks, scheme, mapreduce.Config{Mappers: 4, Partitions: 3})
+			edges := job.WeightedEdges()
+			if len(edges) != len(want) {
+				t.Fatalf("%s/%v: %d edges, want %d", name, scheme, len(edges), len(want))
+			}
+			for _, e := range edges {
+				w, ok := want[e.Pair]
+				if !ok {
+					t.Fatalf("%s/%v: unexpected edge %v", name, scheme, e.Pair)
+				}
+				if math.Abs(w-e.Weight) > 1e-9 {
+					t.Fatalf("%s/%v: edge %v weight %v, want %v", name, scheme, e.Pair, e.Weight, w)
+				}
+			}
+		}
+	}
+}
+
+// assertSetsMatch compares retained-pair sets. For ARCS the per-edge
+// aggregates (Σ 1/‖b‖) are summed in different orders by the sequential
+// and the MapReduce implementations, so weights — and hence threshold
+// decisions on boundary edges — may differ in the last ulp; a tiny
+// symmetric difference is tolerated there. All other schemes have
+// bit-identical weights and must match exactly.
+func assertSetsMatch(t *testing.T, label string, scheme core.Scheme, got, want []entity.Pair) {
+	t.Helper()
+	if reflect.DeepEqual(got, want) {
+		return
+	}
+	if scheme != core.ARCS {
+		t.Fatalf("%s: MapReduce (%d pairs) ≠ core (%d pairs)", label, len(got), len(want))
+	}
+	gotSet := make(map[entity.Pair]struct{}, len(got))
+	for _, p := range got {
+		gotSet[p] = struct{}{}
+	}
+	wantSet := make(map[entity.Pair]struct{}, len(want))
+	for _, p := range want {
+		wantSet[p] = struct{}{}
+	}
+	diff := 0
+	for p := range gotSet {
+		if _, ok := wantSet[p]; !ok {
+			diff++
+		}
+	}
+	for p := range wantSet {
+		if _, ok := gotSet[p]; !ok {
+			diff++
+		}
+	}
+	limit := 2 + len(want)/200 // ≤ 0.5% boundary flips
+	if diff > limit {
+		t.Fatalf("%s: ARCS symmetric difference %d exceeds %d (%d vs %d pairs)",
+			label, diff, limit, len(got), len(want))
+	}
+}
+
+// TestWEPMatchesCore validates the distributed WEP against the sequential
+// one.
+func TestWEPMatchesCore(t *testing.T) {
+	blocks := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	for _, scheme := range core.AllSchemes {
+		want := core.NewGraph(blocks, scheme).Prune(core.WEP)
+		sortPairs(want)
+		got := NewJob(blocks, scheme, mapreduce.Config{}).WEP()
+		assertSetsMatch(t, "WEP/"+scheme.String(), scheme, got, want)
+	}
+}
+
+// TestCEPMatchesCore validates the distributed CEP.
+func TestCEPMatchesCore(t *testing.T) {
+	ds := datagen.D1D(0.02)
+	blocks := blocking.TokenBlocking{}.Build(ds.Collection)
+	for _, scheme := range []core.Scheme{core.JS, core.ARCS} {
+		want := core.NewGraph(blocks, scheme).Prune(core.CEP)
+		sortPairs(want)
+		got := NewJob(blocks, scheme, mapreduce.Config{Mappers: 3, Partitions: 4}).CEP()
+		assertSetsMatch(t, "CEP/"+scheme.String(), scheme, got, want)
+	}
+}
+
+// TestJobDeterministicAcrossConfigs: results do not depend on mapper or
+// partition counts.
+func TestJobDeterministicAcrossConfigs(t *testing.T) {
+	blocks := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	ref := NewJob(blocks, core.JS, mapreduce.Config{Mappers: 1, Partitions: 1}).WEP()
+	for _, cfg := range []mapreduce.Config{
+		{Mappers: 2, Partitions: 2},
+		{Mappers: 8, Partitions: 5},
+	} {
+		got := NewJob(blocks, core.JS, cfg).WEP()
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("cfg %+v changed the result", cfg)
+		}
+	}
+}
+
+// TestIndexJobCounts: job 1 reproduces |Bi| for every entity.
+func TestIndexJobCounts(t *testing.T) {
+	blocks := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	job := NewJob(blocks, core.CBS, mapreduce.Config{})
+	// Paper example: |B1|=3, |B2|=3, |B3|=5, |B4|=4, |B5|=2, |B6|=1.
+	want := []int32{3, 3, 5, 4, 2, 1}
+	for id, w := range want {
+		if got := job.blocksPerEntity[id]; got != w {
+			t.Errorf("|B%d| = %d, want %d", id+1, got, w)
+		}
+	}
+}
+
+// TestNodeCentricMatchesCore validates the MapReduce node-centric
+// formulations against the sequential implementations across schemes,
+// algorithms and both ER tasks.
+func TestNodeCentricMatchesCore(t *testing.T) {
+	ds := datagen.D1C(0.02)
+	inputs := map[string]*block.Collection{
+		"example":    blocking.TokenBlocking{}.Build(paperexample.Collection()),
+		"cleanclean": blocking.TokenBlocking{}.Build(ds.Collection),
+	}
+	algorithms := []core.Algorithm{
+		core.RedefinedWNP, core.ReciprocalWNP, core.RedefinedCNP, core.ReciprocalCNP,
+	}
+	for name, blocks := range inputs {
+		for _, scheme := range core.AllSchemes {
+			for _, alg := range algorithms {
+				want := core.NewGraph(blocks, scheme).Prune(alg)
+				sortPairs(want)
+				got := NewJob(blocks, scheme, mapreduce.Config{Mappers: 3, Partitions: 2}).Prune(alg)
+				assertSetsMatch(t, name+"/"+scheme.String()+"/"+alg.String(), scheme, got, want)
+			}
+		}
+	}
+}
+
+func TestPruneRejectsUnsupported(t *testing.T) {
+	blocks := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unsupported algorithm")
+		}
+	}()
+	NewJob(blocks, core.JS, mapreduce.Config{}).Prune(core.WNP)
+}

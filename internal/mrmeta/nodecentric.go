@@ -1,0 +1,147 @@
+package mrmeta
+
+import (
+	"sort"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/mapreduce"
+)
+
+// Node-centric pruning as MapReduce: the "entity-based strategy" of the
+// parallel meta-blocking literature. One job groups each node's incident
+// weighted edges (reusing the edge-weighting job's output as map input)
+// and emits the locally retained directed edges; a second aggregation
+// resolves the Redefined (OR) or Reciprocal (AND) semantics per pair.
+
+// directedMark is one node's vote for a pair: bit 1 when the smaller
+// endpoint retained it, bit 2 when the larger one did.
+type directedMark struct {
+	pair entity.Pair
+	bit  uint8
+}
+
+// nodeCentric runs WNP- or CNP-style local pruning over the weighted
+// edges and combines the directed votes.
+func (j *Job) nodeCentric(cardinality bool, reciprocal bool) []entity.Pair {
+	edges := j.WeightedEdges()
+
+	// Job: group by node — every edge is input to both endpoints'
+	// neighborhoods.
+	type adj struct {
+		other  entity.ID
+		weight float64
+	}
+	k := 0
+	if cardinality {
+		k = int(j.blocks.Assignments())/j.blocks.NumEntities - 1
+		if k < 1 {
+			k = 1
+		}
+	}
+	marks := mapreduce.Run(edges,
+		func(e WeightedEdge, emit func(entity.ID, adj)) {
+			emit(e.Pair.A, adj{other: e.Pair.B, weight: e.Weight})
+			emit(e.Pair.B, adj{other: e.Pair.A, weight: e.Weight})
+		},
+		func(node entity.ID, neighborhood []adj, emit func(directedMark)) {
+			var retained []adj
+			if cardinality {
+				// Top-k by (weight, canonical pair) — the same total
+				// order as the sequential heap.
+				sort.Slice(neighborhood, func(a, b int) bool {
+					na, nb := neighborhood[a], neighborhood[b]
+					if na.weight != nb.weight {
+						return na.weight > nb.weight
+					}
+					pa := entity.MakePair(node, na.other)
+					pb := entity.MakePair(node, nb.other)
+					if pa.A != pb.A {
+						return pa.A < pb.A
+					}
+					return pa.B < pb.B
+				})
+				if len(neighborhood) > k {
+					retained = neighborhood[:k]
+				} else {
+					retained = neighborhood
+				}
+			} else {
+				// Order-insensitive mean, matching core's: values arrive
+				// in shuffle order, and float addition is not
+				// associative, so the fold must fix its own order.
+				weights := make([]float64, len(neighborhood))
+				for i, a := range neighborhood {
+					weights[i] = a.weight
+				}
+				sort.Float64s(weights)
+				var sum float64
+				for _, w := range weights {
+					sum += w
+				}
+				mean := sum / float64(len(weights))
+				for _, a := range neighborhood {
+					if a.weight >= mean {
+						retained = append(retained, a)
+					}
+				}
+			}
+			for _, a := range retained {
+				p := entity.MakePair(node, a.other)
+				bit := uint8(1)
+				if node > a.other {
+					bit = 2
+				}
+				emit(directedMark{pair: p, bit: bit})
+			}
+		},
+		j.cfg)
+
+	// Aggregate votes per pair (OR → any bit, AND → both bits).
+	votes := make(map[entity.Pair]uint8, len(marks))
+	for _, m := range marks {
+		votes[m.pair] |= m.bit
+	}
+	var out []entity.Pair
+	for p, bits := range votes {
+		if reciprocal && bits != 3 {
+			continue
+		}
+		out = append(out, p)
+	}
+	sortPairs(out)
+	return out
+}
+
+// RedefinedWNP runs Weighted Node Pruning with OR semantics (Alg. 5).
+func (j *Job) RedefinedWNP() []entity.Pair { return j.nodeCentric(false, false) }
+
+// ReciprocalWNP runs Weighted Node Pruning with AND semantics (§5.2).
+func (j *Job) ReciprocalWNP() []entity.Pair { return j.nodeCentric(false, true) }
+
+// RedefinedCNP runs Cardinality Node Pruning with OR semantics (Alg. 4).
+func (j *Job) RedefinedCNP() []entity.Pair { return j.nodeCentric(true, false) }
+
+// ReciprocalCNP runs Cardinality Node Pruning with AND semantics (§5.2).
+func (j *Job) ReciprocalCNP() []entity.Pair { return j.nodeCentric(true, true) }
+
+// Prune dispatches a subset of core's algorithms to their MapReduce
+// formulations.
+func (j *Job) Prune(a core.Algorithm) []entity.Pair {
+	switch a {
+	case core.WEP:
+		return j.WEP()
+	case core.CEP:
+		return j.CEP()
+	case core.RedefinedWNP:
+		return j.RedefinedWNP()
+	case core.ReciprocalWNP:
+		return j.ReciprocalWNP()
+	case core.RedefinedCNP:
+		return j.RedefinedCNP()
+	case core.ReciprocalCNP:
+		return j.ReciprocalCNP()
+	default:
+		panic("mrmeta: algorithm has no MapReduce formulation: " + a.String())
+	}
+}

@@ -1,0 +1,78 @@
+// Package paperexample provides the running example of the paper
+// (Figures 1, 2, 5, 6, 8, 9) as a reusable test fixture: six entity
+// profiles whose Token Blocking yields exactly the eight blocks of
+// Figure 1(b) and whose JS-weighted blocking graph is Figure 2(a).
+package paperexample
+
+import "metablocking/internal/entity"
+
+// Profile indices (p1..p6 of the paper map to IDs 0..5).
+const (
+	P1 entity.ID = iota
+	P2
+	P3
+	P4
+	P5
+	P6
+)
+
+// Collection returns the six profiles of Figure 1(a) as a Dirty ER
+// collection. p1≡p3 and p2≡p4 are the duplicates.
+func Collection() *entity.Collection {
+	mk := func(pairs ...string) entity.Profile {
+		var p entity.Profile
+		for i := 0; i+1 < len(pairs); i += 2 {
+			p.Add(pairs[i], pairs[i+1])
+		}
+		return p
+	}
+	return entity.NewDirty([]entity.Profile{
+		mk("FullName", "Jack Lloyd Miller", "job", "autoseller"),
+		mk("name", "Erick Green", "profession", "vehicle vendor"),
+		mk("fullname", "Jack Miller", "Work", "car vendor-seller"),
+		mk("name", "Erick Lloyd Green", "profession", "car trader"),
+		mk("Fullname", "James Jordan", "job", "car seller"),
+		mk("name", "Nick Papas", "profession", "car dealer"),
+	})
+}
+
+// GroundTruth returns the duplicates of the example: p1≡p3, p2≡p4.
+func GroundTruth() *entity.GroundTruth {
+	return entity.NewGroundTruth([]entity.Pair{
+		entity.MakePair(P1, P3),
+		entity.MakePair(P2, P4),
+	})
+}
+
+// Blocks lists the expected Token Blocking output of Figure 1(b):
+// blocking key → member profiles (in ID order). The keys are lower-cased
+// tokens appearing in at least two profiles.
+func Blocks() map[string][]entity.ID {
+	return map[string][]entity.ID{
+		"jack":   {P1, P3},
+		"miller": {P1, P3},
+		"erick":  {P2, P4},
+		"green":  {P2, P4},
+		"vendor": {P2, P3},
+		"seller": {P3, P5},
+		"lloyd":  {P1, P4},
+		"car":    {P3, P4, P5, P6},
+	}
+}
+
+// JSWeights lists the expected Jaccard edge weights of the blocking graph
+// in Figure 2(a).
+func JSWeights() map[entity.Pair]float64 {
+	return map[entity.Pair]float64{
+		entity.MakePair(P1, P3): 2.0 / 6.0,
+		entity.MakePair(P1, P4): 1.0 / 6.0,
+		entity.MakePair(P2, P3): 1.0 / 7.0,
+		entity.MakePair(P2, P4): 2.0 / 5.0,
+		entity.MakePair(P3, P4): 1.0 / 8.0,
+		entity.MakePair(P3, P5): 2.0 / 5.0,
+		entity.MakePair(P3, P6): 1.0 / 5.0,
+		entity.MakePair(P4, P5): 1.0 / 5.0,
+		entity.MakePair(P4, P6): 1.0 / 4.0,
+		entity.MakePair(P5, P6): 1.0 / 2.0,
+	}
+}

@@ -1,0 +1,38 @@
+package progressive_test
+
+import (
+	"fmt"
+
+	"metablocking/internal/blocking"
+	"metablocking/internal/core"
+	"metablocking/internal/paperexample"
+	"metablocking/internal/progressive"
+)
+
+// Example schedules the paper's running example: with JS weights, the
+// heaviest comparison of Figure 2(a) (p5-p6 at 1/2) is emitted first and
+// both true duplicates surface within the first five comparisons.
+func Example() {
+	blocks := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	scheduler := progressive.NewScheduler(blocks, core.JS)
+	gt := paperexample.GroundTruth()
+
+	found := 0
+	for i := 0; i < 5; i++ {
+		c, ok := scheduler.Next()
+		if !ok {
+			break
+		}
+		if gt.Contains(c.Pair.A, c.Pair.B) {
+			found++
+		}
+		if i == 0 {
+			fmt.Printf("first comparison: p%d-p%d (weight %.2f)\n", c.Pair.A+1, c.Pair.B+1, c.Weight)
+		}
+	}
+	fmt.Printf("duplicates found in the first 5 of %d comparisons: %d of %d\n",
+		scheduler.Len(), found, gt.Size())
+	// Output:
+	// first comparison: p5-p6 (weight 0.50)
+	// duplicates found in the first 5 of 10 comparisons: 2 of 2
+}

@@ -1,0 +1,159 @@
+// Package store persists the pipeline's intermediate artifacts — entity
+// collections, block collections and retained-comparison lists — in a
+// compact self-describing binary format (encoding/gob with a versioned
+// envelope). Blocking a large collection once and re-running meta-blocking
+// configurations against the saved blocks is the intended workflow.
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// format versions, one per artifact kind. Bump on incompatible changes.
+const (
+	collectionVersion = 1
+	blocksVersion     = 1
+	pairsVersion      = 1
+)
+
+// envelope is the self-describing header of every stored artifact.
+type envelope struct {
+	Kind    string
+	Version int
+}
+
+func writeArtifact(w io.Writer, kind string, version int, payload any) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(envelope{Kind: kind, Version: version}); err != nil {
+		return fmt.Errorf("store: encoding %s header: %w", kind, err)
+	}
+	if err := enc.Encode(payload); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", kind, err)
+	}
+	return bw.Flush()
+}
+
+func readArtifact(r io.Reader, kind string, version int, payload any) error {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("store: reading header: %w", err)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("store: artifact is a %q, expected %q", env.Kind, kind)
+	}
+	if env.Version != version {
+		return fmt.Errorf("store: %s version %d unsupported (want %d)", kind, env.Version, version)
+	}
+	if err := dec.Decode(payload); err != nil {
+		return fmt.Errorf("store: decoding %s: %w", kind, err)
+	}
+	return nil
+}
+
+// storedCollection mirrors entity.Collection for gob.
+type storedCollection struct {
+	Task     int
+	Split    int
+	Profiles []entity.Profile
+}
+
+// WriteCollection persists an entity collection.
+func WriteCollection(w io.Writer, c *entity.Collection) error {
+	return writeArtifact(w, "collection", collectionVersion, storedCollection{
+		Task:     int(c.Task),
+		Split:    c.Split,
+		Profiles: c.Profiles,
+	})
+}
+
+// ReadCollection loads an entity collection.
+func ReadCollection(r io.Reader) (*entity.Collection, error) {
+	var s storedCollection
+	if err := readArtifact(r, "collection", collectionVersion, &s); err != nil {
+		return nil, err
+	}
+	c := &entity.Collection{
+		Task:     entity.Task(s.Task),
+		Split:    s.Split,
+		Profiles: s.Profiles,
+	}
+	return c, nil
+}
+
+// storedBlocks mirrors block.Collection for gob.
+type storedBlocks struct {
+	Task        int
+	NumEntities int
+	Split       int
+	Blocks      []block.Block
+}
+
+// WriteBlocks persists a block collection.
+func WriteBlocks(w io.Writer, c *block.Collection) error {
+	return writeArtifact(w, "blocks", blocksVersion, storedBlocks{
+		Task:        int(c.Task),
+		NumEntities: c.NumEntities,
+		Split:       c.Split,
+		Blocks:      c.Blocks,
+	})
+}
+
+// ReadBlocks loads a block collection.
+func ReadBlocks(r io.Reader) (*block.Collection, error) {
+	var s storedBlocks
+	if err := readArtifact(r, "blocks", blocksVersion, &s); err != nil {
+		return nil, err
+	}
+	return &block.Collection{
+		Task:        entity.Task(s.Task),
+		NumEntities: s.NumEntities,
+		Split:       s.Split,
+		Blocks:      s.Blocks,
+	}, nil
+}
+
+// WritePairs persists a retained-comparison list.
+func WritePairs(w io.Writer, pairs []entity.Pair) error {
+	return writeArtifact(w, "pairs", pairsVersion, pairs)
+}
+
+// ReadPairs loads a retained-comparison list.
+func ReadPairs(r io.Reader) ([]entity.Pair, error) {
+	var pairs []entity.Pair
+	if err := readArtifact(r, "pairs", pairsVersion, &pairs); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// SaveBlocksFile and LoadBlocksFile are path-based conveniences.
+func SaveBlocksFile(path string, c *block.Collection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteBlocks(f, c); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBlocksFile loads a block collection from a file.
+func LoadBlocksFile(path string) (*block.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBlocks(f)
+}

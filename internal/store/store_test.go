@@ -1,0 +1,97 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"metablocking/internal/blocking"
+	"metablocking/internal/entity"
+	"metablocking/internal/paperexample"
+)
+
+func TestCollectionRoundTrip(t *testing.T) {
+	want := paperexample.Collection()
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != want.Task || got.Split != want.Split {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Profiles, want.Profiles) {
+		t.Fatal("profiles differ after round trip")
+	}
+}
+
+func TestBlocksRoundTrip(t *testing.T) {
+	want := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	var buf bytes.Buffer
+	if err := WriteBlocks(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlocks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("blocks differ after round trip")
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	want := []entity.Pair{{A: 1, B: 2}, {A: 3, B: 9}}
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, []entity.Pair{{A: 1, B: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBlocks(&buf); err == nil {
+		t.Fatal("pairs artifact accepted as blocks")
+	}
+}
+
+func TestCorruptInputRejected(t *testing.T) {
+	if _, err := ReadBlocks(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBlocks(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestBlocksFileHelpers(t *testing.T) {
+	want := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	path := filepath.Join(t.TempDir(), "blocks.bin")
+	if err := SaveBlocksFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBlocksFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("file round trip differs")
+	}
+	if _, err := LoadBlocksFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package supervised
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// LogisticRegression is a binary classifier over edge feature vectors,
+// trained with mini-batch-free SGD. Features are standardized internally
+// (zero mean, unit variance over the training set) so the default learning
+// rate works across datasets.
+type LogisticRegression struct {
+	Weights [NumFeatures]float64
+	Bias    float64
+
+	mean, scale [NumFeatures]float64
+}
+
+// TrainConfig tunes the SGD training loop. Zero values get defaults.
+type TrainConfig struct {
+	Epochs       int     // default 50
+	LearningRate float64 // default 0.1
+	L2           float64 // default 1e-4
+	Seed         int64   // shuffling seed; default 1
+}
+
+// Train fits a logistic regression on labelled edges. The negative class
+// is undersampled to the positive class size (the balanced-sampling
+// strategy of ref [23]) so the model is not swamped by superfluous
+// comparisons.
+func Train(edges []Edge, labels []bool, cfg TrainConfig) (*LogisticRegression, error) {
+	if len(edges) != len(labels) {
+		return nil, errors.New("supervised: edges and labels length mismatch")
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.L2 == 0 {
+		cfg.L2 = 1e-4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Balanced sample: all positives + an equal number of negatives.
+	var pos, neg []int
+	for i, l := range labels {
+		if l {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, errors.New("supervised: training set needs both classes")
+	}
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	if len(neg) > len(pos) {
+		neg = neg[:len(pos)]
+	}
+	sample := append(append([]int(nil), pos...), neg...)
+
+	m := &LogisticRegression{}
+	m.fitScaler(edges, sample)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(sample), func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+		for _, idx := range sample {
+			x := m.standardize(edges[idx].Features)
+			y := 0.0
+			if labels[idx] {
+				y = 1.0
+			}
+			p := sigmoid(dot(m.Weights, x) + m.Bias)
+			grad := p - y
+			for f := 0; f < NumFeatures; f++ {
+				m.Weights[f] -= cfg.LearningRate * (grad*x[f] + cfg.L2*m.Weights[f])
+			}
+			m.Bias -= cfg.LearningRate * grad
+		}
+	}
+	return m, nil
+}
+
+// Probability returns P(match) for an edge.
+func (m *LogisticRegression) Probability(e Edge) float64 {
+	return sigmoid(dot(m.Weights, m.standardize(e.Features)) + m.Bias)
+}
+
+// fitScaler computes per-feature mean and standard deviation over the
+// training sample.
+func (m *LogisticRegression) fitScaler(edges []Edge, sample []int) {
+	n := float64(len(sample))
+	for _, idx := range sample {
+		for f := 0; f < NumFeatures; f++ {
+			m.mean[f] += edges[idx].Features[f]
+		}
+	}
+	for f := 0; f < NumFeatures; f++ {
+		m.mean[f] /= n
+	}
+	for _, idx := range sample {
+		for f := 0; f < NumFeatures; f++ {
+			d := edges[idx].Features[f] - m.mean[f]
+			m.scale[f] += d * d
+		}
+	}
+	for f := 0; f < NumFeatures; f++ {
+		m.scale[f] = math.Sqrt(m.scale[f] / n)
+		if m.scale[f] == 0 {
+			m.scale[f] = 1
+		}
+	}
+}
+
+func (m *LogisticRegression) standardize(x [NumFeatures]float64) [NumFeatures]float64 {
+	var out [NumFeatures]float64
+	for f := 0; f < NumFeatures; f++ {
+		out[f] = (x[f] - m.mean[f]) / m.scale[f]
+	}
+	return out
+}
+
+func dot(w, x [NumFeatures]float64) float64 {
+	var s float64
+	for i := range w {
+		s += w[i] * x[i]
+	}
+	return s
+}
+
+func sigmoid(z float64) float64 {
+	// Clamp to avoid overflow in Exp for extreme logits.
+	if z < -30 {
+		return 0
+	}
+	if z > 30 {
+		return 1
+	}
+	return 1 / (1 + math.Exp(-z))
+}

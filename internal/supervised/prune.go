@@ -1,0 +1,112 @@
+package supervised
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// Config drives an end-to-end supervised meta-blocking run.
+type Config struct {
+	// SampleFraction is the portion of edges labelled for training
+	// (ref [23] shows small sets suffice). Zero defaults to 0.05; the
+	// fraction is capped so at most MaxSample edges are labelled.
+	SampleFraction float64
+	// MaxSample caps the labelled edges (default 50000).
+	MaxSample int
+	// Threshold retains edges with P(match) at or above it (default 0.5,
+	// the WEP-like decision rule of ref [23]).
+	Threshold float64
+	// Seed drives sampling and SGD shuffling (default 1).
+	Seed int64
+	// Train overrides the SGD settings.
+	Train TrainConfig
+}
+
+// Result is the output of a supervised run.
+type Result struct {
+	Pairs []entity.Pair
+	Model *LogisticRegression
+	// TrainingEdges is the number of labelled edges used.
+	TrainingEdges int
+	OTime         time.Duration
+}
+
+// Run extracts edge features, labels a random sample with the ground
+// truth, trains the classifier, and retains the comparisons classified as
+// matches. The ground truth is used only for the training sample, mirroring
+// the supervised meta-blocking protocol.
+func Run(c *block.Collection, gt *entity.GroundTruth, cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.SampleFraction == 0 {
+		cfg.SampleFraction = 0.05
+	}
+	if cfg.SampleFraction < 0 || cfg.SampleFraction > 1 {
+		return nil, errors.New("supervised: SampleFraction must be in (0, 1]")
+	}
+	if cfg.MaxSample == 0 {
+		cfg.MaxSample = 50000
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Train.Seed == 0 {
+		cfg.Train.Seed = cfg.Seed
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	extractor := NewExtractor(c)
+
+	// Pass 1: reservoir-sample training edges uniformly over the stream.
+	reservoir := make([]Edge, 0, cfg.MaxSample)
+	target := int(cfg.SampleFraction * float64(extractor.NumEdges()))
+	if target < 100 {
+		target = 100
+	}
+	if target > cfg.MaxSample {
+		target = cfg.MaxSample
+	}
+	seen := 0
+	extractor.ForEachEdge(func(e Edge) {
+		seen++
+		if len(reservoir) < target {
+			reservoir = append(reservoir, e)
+			return
+		}
+		if k := rng.Intn(seen); k < target {
+			reservoir[k] = e
+		}
+	})
+	if len(reservoir) == 0 {
+		return nil, errors.New("supervised: blocking graph has no edges")
+	}
+	labels := make([]bool, len(reservoir))
+	for i, e := range reservoir {
+		labels[i] = gt.Contains(e.I, e.J)
+	}
+
+	model, err := Train(reservoir, labels, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: classify every edge.
+	var pairs []entity.Pair
+	extractor.ForEachEdge(func(e Edge) {
+		if model.Probability(e) >= cfg.Threshold {
+			pairs = append(pairs, entity.MakePair(e.I, e.J))
+		}
+	})
+	return &Result{
+		Pairs:         pairs,
+		Model:         model,
+		TrainingEdges: len(reservoir),
+		OTime:         time.Since(start),
+	}, nil
+}

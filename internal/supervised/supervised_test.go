@@ -1,0 +1,173 @@
+package supervised
+
+import (
+	"math"
+	"testing"
+
+	"metablocking/internal/blocking"
+	"metablocking/internal/blockproc"
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/eval"
+	"metablocking/internal/paperexample"
+)
+
+func TestFeatureExtractionPaperExample(t *testing.T) {
+	c := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	e := NewExtractor(c)
+	if e.NumEdges() != 10 {
+		t.Fatalf("|EB| = %d, want 10", e.NumEdges())
+	}
+	features := make(map[entity.Pair][NumFeatures]float64)
+	e.ForEachEdge(func(ed Edge) {
+		features[entity.MakePair(ed.I, ed.J)] = ed.Features
+	})
+	if len(features) != 10 {
+		t.Fatalf("edges = %d, want 10", len(features))
+	}
+	// The JS feature must equal the JS weights of Figure 2(a).
+	for p, w := range paperexample.JSWeights() {
+		if got := features[p][3]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("JS feature of %v = %v, want %v", p, got, w)
+		}
+	}
+	// CBS of p1-p3 is 2 (jack, miller); ARCS is 2 (two 1-comparison
+	// blocks); degrees are 2 and 5.
+	f13 := features[entity.MakePair(paperexample.P1, paperexample.P3)]
+	if f13[1] != 2 || math.Abs(f13[0]-2) > 1e-12 {
+		t.Errorf("CBS/ARCS of p1-p3 = %v/%v, want 2/2", f13[1], f13[0])
+	}
+	if f13[4] != 2 || f13[5] != 5 {
+		t.Errorf("degrees of p1-p3 = %v/%v, want 2/5", f13[4], f13[5])
+	}
+}
+
+// TestFeaturesAgreeWithGraphWeights cross-checks every scheme feature
+// against the core package's weights on a synthetic dataset.
+func TestFeaturesAgreeWithGraphWeights(t *testing.T) {
+	ds := datagen.D1C(0.03)
+	c := blocking.TokenBlocking{}.Build(ds.Collection)
+	e := NewExtractor(c)
+
+	for fi, scheme := range map[int]core.Scheme{0: core.ARCS, 1: core.CBS, 2: core.ECBS, 3: core.JS} {
+		g := core.NewGraph(c, scheme)
+		want := make(map[entity.Pair]float64)
+		g.ForEachEdge(func(i, j entity.ID, w float64) {
+			want[entity.MakePair(i, j)] = w
+		})
+		count := 0
+		e.ForEachEdge(func(ed Edge) {
+			p := entity.MakePair(ed.I, ed.J)
+			if w, ok := want[p]; !ok || math.Abs(w-ed.Features[fi]) > 1e-9 {
+				t.Fatalf("%v feature of %v = %v, want %v", scheme, p, ed.Features[fi], w)
+			}
+			count++
+		})
+		if count != len(want) {
+			t.Fatalf("%v: edge counts differ: %d vs %d", scheme, count, len(want))
+		}
+	}
+}
+
+func TestTrainRejectsDegenerate(t *testing.T) {
+	edges := []Edge{{}, {}}
+	if _, err := Train(edges, []bool{true}, TrainConfig{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train(edges, []bool{true, true}, TrainConfig{}); err == nil {
+		t.Error("single-class training accepted")
+	}
+}
+
+func TestTrainSeparatesLinearlySeparableData(t *testing.T) {
+	var edges []Edge
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		var e Edge
+		if i%2 == 0 {
+			e.Features = [NumFeatures]float64{2, 5, 3, 0.8, 2, 2}
+			labels = append(labels, true)
+		} else {
+			e.Features = [NumFeatures]float64{0.1, 1, 0.2, 0.05, 40, 40}
+			labels = append(labels, false)
+		}
+		edges = append(edges, e)
+	}
+	m, err := Train(edges, labels, TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range edges {
+		p := m.Probability(e)
+		if labels[i] && p < 0.9 {
+			t.Fatalf("positive classified at %v", p)
+		}
+		if !labels[i] && p > 0.1 {
+			t.Fatalf("negative classified at %v", p)
+		}
+	}
+}
+
+// TestSupervisedRunBeatsUnsupervisedWEP: on the synthetic benchmark, the
+// classifier should reach comparable recall to WEP with clearly better
+// precision (the headline claim of ref [23]).
+func TestSupervisedRunBeatsUnsupervisedWEP(t *testing.T) {
+	ds := datagen.D1C(0.1)
+	blocks := blockproc.BlockFiltering{Ratio: 0.8}.Apply(
+		blockproc.BlockPurging{}.Apply(blocking.TokenBlocking{}.Build(ds.Collection)))
+
+	res, err := Run(blocks, ds.GroundTruth, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := eval.EvaluatePairs(res.Pairs, ds.GroundTruth, blocks.Comparisons())
+
+	wepPairs := core.Run(blocks, core.Config{Scheme: core.JS, Algorithm: core.WEP}).Pairs
+	wep := eval.EvaluatePairs(wepPairs, ds.GroundTruth, blocks.Comparisons())
+
+	t.Logf("supervised: PC=%.3f PQ=%.4f (%d pairs, %d training edges)",
+		sup.PC(), sup.PQ(), len(res.Pairs), res.TrainingEdges)
+	t.Logf("WEP (JS):   PC=%.3f PQ=%.4f (%d pairs)", wep.PC(), wep.PQ(), len(wepPairs))
+
+	if sup.PC() < 0.85 {
+		t.Errorf("supervised recall too low: %.3f", sup.PC())
+	}
+	if sup.PQ() <= wep.PQ() {
+		t.Errorf("supervised precision %.4f does not beat WEP's %.4f", sup.PQ(), wep.PQ())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := datagen.D1C(0.02)
+	blocks := blocking.TokenBlocking{}.Build(ds.Collection)
+	if _, err := Run(blocks, ds.GroundTruth, Config{SampleFraction: 2}); err == nil {
+		t.Error("bad sample fraction accepted")
+	}
+	empty := blocks.Clone()
+	empty.Blocks = nil
+	if _, err := Run(empty, ds.GroundTruth, Config{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ds := datagen.D1C(0.05)
+	blocks := blocking.TokenBlocking{}.Build(ds.Collection)
+	a, err := Run(blocks, ds.GroundTruth, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(blocks, ds.GroundTruth, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("same seed produced %d vs %d pairs", len(a.Pairs), len(b.Pairs))
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatal("same seed produced different pairs")
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package metablocking is the public API of the Enhanced Meta-blocking
+// library, a Go implementation of Papadakis et al., "Scaling Entity
+// Resolution to Large, Heterogeneous Data with Enhanced Meta-blocking"
+// (EDBT 2016).
+//
+// The package re-exports the building blocks (entity model, blocking
+// methods, block cleaning, meta-blocking pruning, matching, evaluation)
+// and wires them into a configurable Pipeline:
+//
+//	ds := metablocking.GenerateDataset(metablocking.D2C, 0.5)
+//	p := metablocking.Pipeline{
+//		Blocking:    metablocking.TokenBlocking{},
+//		FilterRatio: 0.8,
+//		Scheme:      metablocking.JS,
+//		Algorithm:   metablocking.ReciprocalWNP,
+//	}
+//	res, err := p.Run(ds.Collection)
+//
+// The result carries the retained comparisons and, when a ground truth is
+// supplied, the paper's effectiveness measures (PC, PQ, RR).
+package metablocking
+
+import (
+	"errors"
+	"time"
+
+	"metablocking/internal/block"
+	"metablocking/internal/blocking"
+	"metablocking/internal/blockproc"
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/eval"
+	"metablocking/internal/incremental"
+	"metablocking/internal/matching"
+	"metablocking/internal/progressive"
+	"metablocking/internal/store"
+	"metablocking/internal/supervised"
+)
+
+// Entity model.
+type (
+	// Profile is a uniquely identified collection of name–value pairs.
+	Profile = entity.Profile
+	// Attribute is a single name–value pair.
+	Attribute = entity.Attribute
+	// Collection is the input of an ER task.
+	Collection = entity.Collection
+	// GroundTruth is the set of known duplicate pairs.
+	GroundTruth = entity.GroundTruth
+	// Pair is an unordered pair of profile IDs.
+	Pair = entity.Pair
+	// ID identifies a profile.
+	ID = entity.ID
+)
+
+// NewDirty builds a Dirty ER collection (deduplication).
+func NewDirty(profiles []Profile) *Collection { return entity.NewDirty(profiles) }
+
+// NewCleanClean builds a Clean-Clean ER collection (record linkage).
+func NewCleanClean(e1, e2 []Profile) *Collection { return entity.NewCleanClean(e1, e2) }
+
+// NewGroundTruth builds a ground truth from duplicate pairs.
+func NewGroundTruth(pairs []Pair) *GroundTruth { return entity.NewGroundTruth(pairs) }
+
+// Blocking methods.
+type (
+	// BlockingMethod builds a block collection from an entity collection.
+	BlockingMethod = blocking.Method
+	// TokenBlocking is the paper's primary schema-agnostic method.
+	TokenBlocking = blocking.TokenBlocking
+	// QGramsBlocking keys on character q-grams.
+	QGramsBlocking = blocking.QGramsBlocking
+	// SuffixArrayBlocking keys on token suffixes.
+	SuffixArrayBlocking = blocking.SuffixArrayBlocking
+	// AttributeClusteringBlocking keys tokens within attribute clusters.
+	AttributeClusteringBlocking = blocking.AttributeClusteringBlocking
+	// StandardBlocking assigns one key per profile (disjoint blocks).
+	StandardBlocking = blocking.StandardBlocking
+	// SortedNeighborhood slides a window over key-sorted profiles.
+	SortedNeighborhood = blocking.SortedNeighborhood
+	// ExtendedQGramsBlocking keys on combinations of q-grams.
+	ExtendedQGramsBlocking = blocking.ExtendedQGramsBlocking
+	// ExtendedSortedNeighborhood windows over distinct sorted keys.
+	ExtendedSortedNeighborhood = blocking.ExtendedSortedNeighborhood
+	// CanopyClustering is the classic redundancy-negative method.
+	CanopyClustering = blocking.CanopyClustering
+	// MinHashBlocking is LSH blocking over token-set signatures.
+	MinHashBlocking = blocking.MinHashBlocking
+	// Blocks is a block collection.
+	Blocks = block.Collection
+)
+
+// Weighting schemes and pruning algorithms (paper Fig. 3).
+type (
+	// Scheme selects the edge-weighting scheme.
+	Scheme = core.Scheme
+	// Algorithm selects the pruning algorithm.
+	Algorithm = core.Algorithm
+)
+
+// Weighting schemes (Fig. 4).
+const (
+	ARCS = core.ARCS
+	CBS  = core.CBS
+	ECBS = core.ECBS
+	JS   = core.JS
+	EJS  = core.EJS
+)
+
+// Pruning algorithms (§3, §5).
+const (
+	CEP           = core.CEP
+	CNP           = core.CNP
+	WEP           = core.WEP
+	WNP           = core.WNP
+	RedefinedCNP  = core.RedefinedCNP
+	ReciprocalCNP = core.ReciprocalCNP
+	RedefinedWNP  = core.RedefinedWNP
+	ReciprocalWNP = core.ReciprocalWNP
+)
+
+// Synthetic datasets (substitutes for the paper's benchmarks; DESIGN.md §5).
+type Dataset = datagen.Dataset
+
+// DatasetID names one of the six built-in benchmark profiles.
+type DatasetID int
+
+// The six benchmark datasets of the paper (§6.1), plus two domain-flavored
+// families rendering the same statistical structure as readable records.
+const (
+	D1C DatasetID = iota
+	D2C
+	D3C
+	D1D
+	D2D
+	D3D
+	// BIB is a bibliographic Clean-Clean family (DBLP–Scholar-like, the
+	// paper's D1 scenario) with human-readable titles, authors and venues.
+	BIB
+	// MOV is a movies Clean-Clean family (IMDB–DBpedia-like, the paper's
+	// D2 scenario) with a terse catalog side and a verbose encyclopedia
+	// side.
+	MOV
+)
+
+// GenerateDataset builds one of the built-in synthetic benchmarks at the
+// given scale (1.0 = default laptop-friendly size).
+func GenerateDataset(id DatasetID, scale float64) Dataset {
+	switch id {
+	case D1C:
+		return datagen.D1C(scale)
+	case D2C:
+		return datagen.D2C(scale)
+	case D3C:
+		return datagen.D3C(scale)
+	case D1D:
+		return datagen.D1D(scale)
+	case D2D:
+		return datagen.D2D(scale)
+	case D3D:
+		return datagen.D3D(scale)
+	case BIB:
+		return datagen.BIB(scale)
+	case MOV:
+		return datagen.MOV(scale)
+	default:
+		panic("metablocking: unknown dataset id")
+	}
+}
+
+// Pipeline is the end-to-end workflow of Figure 7(a): blocking → Block
+// Purging → Block Filtering → graph-based Meta-blocking. A zero Pipeline
+// runs Token Blocking with purging on, no filtering, and the zero-valued
+// configuration ARCS + CEP; set Scheme and Algorithm explicitly for the
+// paper's recommended configurations (e.g. JS + ReciprocalWNP).
+type Pipeline struct {
+	// Blocking builds the redundancy-positive input blocks; nil defaults
+	// to TokenBlocking.
+	Blocking BlockingMethod
+	// DisablePurging skips Block Purging (enabled by default, as in the
+	// paper's setup §6.2).
+	DisablePurging bool
+	// FilterRatio enables Block Filtering with the given ratio r when in
+	// (0, 1]; the paper's tuned pre-processing value is 0.8.
+	FilterRatio float64
+	// GraphFree skips the blocking graph entirely (Figure 7(b)): Block
+	// Filtering (FilterRatio) followed by Comparison Propagation.
+	GraphFree bool
+	// Scheme is the edge-weighting scheme (zero value: ARCS).
+	Scheme Scheme
+	// Algorithm is the pruning algorithm (zero value: CEP).
+	Algorithm Algorithm
+	// OriginalWeighting switches to Algorithm 2 edge weighting.
+	OriginalWeighting bool
+	// Workers enables parallel pruning: 0 = serial, negative = one worker
+	// per CPU, positive = that many workers. Parallel pruning always uses
+	// Optimized Edge Weighting.
+	Workers int
+}
+
+// Result is a pipeline run's output.
+type Result struct {
+	// InputBlocks counts the blocks fed to meta-blocking after cleaning.
+	InputBlocks int
+	// InputComparisons is ‖B‖ of the cleaned input blocks.
+	InputComparisons int64
+	// Pairs holds the retained comparisons.
+	Pairs []Pair
+	// OTime is the total overhead time (blocking excluded, cleaning and
+	// pruning included), mirroring the paper's OTime of restructuring.
+	OTime time.Duration
+}
+
+// Run executes the pipeline on a collection.
+func (p Pipeline) Run(c *Collection) (*Result, error) {
+	if c == nil || c.Size() == 0 {
+		return nil, errors.New("metablocking: empty collection")
+	}
+	method := p.Blocking
+	if method == nil {
+		method = TokenBlocking{}
+	}
+	if p.FilterRatio < 0 || p.FilterRatio > 1 {
+		return nil, errors.New("metablocking: FilterRatio must be in [0, 1]")
+	}
+	if p.GraphFree && p.FilterRatio == 0 {
+		return nil, errors.New("metablocking: GraphFree requires a FilterRatio")
+	}
+
+	blocks := method.Build(c)
+	start := time.Now()
+	if !p.DisablePurging {
+		blocks = blockproc.BlockPurging{}.Apply(blocks)
+	}
+	res := &Result{}
+	if p.GraphFree {
+		res.Pairs = blockproc.GraphFreeMetaBlocking{Ratio: p.FilterRatio}.Apply(blocks)
+		res.InputBlocks = blocks.Len()
+		res.InputComparisons = blocks.Comparisons()
+		res.OTime = time.Since(start)
+		return res, nil
+	}
+	if p.FilterRatio > 0 {
+		blocks = blockproc.BlockFiltering{Ratio: p.FilterRatio}.Apply(blocks)
+	}
+	res.InputBlocks = blocks.Len()
+	res.InputComparisons = blocks.Comparisons()
+	run := core.Run(blocks, core.Config{
+		Scheme:            p.Scheme,
+		Algorithm:         p.Algorithm,
+		OriginalWeighting: p.OriginalWeighting,
+		Workers:           p.Workers,
+	})
+	res.Pairs = run.Pairs
+	res.OTime = time.Since(start)
+	return res, nil
+}
+
+// Evaluate measures retained comparisons against a ground truth; baseline
+// is the comparison count RR is computed against (e.g. the input blocks'
+// ‖B‖ or the brute-force ‖E‖).
+func Evaluate(pairs []Pair, gt *GroundTruth, baseline int64) eval.Report {
+	return eval.EvaluatePairs(pairs, gt, baseline)
+}
+
+// Report re-exports the evaluation report type.
+type Report = eval.Report
+
+// NewJaccardMatcher builds the paper's demonstration matcher.
+func NewJaccardMatcher(c *Collection, threshold float64) *matching.JaccardMatcher {
+	return matching.NewJaccardMatcher(c, threshold)
+}
+
+// Matches applies the matcher to the retained comparisons and returns the
+// pairs at or above the matcher's threshold.
+func Matches(m *matching.JaccardMatcher, pairs []Pair) []Pair {
+	var out []Pair
+	seen := make(map[Pair]struct{}, len(pairs))
+	for _, p := range pairs {
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		if m.Match(p.A, p.B) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Cluster groups matched pairs into equivalence clusters (Dirty ER output).
+func Cluster(c *Collection, matches []Pair) [][]ID {
+	return matching.Cluster(c.Size(), matches)
+}
+
+// Incremental Entity Resolution (the paper's future-work direction, §7).
+type (
+	// IncrementalResolver blocks arriving profiles on the fly and emits
+	// pruned candidate comparisons per arrival.
+	IncrementalResolver = incremental.Resolver
+	// IncrementalConfig tunes the incremental resolver.
+	IncrementalConfig = incremental.Config
+	// Candidate is a pruned comparison suggestion with its edge weight.
+	Candidate = incremental.Candidate
+)
+
+// NewIncrementalResolver builds an empty incremental resolver.
+func NewIncrementalResolver(cfg IncrementalConfig) (*IncrementalResolver, error) {
+	return incremental.NewResolver(cfg)
+}
+
+// Progressive (pay-as-you-go) Entity Resolution (§3's efficiency-intensive
+// application class).
+type (
+	// ProgressiveScheduler serves comparisons heaviest-first.
+	ProgressiveScheduler = progressive.Scheduler
+	// Comparison is one prioritized comparison with its edge weight.
+	Comparison = progressive.Comparison
+)
+
+// NewProgressiveScheduler prioritizes a block collection's comparisons by
+// edge weight. Build the blocks with a Pipeline's blocking stage or any
+// BlockingMethod, clean them (purging/filtering), then schedule.
+func NewProgressiveScheduler(blocks *Blocks, scheme Scheme) *ProgressiveScheduler {
+	return progressive.NewScheduler(blocks, scheme)
+}
+
+// Supervised Meta-blocking (paper §2, ref [23]).
+type (
+	// SupervisedConfig tunes supervised meta-blocking.
+	SupervisedConfig = supervised.Config
+	// SupervisedResult carries the retained pairs and trained model.
+	SupervisedResult = supervised.Result
+)
+
+// RunSupervised trains an edge classifier on a labelled sample drawn from
+// the ground truth and retains the comparisons classified as matches.
+func RunSupervised(blocks *Blocks, gt *GroundTruth, cfg SupervisedConfig) (*SupervisedResult, error) {
+	return supervised.Run(blocks, gt, cfg)
+}
+
+// SaveBlocks persists a block collection to a file; LoadBlocks restores
+// it. Blocking a large collection once and re-running meta-blocking
+// configurations against the saved blocks is the intended workflow.
+func SaveBlocks(path string, blocks *Blocks) error { return store.SaveBlocksFile(path, blocks) }
+
+// LoadBlocks restores a block collection saved with SaveBlocks.
+func LoadBlocks(path string) (*Blocks, error) { return store.LoadBlocksFile(path) }
+
+// BuildBlocks runs a blocking method plus the paper's standard cleaning
+// (Block Purging, then Block Filtering when ratio > 0) and returns the
+// block collection — the input for schedulers and supervised runs.
+func BuildBlocks(c *Collection, method BlockingMethod, filterRatio float64) *Blocks {
+	if method == nil {
+		method = TokenBlocking{}
+	}
+	blocks := method.Build(c)
+	blocks = blockproc.BlockPurging{}.Apply(blocks)
+	if filterRatio > 0 {
+		blocks = blockproc.BlockFiltering{Ratio: filterRatio}.Apply(blocks)
+	}
+	return blocks
+}
