@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: check race bench-parallel
+
+## check: vet, build and test everything (the tier-1 gate).
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+## race: run the parallel pipeline's packages under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/block/... ./internal/blocking/...
+
+## bench-parallel: regenerate the worker-sweep numbers of
+## results_parallel_scale0.5.txt (honest wall-clock depends on host cores).
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkParallel' -benchtime 5x .

@@ -23,6 +23,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (table1..table6, figure10)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write per-table CSV files into this directory")
+	workers := flag.Int("workers", -1, "worker goroutines for dataset preparation (-1 = all CPUs, 0 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -40,6 +41,7 @@ func main() {
 	}
 
 	s := experiments.NewSuite(*scale, os.Stdout)
+	s.Workers = *workers
 	fmt.Printf("Enhanced Meta-blocking experiment suite (scale %.2f)\n", *scale)
 	start := time.Now()
 	if *csvDir != "" {

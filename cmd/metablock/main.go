@@ -43,7 +43,7 @@ func run() error {
 		dataset   = flag.String("dataset", "", "built-in synthetic dataset instead of -input (D1C..D3D)")
 		scale     = flag.Float64("scale", 0.2, "scale for -dataset")
 		blockFlag = flag.String("blocking", "token", "blocking method: token, qgrams, suffix, attrcluster, minhash, eqgrams, esn")
-		workers   = flag.Int("workers", 0, "parallel pruning workers (0 = serial, -1 = all CPUs)")
+		workers   = flag.Int("workers", -1, "worker goroutines for every pipeline stage (-1 = all CPUs, 0 = serial)")
 		scheme    = flag.String("scheme", "js", "weighting scheme: arcs, cbs, ecbs, js, ejs")
 		algorithm = flag.String("algorithm", "reciprocal-wnp", "pruning: cep, cnp, wep, wnp, redefined-cnp, reciprocal-cnp, redefined-wnp, reciprocal-wnp")
 		filter    = flag.Float64("filter", 0.8, "Block Filtering ratio r (0 disables)")
@@ -86,6 +86,8 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "profiles: %d  input comparisons: %d  retained: %d  overhead: %v\n",
 		collection.Size(), res.InputComparisons, len(res.Pairs), res.OTime)
+	fmt.Fprintf(os.Stderr, "stages: blocking=%v filtering=%v graph=%v pruning=%v\n",
+		res.Stages.Blocking, res.Stages.Filtering, res.Stages.Graph, res.Stages.Prune)
 
 	if *saveBlk != "" {
 		cleaned := mb.BuildBlocks(collection, blocking, *filter)

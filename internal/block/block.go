@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"metablocking/internal/entity"
+	"metablocking/internal/par"
 )
 
 // Block groups co-occurring profiles. For Dirty ER all members live in E1
@@ -97,20 +98,125 @@ func (c *Collection) SortByCardinality() {
 	})
 }
 
+// SortByCardinalityWorkers is SortByCardinality sharded across workers
+// (0 or 1 = serial, negative = GOMAXPROCS): the cardinalities are
+// precomputed in parallel, each worker sorts a permutation run over its
+// block range, the runs merge pairwise, and the final permutation is
+// applied in parallel. (cardinality, key) is a total order — block keys
+// are distinct within a collection — so the result is identical to the
+// serial sort.
+func (c *Collection) SortByCardinalityWorkers(workers int) {
+	n := len(c.Blocks)
+	workers = par.Resolve(workers, n)
+	if workers <= 1 {
+		c.SortByCardinality()
+		return
+	}
+	comps := make([]int64, n)
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			comps[i] = c.Blocks[i].Comparisons()
+		}
+	})
+	less := func(i, j int32) bool {
+		if comps[i] != comps[j] {
+			return comps[i] < comps[j]
+		}
+		return c.Blocks[i].Key < c.Blocks[j].Key
+	}
+
+	perm := make([]int32, n)
+	bounds := make([][2]int, workers)
+	par.Ranges(workers, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			perm[i] = int32(i)
+		}
+		run := perm[lo:hi]
+		sort.Slice(run, func(a, b int) bool { return less(run[a], run[b]) })
+		bounds[w] = [2]int{lo, hi}
+	})
+	// Ranges may start fewer chunks than workers (ceil-sized chunks); the
+	// unstarted trailing entries stay [0,0) and are dropped.
+	runs := bounds[:0]
+	for _, r := range bounds {
+		if r[0] < r[1] {
+			runs = append(runs, r)
+		}
+	}
+
+	// Merge sorted runs pairwise into a ping-pong buffer until one remains.
+	cur, tmp := perm, make([]int32, n)
+	for len(runs) > 1 {
+		next := make([][2]int, 0, (len(runs)+1)/2)
+		var thunks []func()
+		for i := 0; i+1 < len(runs); i += 2 {
+			a, b := runs[i], runs[i+1]
+			next = append(next, [2]int{a[0], b[1]})
+			thunks = append(thunks, func() {
+				mergeRuns(tmp[a[0]:b[1]], cur[a[0]:a[1]], cur[b[0]:b[1]], less)
+			})
+		}
+		if len(runs)%2 == 1 {
+			last := runs[len(runs)-1]
+			next = append(next, last)
+			thunks = append(thunks, func() {
+				copy(tmp[last[0]:last[1]], cur[last[0]:last[1]])
+			})
+		}
+		par.Do(thunks...)
+		cur, tmp = tmp, cur
+		runs = next
+	}
+
+	blocks := make([]Block, n)
+	par.Ranges(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			blocks[i] = c.Blocks[cur[i]]
+		}
+	})
+	c.Blocks = blocks
+}
+
+// mergeRuns merges the sorted runs a and b into dst (len(dst) =
+// len(a)+len(b)), taking from a on ties so equal elements keep their
+// original relative order.
+func mergeRuns(dst, a, b []int32, less func(i, j int32) bool) {
+	k := 0
+	for len(a) > 0 && len(b) > 0 {
+		if less(b[0], a[0]) {
+			dst[k] = b[0]
+			b = b[1:]
+		} else {
+			dst[k] = a[0]
+			a = a[1:]
+		}
+		k++
+	}
+	copy(dst[k:], a)
+	copy(dst[k+len(a):], b)
+}
+
 // Clone returns a deep copy of the collection. Blocking-graph algorithms
 // never mutate their input, but restructuring methods (Purging, Filtering)
 // produce fresh collections; Clone supports tests and ablations that need
 // to compare before/after.
-func (c *Collection) Clone() *Collection {
+func (c *Collection) Clone() *Collection { return c.CloneWorkers(1) }
+
+// CloneWorkers deep-copies the collection with the block copies sharded
+// across workers (0 or 1 = serial, negative = GOMAXPROCS).
+func (c *Collection) CloneWorkers(workers int) *Collection {
 	out := &Collection{Task: c.Task, NumEntities: c.NumEntities, Split: c.Split, Blocks: make([]Block, len(c.Blocks))}
-	for i := range c.Blocks {
-		b := &c.Blocks[i]
-		nb := Block{Key: b.Key, E1: append([]entity.ID(nil), b.E1...)}
-		if b.E2 != nil {
-			nb.E2 = append([]entity.ID(nil), b.E2...)
+	workers = par.Resolve(workers, len(c.Blocks))
+	par.Ranges(workers, len(c.Blocks), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := &c.Blocks[i]
+			nb := Block{Key: b.Key, E1: append([]entity.ID(nil), b.E1...)}
+			if b.E2 != nil {
+				nb.E2 = append([]entity.ID(nil), b.E2...)
+			}
+			out.Blocks[i] = nb
 		}
-		out.Blocks[i] = nb
-	}
+	})
 	return out
 }
 

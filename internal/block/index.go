@@ -1,27 +1,133 @@
 package block
 
-import "metablocking/internal/entity"
+import (
+	"metablocking/internal/entity"
+	"metablocking/internal/par"
+)
 
 // EntityIndex is the inverted index from entity IDs to the ascending list
 // of block IDs that contain them (paper §2). It underlies Comparison
 // Propagation (via the LeCoBI condition) and both edge-weighting
 // implementations of meta-blocking.
+//
+// Every per-entity list is a view into one flat backing array, so building
+// the index costs a constant number of allocations regardless of |E|.
 type EntityIndex struct {
 	lists       [][]int32
+	flat        []int32
 	numEntities int
 }
 
-// NewEntityIndex builds the index for the collection's current block order.
-// Block IDs are positional: block i of c.Blocks has ID i. Because blocks
-// are visited in order and member slices are only appended to, every block
-// list comes out ascending.
+// NewEntityIndex builds the index for the collection's current block order
+// on a single core. Block IDs are positional: block i of c.Blocks has ID i.
+// Because blocks are visited in ascending ID order, every block list comes
+// out ascending.
 func NewEntityIndex(c *Collection) *EntityIndex {
+	return NewEntityIndexParallel(c, 1)
+}
+
+// NewEntityIndexParallel builds the same index with the given number of
+// workers (0 or 1 = serial, negative = GOMAXPROCS). The build runs a
+// parallel count pass (per-worker assignment counts over disjoint block
+// ranges) and a parallel fill pass: each worker writes its blocks' members
+// into precomputed per-worker offsets of the flat backing array, so the
+// result is bit-identical to the serial build — including the ascending
+// order within every entity's list — without any locking.
+func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
 	idx := &EntityIndex{
 		lists:       make([][]int32, c.NumEntities),
 		numEntities: c.NumEntities,
 	}
-	// First pass: count assignments per entity so each list is allocated
-	// exactly once.
+	numBlocks := len(c.Blocks)
+	workers = par.Resolve(workers, numBlocks)
+	if workers <= 1 {
+		idx.buildSerial(c)
+		return idx
+	}
+
+	// Count pass: per-worker assignment counts over disjoint block ranges.
+	perWorker := make([][]int32, workers)
+	par.Ranges(workers, numBlocks, func(w, lo, hi int) {
+		counts := make([]int32, c.NumEntities)
+		for i := lo; i < hi; i++ {
+			b := &c.Blocks[i]
+			for _, id := range b.E1 {
+				counts[id]++
+			}
+			for _, id := range b.E2 {
+				counts[id]++
+			}
+		}
+		perWorker[w] = counts
+	})
+
+	// Per-entity totals (parallel over entity ranges), then one serial
+	// prefix sum to place every entity's segment in the flat array.
+	totals := make([]int32, c.NumEntities)
+	par.Ranges(workers, c.NumEntities, func(_, lo, hi int) {
+		for _, counts := range perWorker {
+			if counts == nil {
+				continue
+			}
+			for id := lo; id < hi; id++ {
+				totals[id] += counts[id]
+			}
+		}
+	})
+	offsets := make([]int64, c.NumEntities+1)
+	for id, n := range totals {
+		offsets[id+1] = offsets[id] + int64(n)
+	}
+	idx.flat = make([]int32, offsets[c.NumEntities])
+
+	// Turn each worker's counts into its starting cursor per entity:
+	// offsets[id] plus the contributions of all lower-ranked workers.
+	// Lower-ranked workers own lower block IDs, so filling at these
+	// cursors reproduces the serial (ascending block ID) order exactly.
+	par.Ranges(workers, c.NumEntities, func(_, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			cursor := int32(offsets[id])
+			for _, counts := range perWorker {
+				if counts == nil {
+					continue
+				}
+				n := counts[id]
+				counts[id] = cursor
+				cursor += n
+			}
+		}
+	})
+
+	// Fill pass: every worker writes disjoint flat segments.
+	par.Ranges(workers, numBlocks, func(w, lo, hi int) {
+		cursors := perWorker[w]
+		for i := lo; i < hi; i++ {
+			b := &c.Blocks[i]
+			for _, id := range b.E1 {
+				idx.flat[cursors[id]] = int32(i)
+				cursors[id]++
+			}
+			for _, id := range b.E2 {
+				idx.flat[cursors[id]] = int32(i)
+				cursors[id]++
+			}
+		}
+	})
+
+	// Slice the flat array into per-entity views.
+	par.Ranges(workers, c.NumEntities, func(_, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if totals[id] > 0 {
+				idx.lists[id] = idx.flat[offsets[id]:offsets[id+1]:offsets[id+1]]
+			}
+		}
+	})
+	return idx
+}
+
+// buildSerial is the single-core build: one count pass, one prefix sum,
+// one fill pass into the flat backing array.
+func (x *EntityIndex) buildSerial(c *Collection) {
 	counts := make([]int32, c.NumEntities)
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
@@ -32,21 +138,31 @@ func NewEntityIndex(c *Collection) *EntityIndex {
 			counts[id]++
 		}
 	}
+	offsets := make([]int64, c.NumEntities+1)
 	for id, n := range counts {
-		if n > 0 {
-			idx.lists[id] = make([]int32, 0, n)
-		}
+		offsets[id+1] = offsets[id] + int64(n)
+	}
+	x.flat = make([]int32, offsets[c.NumEntities])
+	cursors := counts // reuse as per-entity write cursors
+	for id := range cursors {
+		cursors[id] = int32(offsets[id])
 	}
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
 		for _, id := range b.E1 {
-			idx.lists[id] = append(idx.lists[id], int32(i))
+			x.flat[cursors[id]] = int32(i)
+			cursors[id]++
 		}
 		for _, id := range b.E2 {
-			idx.lists[id] = append(idx.lists[id], int32(i))
+			x.flat[cursors[id]] = int32(i)
+			cursors[id]++
 		}
 	}
-	return idx
+	for id := 0; id < c.NumEntities; id++ {
+		if offsets[id+1] > offsets[id] {
+			x.lists[id] = x.flat[offsets[id]:offsets[id+1]:offsets[id+1]]
+		}
+	}
 }
 
 // NumEntities returns the size of the ID space the index covers.

@@ -1,0 +1,125 @@
+package block
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"metablocking/internal/entity"
+)
+
+// randomBlocks builds a random Dirty-ER collection for equivalence tests.
+func randomBlocks(rng *rand.Rand, numEntities, numBlocks int) *Collection {
+	c := &Collection{Task: entity.Dirty, NumEntities: numEntities, Split: numEntities}
+	for b := 0; b < numBlocks; b++ {
+		size := 2 + rng.Intn(6)
+		seen := make(map[entity.ID]struct{}, size)
+		var members []entity.ID
+		for len(members) < size {
+			id := entity.ID(rng.Intn(numEntities))
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			members = append(members, id)
+		}
+		sortIDs(members)
+		c.Blocks = append(c.Blocks, Block{Key: blockKey(b), E1: members})
+	}
+	return c
+}
+
+func sortIDs(ids []entity.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func blockKey(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26))
+}
+
+// TestEntityIndexParallelMatchesSerial: for every worker count, the
+// parallel Entity Index must return exactly the serial block lists.
+func TestEntityIndexParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomBlocks(rng, 120, 300)
+	want := NewEntityIndex(c)
+	for _, w := range []int{2, 3, 7, runtime.GOMAXPROCS(0), -1, 1000} {
+		got := NewEntityIndexParallel(c, w)
+		if got.NumEntities() != want.NumEntities() {
+			t.Fatalf("workers=%d: NumEntities %d ≠ %d", w, got.NumEntities(), want.NumEntities())
+		}
+		for id := 0; id < c.NumEntities; id++ {
+			g, s := got.BlockList(entity.ID(id)), want.BlockList(entity.ID(id))
+			if !reflect.DeepEqual(g, s) {
+				t.Fatalf("workers=%d entity %d: block list %v ≠ %v", w, id, g, s)
+			}
+		}
+	}
+}
+
+// TestEntityIndexParallelEmpty: zero blocks and zero entities must not
+// panic at any worker count.
+func TestEntityIndexParallelEmpty(t *testing.T) {
+	c := &Collection{Task: entity.Dirty}
+	for _, w := range []int{1, 4, -1} {
+		idx := NewEntityIndexParallel(c, w)
+		if idx.NumEntities() != 0 {
+			t.Fatalf("workers=%d: expected empty index", w)
+		}
+	}
+}
+
+// TestSortByCardinalityWorkersMatchesSerial: the parallel merge sort must
+// produce the exact serial order for every worker count.
+func TestSortByCardinalityWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := randomBlocks(rng, 150, 400)
+	want := base.Clone()
+	want.SortByCardinality()
+	for _, w := range []int{2, 3, 7, runtime.GOMAXPROCS(0), -1, 1000} {
+		got := base.Clone()
+		got.SortByCardinalityWorkers(w)
+		if !reflect.DeepEqual(got.Blocks, want.Blocks) {
+			t.Fatalf("workers=%d: parallel sort differs from serial", w)
+		}
+	}
+}
+
+// TestSortByCardinalityWorkersSmall: collections smaller than the worker
+// count exercise the clamping path.
+func TestSortByCardinalityWorkersSmall(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		base := randomBlocks(rng, 20, n)
+		want := base.Clone()
+		want.SortByCardinality()
+		got := base.Clone()
+		got.SortByCardinalityWorkers(8)
+		if !reflect.DeepEqual(got.Blocks, want.Blocks) {
+			t.Fatalf("n=%d: parallel sort differs from serial", n)
+		}
+	}
+}
+
+// TestCloneWorkersDeepCopies: the parallel clone must equal the input and
+// own its member slices.
+func TestCloneWorkersDeepCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randomBlocks(rng, 80, 120)
+	for _, w := range []int{1, 4, -1} {
+		clone := base.CloneWorkers(w)
+		if !reflect.DeepEqual(clone.Blocks, base.Blocks) {
+			t.Fatalf("workers=%d: clone differs from original", w)
+		}
+		orig := base.Blocks[0].E1[0]
+		clone.Blocks[0].E1[0] = orig + 1
+		if base.Blocks[0].E1[0] != orig {
+			t.Fatalf("workers=%d: clone shares member storage with original", w)
+		}
+	}
+}

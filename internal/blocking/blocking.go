@@ -6,10 +6,12 @@
 package blocking
 
 import (
+	"hash/fnv"
 	"sort"
 
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/par"
 )
 
 // Method builds a block collection from an entity collection.
@@ -53,43 +55,156 @@ func (k *keyIndex) add(key string, id entity.ID) {
 	}
 }
 
-// build converts the accumulated keys into a block collection, keeping only
-// keys that entail at least one comparison: two profiles for Dirty ER, or
-// one profile from each source for Clean-Clean ER. Blocks are ordered by
-// key for determinism.
+// build converts the accumulated keys into a block collection; see
+// buildBlocks for the retention rules.
 func (k *keyIndex) build(c *entity.Collection) *block.Collection {
-	keys := make([]string, 0, len(k.keys))
-	for key, e := range k.keys {
-		if k.task == entity.CleanClean {
-			if len(e.e1) == 0 || len(e.e2) == 0 {
+	return buildBlocks(c, []map[string]*keyEntry{k.keys}, nil, 1)
+}
+
+// eligible reports whether a key's postings entail at least one
+// comparison: two profiles for Dirty ER, or one profile from each source
+// for Clean-Clean ER.
+func eligible(task entity.Task, e *keyEntry) bool {
+	if task == entity.CleanClean {
+		return len(e.e1) > 0 && len(e.e2) > 0
+	}
+	return len(e.e1) >= 2
+}
+
+// keyShard maps a blocking key to one of n merge shards (FNV-1a).
+func keyShard(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// buildBlocks converts key→postings maps into a block collection, keeping
+// only keys that entail at least one comparison and dropping keys matched
+// by the optional drop predicate (Suffix Arrays' oversized blocks). maps
+// must be partitioned by keyShard(·, len(maps)) — a single map (shard
+// count 1) covers the serial case. Blocks are ordered by key for
+// determinism, regardless of how the keys were sharded.
+func buildBlocks(c *entity.Collection, maps []map[string]*keyEntry, drop func(e *keyEntry) bool, workers int) *block.Collection {
+	task := c.Task
+	var keys []string
+	for _, m := range maps {
+		for key, e := range m {
+			if drop != nil && drop(e) {
 				continue
 			}
-		} else if len(e.e1) < 2 {
-			continue
+			if eligible(task, e) {
+				keys = append(keys, key)
+			}
 		}
-		keys = append(keys, key)
 	}
 	sort.Strings(keys)
 
-	out := &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
-	out.Blocks = make([]block.Block, 0, len(keys))
-	for _, key := range keys {
-		e := k.keys[key]
-		b := block.Block{Key: key, E1: e.e1}
-		if k.task == entity.CleanClean {
-			b.E2 = e.e2
+	out := &block.Collection{Task: task, NumEntities: c.Size(), Split: c.Split}
+	out.Blocks = make([]block.Block, len(keys))
+	shards := len(maps)
+	workers = par.Resolve(workers, len(keys))
+	par.Ranges(workers, len(keys), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := keys[i]
+			e := maps[keyShard(key, shards)][key]
+			b := block.Block{Key: key, E1: e.e1}
+			if task == entity.CleanClean {
+				b.E2 = e.e2
+			}
+			out.Blocks[i] = b
 		}
-		out.Blocks = append(out.Blocks, b)
-	}
+	})
 	return out
+}
+
+// buildKeyed runs a keyed blocking method end to end: each worker extracts
+// keys for a contiguous profile range into a private key index, the
+// per-worker postings are merged by key shard (again in parallel), and the
+// merged keys are materialized into blocks. Because worker w owns profile
+// IDs strictly below worker w+1's and postings merge in worker order,
+// every posting list comes out in ascending ID order — bit-identical to
+// the serial single-map build.
+func buildKeyed(c *entity.Collection, workers int, keysOf func(p *entity.Profile, emit func(string)), drop func(e *keyEntry) bool) *block.Collection {
+	workers = par.Resolve(workers, len(c.Profiles))
+	if workers <= 1 {
+		idx := newKeyIndex(c)
+		forEachProfileKeys(c, keysOf, func(id entity.ID, keys []string) {
+			for _, k := range keys {
+				idx.add(k, id)
+			}
+		})
+		return buildBlocks(c, []map[string]*keyEntry{idx.keys}, drop, 1)
+	}
+
+	// Map phase: per-worker key indexes over disjoint profile ranges,
+	// pre-partitioned into merge shards so the merge phase touches only
+	// its own shard of every worker map.
+	sharded := make([][]map[string]*keyEntry, workers)
+	task, split := c.Task, c.Split
+	par.Ranges(workers, len(c.Profiles), func(w, lo, hi int) {
+		local := make([]map[string]*keyEntry, workers)
+		for s := range local {
+			local[s] = make(map[string]*keyEntry)
+		}
+		forEachProfileKeysRange(c, lo, hi, keysOf, func(id entity.ID, keys []string) {
+			for _, key := range keys {
+				m := local[keyShard(key, workers)]
+				e := m[key]
+				if e == nil {
+					e = &keyEntry{}
+					m[key] = e
+				}
+				if task == entity.CleanClean && int(id) >= split {
+					e.e2 = append(e.e2, id)
+				} else {
+					e.e1 = append(e.e1, id)
+				}
+			}
+		})
+		sharded[w] = local
+	})
+
+	// Merge phase: shard s collects every worker's shard-s postings in
+	// worker order.
+	merged := make([]map[string]*keyEntry, workers)
+	par.Ranges(workers, workers, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			m := make(map[string]*keyEntry)
+			for _, local := range sharded {
+				if local == nil {
+					continue
+				}
+				for key, e := range local[s] {
+					t := m[key]
+					if t == nil {
+						t = &keyEntry{}
+						m[key] = t
+					}
+					t.e1 = append(t.e1, e.e1...)
+					t.e2 = append(t.e2, e.e2...)
+				}
+			}
+			merged[s] = m
+		}
+	})
+	return buildBlocks(c, merged, drop, workers)
 }
 
 // forEachProfileKeys runs fn once per profile with that profile's distinct
 // blocking keys, reusing a scratch set between profiles.
 func forEachProfileKeys(c *entity.Collection, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
+	forEachProfileKeysRange(c, 0, len(c.Profiles), keysOf, fn)
+}
+
+// forEachProfileKeysRange is forEachProfileKeys restricted to profiles
+// [lo, hi) — the per-worker slice of the sharded build.
+func forEachProfileKeysRange(c *entity.Collection, lo, hi int, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
 	seen := make(map[string]struct{})
 	var buf []string
-	for i := range c.Profiles {
+	for i := lo; i < hi; i++ {
 		p := &c.Profiles[i]
 		buf = buf[:0]
 		clear(seen)

@@ -21,6 +21,9 @@ type ExtendedQGramsBlocking struct {
 	// recall-oriented but explode combinatorially; the number of dropped
 	// grams is additionally capped at 2.
 	Threshold float64
+	// Workers shards the build as in TokenBlocking; 0 or 1 = serial,
+	// negative = GOMAXPROCS. Output is identical for any worker count.
+	Workers int
 }
 
 // Name implements Method.
@@ -36,8 +39,7 @@ func (x ExtendedQGramsBlocking) Build(c *entity.Collection) *block.Collection {
 	if threshold <= 0 || threshold > 1 {
 		threshold = 0.9
 	}
-	idx := newKeyIndex(c)
-	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, x.Workers, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				for _, key := range extendedQGramKeys(tok, q, threshold) {
@@ -45,12 +47,7 @@ func (x ExtendedQGramsBlocking) Build(c *entity.Collection) *block.Collection {
 				}
 			}
 		}
-	}, func(id entity.ID, keys []string) {
-		for _, k := range keys {
-			idx.add(k, id)
-		}
-	})
-	return idx.build(c)
+	}, nil)
 }
 
 // extendedQGramKeys derives the combination keys of one token.

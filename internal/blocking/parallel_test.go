@@ -1,0 +1,121 @@
+package blocking
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/paperexample"
+)
+
+// shardedMethods builds every blocking method that supports a sharded
+// build, parameterized by worker count.
+func shardedMethods(workers int) []Method {
+	return []Method{
+		TokenBlocking{Workers: workers},
+		QGramsBlocking{Workers: workers},
+		SuffixArrayBlocking{Workers: workers},
+		ExtendedQGramsBlocking{Workers: workers},
+	}
+}
+
+// TestShardedBlockingMatchesSerial: for every sharded method, worker count
+// and task type, the parallel build must be bit-identical to the serial
+// one — same block order, same member order.
+func TestShardedBlockingMatchesSerial(t *testing.T) {
+	inputs := map[string]*entity.Collection{
+		"example": paperexample.Collection(),
+		"dirty":   datagen.D1D(0.03).Collection,
+		"clean":   datagen.D1C(0.03).Collection,
+	}
+	workerCounts := []int{2, 3, 7, runtime.GOMAXPROCS(0), -1}
+	for name, c := range inputs {
+		for i, m := range shardedMethods(0) {
+			want := m.Build(c)
+			for _, w := range workerCounts {
+				got := shardedMethods(w)[i].Build(c)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/%s workers=%d: sharded build differs from serial (%d vs %d blocks)",
+						name, m.Name(), w, got.Len(), want.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBlockingWorkersExceedProfiles: more workers than profiles must
+// not panic or change the output.
+func TestShardedBlockingWorkersExceedProfiles(t *testing.T) {
+	c := paperexample.Collection()
+	want := TokenBlocking{}.Build(c)
+	got := TokenBlocking{Workers: 1000}.Build(c)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("oversubscribed build differs: %d vs %d blocks", got.Len(), want.Len())
+	}
+}
+
+// TestShardedBlockingEmptyCollection: the sharded path must handle inputs
+// smaller than any worker count.
+func TestShardedBlockingEmptyCollection(t *testing.T) {
+	c := entity.NewDirty(nil)
+	got := TokenBlocking{Workers: 4}.Build(c)
+	if got.Len() != 0 {
+		t.Fatalf("expected no blocks, got %d", got.Len())
+	}
+}
+
+// TestKeyShardStable: the shard function must be deterministic and in
+// range for any shard count.
+func TestKeyShardStable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		for _, key := range []string{"", "a", "token", "suffix arrays"} {
+			s := keyShard(key, n)
+			if s != keyShard(key, n) {
+				t.Fatalf("keyShard(%q, %d) not deterministic", key, n)
+			}
+			if s < 0 || s >= n {
+				t.Fatalf("keyShard(%q, %d) = %d out of range", key, n, s)
+			}
+		}
+	}
+}
+
+// TestSuffixArrayDropAfterMerge: the oversized-key drop must apply to the
+// globally merged postings, not the per-worker partials — a key that is
+// small in every shard but large in total must still be dropped.
+func TestSuffixArrayDropAfterMerge(t *testing.T) {
+	// 12 profiles share the token "suffix"; MaxBlockSize 8 must drop its
+	// suffix keys in both the serial and the sharded build.
+	var profiles []entity.Profile
+	for i := 0; i < 12; i++ {
+		profiles = append(profiles, entity.Profile{
+			Attributes: []entity.Attribute{{Name: "title", Value: "suffix"}},
+		})
+	}
+	c := entity.NewDirty(profiles)
+	s := SuffixArrayBlocking{MinLength: 4, MaxBlockSize: 8}
+	want := s.Build(c)
+	s.Workers = 5
+	got := s.Build(c)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded drop differs from serial: %d vs %d blocks", got.Len(), want.Len())
+	}
+	if want.Len() != 0 {
+		t.Fatalf("expected all oversized suffix blocks dropped, got %d", want.Len())
+	}
+}
+
+// TestBuildBlocksMultiShardOrder: blocks must come out sorted by key even
+// when the keys are spread over many shards.
+func TestBuildBlocksMultiShardOrder(t *testing.T) {
+	ds := datagen.D2D(0.02)
+	blocks := TokenBlocking{Workers: 6}.Build(ds.Collection)
+	for i := 1; i < blocks.Len(); i++ {
+		if blocks.Blocks[i-1].Key >= blocks.Blocks[i].Key {
+			t.Fatalf("blocks out of key order at %d: %q >= %q",
+				i, blocks.Blocks[i-1].Key, blocks.Blocks[i].Key)
+		}
+	}
+}

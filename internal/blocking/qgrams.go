@@ -12,6 +12,9 @@ import (
 type QGramsBlocking struct {
 	// Q is the gram length; values below 2 default to 3.
 	Q int
+	// Workers shards the build as in TokenBlocking; 0 or 1 = serial,
+	// negative = GOMAXPROCS. Output is identical for any worker count.
+	Workers int
 }
 
 // Name implements Method.
@@ -27,8 +30,7 @@ func (q QGramsBlocking) size() int {
 // Build implements Method.
 func (q QGramsBlocking) Build(c *entity.Collection) *block.Collection {
 	n := q.size()
-	idx := newKeyIndex(c)
-	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, q.Workers, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				if len(tok) <= n {
@@ -40,12 +42,7 @@ func (q QGramsBlocking) Build(c *entity.Collection) *block.Collection {
 				}
 			}
 		}
-	}, func(id entity.ID, keys []string) {
-		for _, k := range keys {
-			idx.add(k, id)
-		}
-	})
-	return idx.build(c)
+	}, nil)
 }
 
 // SuffixArrayBlocking keys every token on its suffixes of at least
@@ -58,6 +55,9 @@ type SuffixArrayBlocking struct {
 	// MaxBlockSize drops suffix keys assigned to more profiles than this;
 	// 0 defaults to 50.
 	MaxBlockSize int
+	// Workers shards the build as in TokenBlocking; 0 or 1 = serial,
+	// negative = GOMAXPROCS. Output is identical for any worker count.
+	Workers int
 }
 
 // Name implements Method.
@@ -73,8 +73,10 @@ func (s SuffixArrayBlocking) Build(c *entity.Collection) *block.Collection {
 	if maxSize <= 0 {
 		maxSize = 50
 	}
-	idx := newKeyIndex(c)
-	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+	// Oversized suffix blocks are dropped at materialization time, after
+	// the sharded postings have been merged (the per-worker partial counts
+	// say nothing about a key's global size).
+	return buildKeyed(c, s.Workers, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				if len(tok) < minLen {
@@ -85,16 +87,7 @@ func (s SuffixArrayBlocking) Build(c *entity.Collection) *block.Collection {
 				}
 			}
 		}
-	}, func(id entity.ID, keys []string) {
-		for _, k := range keys {
-			idx.add(k, id)
-		}
+	}, func(e *keyEntry) bool {
+		return len(e.e1)+len(e.e2) > maxSize
 	})
-	// Drop oversized suffix blocks before materializing.
-	for key, e := range idx.keys {
-		if len(e.e1)+len(e.e2) > maxSize {
-			delete(idx.keys, key)
-		}
-	}
-	return idx.build(c)
 }

@@ -13,6 +13,10 @@ type TokenBlocking struct {
 	// MinTokenLength drops tokens shorter than this many bytes; 0 keeps
 	// all tokens.
 	MinTokenLength int
+	// Workers shards key extraction and posting-list merging across this
+	// many goroutines: 0 or 1 keeps the serial build, negative uses
+	// GOMAXPROCS. The output is bit-identical regardless of worker count.
+	Workers int
 }
 
 // Name implements Method.
@@ -20,8 +24,7 @@ func (TokenBlocking) Name() string { return "Token Blocking" }
 
 // Build implements Method.
 func (t TokenBlocking) Build(c *entity.Collection) *block.Collection {
-	idx := newKeyIndex(c)
-	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, t.Workers, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				if len(tok) >= t.MinTokenLength {
@@ -29,10 +32,5 @@ func (t TokenBlocking) Build(c *entity.Collection) *block.Collection {
 				}
 			}
 		}
-	}, func(id entity.ID, keys []string) {
-		for _, k := range keys {
-			idx.add(k, id)
-		}
-	})
-	return idx.build(c)
+	}, nil)
 }

@@ -3,6 +3,7 @@ package blockproc
 import (
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/par"
 )
 
 // BlockFiltering removes every profile from the least important of its
@@ -23,6 +24,12 @@ type BlockFiltering struct {
 	// The paper reports this variant performs poorly (§4.1); it is kept
 	// for the ablation benchmarks.
 	GlobalThreshold int
+	// Workers parallelizes the clone, the cardinality sort, the per-entity
+	// count pass and the limit pass: 0 or 1 keeps the serial
+	// implementation, negative uses GOMAXPROCS. The retain pass is
+	// inherently sequential (each removal depends on all prior blocks) and
+	// stays serial; output is identical for any worker count.
+	Workers int
 }
 
 // Apply restructures the collection per Algorithm 1 and returns the result.
@@ -30,33 +37,27 @@ type BlockFiltering struct {
 // cardinality (the processing order of the algorithm), which downstream
 // methods such as Iterative Blocking also assume.
 func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
-	sorted := c.Clone()
-	sorted.SortByCardinality() // orderBlocks: descending importance
+	workers := par.Resolve(f.Workers, len(c.Blocks))
+	sorted := c.CloneWorkers(workers)
+	sorted.SortByCardinalityWorkers(workers) // orderBlocks: descending importance
 
 	// getThresholds: the per-profile limit ⌈r·|Bi|⌉ (at least 1 so no
 	// profile disappears from all blocks).
-	counts := make([]int32, c.NumEntities)
-	for i := range sorted.Blocks {
-		b := &sorted.Blocks[i]
-		for _, id := range b.E1 {
-			counts[id]++
-		}
-		for _, id := range b.E2 {
-			counts[id]++
-		}
-	}
+	counts := assignmentCounts(sorted, workers)
 	limits := make([]int32, c.NumEntities)
-	for id, n := range counts {
-		if f.GlobalThreshold > 0 {
-			limits[id] = int32(f.GlobalThreshold)
-			continue
+	par.Ranges(par.Resolve(workers, len(limits)), len(limits), func(_, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if f.GlobalThreshold > 0 {
+				limits[id] = int32(f.GlobalThreshold)
+				continue
+			}
+			limit := int32(f.Ratio*float64(counts[id]) + 0.5)
+			if limit < 1 {
+				limit = 1
+			}
+			limits[id] = limit
 		}
-		limit := int32(f.Ratio*float64(n) + 0.5)
-		if limit < 1 {
-			limit = 1
-		}
-		limits[id] = limit
-	}
+	})
 
 	out := &block.Collection{Task: c.Task, NumEntities: c.NumEntities, Split: c.Split}
 	counters := make([]int32, c.NumEntities)
@@ -77,6 +78,47 @@ func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
 		out.Blocks = append(out.Blocks, nb)
 	}
 	return out
+}
+
+// assignmentCounts returns |Bi| per entity: with multiple workers, each
+// worker counts a disjoint block range into a private array and the
+// per-worker arrays are summed over disjoint entity ranges (integer
+// addition commutes, so the result is exact regardless of partitioning).
+func assignmentCounts(c *block.Collection, workers int) []int32 {
+	counts := make([]int32, c.NumEntities)
+	if workers <= 1 {
+		countRange(c, 0, len(c.Blocks), counts)
+		return counts
+	}
+	partial := make([][]int32, workers)
+	par.Ranges(workers, len(c.Blocks), func(w, lo, hi int) {
+		p := make([]int32, c.NumEntities)
+		countRange(c, lo, hi, p)
+		partial[w] = p
+	})
+	par.Ranges(par.Resolve(workers, c.NumEntities), c.NumEntities, func(_, lo, hi int) {
+		for _, p := range partial {
+			if p == nil {
+				continue
+			}
+			for id := lo; id < hi; id++ {
+				counts[id] += p[id]
+			}
+		}
+	})
+	return counts
+}
+
+func countRange(c *block.Collection, lo, hi int, counts []int32) {
+	for i := lo; i < hi; i++ {
+		b := &c.Blocks[i]
+		for _, id := range b.E1 {
+			counts[id]++
+		}
+		for _, id := range b.E2 {
+			counts[id]++
+		}
+	}
 }
 
 func filterMembers(ids []entity.ID, counters, limits []int32) []entity.ID {

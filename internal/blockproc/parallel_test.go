@@ -1,0 +1,53 @@
+package blockproc
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"metablocking/internal/block"
+	"metablocking/internal/blocking"
+	"metablocking/internal/datagen"
+	"metablocking/internal/paperexample"
+)
+
+// TestBlockFilteringParallelMatchesSerial: the parallel Block Filtering
+// must be bit-identical to the serial one for every worker count, task
+// type, and both threshold modes.
+func TestBlockFilteringParallelMatchesSerial(t *testing.T) {
+	inputs := map[string]*block.Collection{
+		"example": blocking.TokenBlocking{}.Build(paperexample.Collection()),
+		"dirty":   blocking.TokenBlocking{}.Build(datagen.D1D(0.05).Collection),
+		"clean":   blocking.TokenBlocking{}.Build(datagen.D1C(0.05).Collection),
+	}
+	filters := []BlockFiltering{
+		{Ratio: 0.8},
+		{Ratio: 0.5},
+		{Ratio: 0.8, GlobalThreshold: 3},
+	}
+	for name, in := range inputs {
+		for _, f := range filters {
+			want := f.Apply(in)
+			for _, w := range []int{2, 3, 7, runtime.GOMAXPROCS(0), -1} {
+				pf := f
+				pf.Workers = w
+				got := pf.Apply(in)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s r=%.1f g=%d workers=%d: parallel filtering differs from serial (%d vs %d blocks)",
+						name, f.Ratio, f.GlobalThreshold, w, got.Len(), want.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestBlockFilteringParallelLeavesInputIntact: the parallel path must not
+// mutate the input collection (it clones before sorting).
+func TestBlockFilteringParallelLeavesInputIntact(t *testing.T) {
+	in := blocking.TokenBlocking{}.Build(paperexample.Collection())
+	snapshot := in.Clone()
+	BlockFiltering{Ratio: 0.8, Workers: 4}.Apply(in)
+	if !reflect.DeepEqual(in, snapshot) {
+		t.Fatal("parallel Block Filtering mutated its input")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/par"
 )
 
 // Graph is the implicit blocking graph GB of a block collection (paper §3).
@@ -38,12 +39,22 @@ type Graph struct {
 }
 
 // NewGraph builds the implicit blocking graph for the given (redundancy-
-// positive) block collection and weighting scheme. Construction builds the
-// Entity Index and, for EJS, one extra pass to compute node degrees.
+// positive) block collection and weighting scheme on a single core.
+// Construction builds the Entity Index and, for EJS, one extra pass to
+// compute node degrees.
 func NewGraph(c *block.Collection, scheme Scheme) *Graph {
+	return NewGraphWorkers(c, scheme, 1)
+}
+
+// NewGraphWorkers builds the same graph with the given number of workers
+// (0 or 1 = serial, negative = GOMAXPROCS): the Entity Index count and
+// fill passes and the EJS degree pass are sharded across the workers. The
+// resulting graph is bit-identical to the serial build.
+func NewGraphWorkers(c *block.Collection, scheme Scheme, workers int) *Graph {
+	workers = par.Resolve(workers, c.NumEntities)
 	g := &Graph{
 		blocks:       c,
-		index:        block.NewEntityIndex(c),
+		index:        block.NewEntityIndexParallel(c, workers),
 		flags:        make([]int64, c.NumEntities),
 		commonBlocks: make([]float64, c.NumEntities),
 	}
@@ -63,7 +74,7 @@ func NewGraph(c *block.Collection, scheme Scheme) *Graph {
 	}
 	g.ctx = weightContext{scheme: scheme, numBlocks: float64(len(c.Blocks)), numNodes: float64(numNodes)}
 	if scheme.NeedsDegrees() {
-		g.computeDegrees()
+		g.computeDegrees(workers)
 	}
 	return g
 }
@@ -137,16 +148,20 @@ func (g *Graph) accumulate(i entity.ID, others []entity.ID, inc float64, skipSel
 }
 
 // computeDegrees fills g.degrees with |vi| — the number of distinct
-// neighbors of every node — via one ScanCount pass.
-func (g *Graph) computeDegrees() {
+// neighbors of every node — via ScanCount passes sharded over disjoint
+// node ranges (each worker owns a private scratch shard, and the ranges
+// write disjoint g.degrees indices).
+func (g *Graph) computeDegrees(workers int) {
 	g.degrees = make([]int32, g.blocks.NumEntities)
-	for id := 0; id < g.blocks.NumEntities; id++ {
-		i := entity.ID(id)
-		if g.index.NumBlocks(i) == 0 {
-			continue
+	g.parallelRanges(workers, func(w *Graph, _, lo, hi int) {
+		for id := lo; id < hi; id++ {
+			i := entity.ID(id)
+			if w.index.NumBlocks(i) == 0 {
+				continue
+			}
+			g.degrees[i] = int32(len(w.scanNeighborhood(i)))
 		}
-		g.degrees[i] = int32(len(g.scanNeighborhood(i)))
-	}
+	})
 }
 
 // weightOf computes the edge weight between i and a neighbor j whose

@@ -16,9 +16,10 @@ type Config struct {
 	// OriginalWeighting uses Algorithm 2 instead of the Optimized Edge
 	// Weighting of Algorithm 3.
 	OriginalWeighting bool
-	// Workers enables parallel pruning: 0 keeps the serial implementation,
-	// negative uses GOMAXPROCS, positive that many workers. Parallel
-	// pruning always uses Optimized Edge Weighting and returns pairs in
+	// Workers enables the multi-core path for graph construction (Entity
+	// Index, EJS degrees) and pruning: 0 keeps the serial implementation,
+	// negative uses GOMAXPROCS, positive that many workers. The parallel
+	// path always uses Optimized Edge Weighting and returns pairs in
 	// canonical order; OriginalWeighting takes precedence when both are
 	// set.
 	Workers int
@@ -31,23 +32,39 @@ type Result struct {
 	Pairs []entity.Pair
 	// OTime is the overhead: graph construction plus pruning.
 	OTime time.Duration
+	// GraphTime is the slice of OTime spent building the blocking graph
+	// (Entity Index plus, for EJS, the degree pass).
+	GraphTime time.Duration
+	// PruneTime is the slice of OTime spent pruning.
+	PruneTime time.Duration
 }
 
 // Run restructures the block collection with the given configuration and
-// returns the retained comparisons along with the measured overhead time.
+// returns the retained comparisons along with the measured overhead time,
+// broken down into graph construction and pruning. A non-zero Workers
+// parallelizes both phases.
 func Run(c *block.Collection, cfg Config) Result {
 	start := time.Now()
-	g := NewGraph(c, cfg.Scheme)
+	parallel := cfg.Workers != 0 && !cfg.OriginalWeighting
+	var g *Graph
+	if parallel {
+		g = NewGraphWorkers(c, cfg.Scheme, cfg.Workers)
+	} else {
+		g = NewGraph(c, cfg.Scheme)
+	}
 	g.OriginalWeighting = cfg.OriginalWeighting
+	graphDone := time.Now()
 	var pairs []entity.Pair
-	if cfg.Workers != 0 && !cfg.OriginalWeighting {
-		workers := cfg.Workers
-		if workers < 0 {
-			workers = 0 // PruneParallel resolves 0 to GOMAXPROCS
-		}
-		pairs = g.PruneParallel(cfg.Algorithm, workers)
+	if parallel {
+		pairs = g.PruneParallel(cfg.Algorithm, cfg.Workers)
 	} else {
 		pairs = g.Prune(cfg.Algorithm)
 	}
-	return Result{Pairs: pairs, OTime: time.Since(start)}
+	end := time.Now()
+	return Result{
+		Pairs:     pairs,
+		OTime:     end.Sub(start),
+		GraphTime: graphDone.Sub(start),
+		PruneTime: end.Sub(graphDone),
+	}
 }

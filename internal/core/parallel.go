@@ -1,11 +1,12 @@
 package core
 
 import (
-	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"metablocking/internal/entity"
+	"metablocking/internal/floatsum"
+	"metablocking/internal/par"
 )
 
 // shard returns a Graph view sharing the immutable state (blocks, Entity
@@ -46,7 +47,8 @@ func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []en
 
 // forEachEdgeRange is ForEachEdge restricted to edges whose emitting
 // endpoint (the smaller ID for Dirty ER, the E1 member for Clean-Clean ER)
-// lies in [lo, hi).
+// lies in [lo, hi). Every emitted pair's canonical A is the emitting
+// endpoint, so per-range result buckets cover disjoint ascending A ranges.
 func (g *Graph) forEachEdgeRange(lo, hi int, fn func(i, j entity.ID, w float64)) {
 	clean := g.blocks.Task == entity.CleanClean
 	if clean && hi > g.blocks.Split {
@@ -68,17 +70,11 @@ func (g *Graph) forEachEdgeRange(lo, hi int, fn func(i, j entity.ID, w float64))
 
 // parallelRanges splits [0, n) into roughly equal chunks, one per worker,
 // and runs fn(worker, lo, hi) concurrently on shard copies of the graph.
+// workers must already be resolved with par.Resolve; trailing workers with
+// an empty chunk are not started, so fn may index per-worker buckets with
+// its worker argument directly.
 func (g *Graph) parallelRanges(workers int, fn func(w *Graph, worker, lo, hi int)) {
 	n := g.blocks.NumEntities
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers > 64 {
-		workers = 64 // per-worker result buckets are sized for 64 workers
-	}
 	if workers <= 1 {
 		fn(g, 0, 0, n)
 		return
@@ -104,68 +100,196 @@ func (g *Graph) parallelRanges(workers int, fn func(w *Graph, worker, lo, hi int
 }
 
 // PruneParallel applies the pruning algorithm using the given number of
-// workers (0 = GOMAXPROCS) and returns the same retained comparisons as
-// Prune, in a canonical order. It supports the Optimized Edge Weighting
-// only; node-centric sharding by ID range keeps every neighborhood on one
-// worker, so the per-node criteria are computed exactly as in the serial
-// implementation.
+// workers (0 or negative = GOMAXPROCS) and returns the same retained
+// comparisons as Prune, in a canonical order. It supports the Optimized
+// Edge Weighting only; node-centric sharding by ID range keeps every
+// neighborhood on one worker, so the per-node criteria are computed exactly
+// as in the serial implementation.
 func (g *Graph) PruneParallel(a Algorithm, workers int) []entity.Pair {
-	var out []entity.Pair
+	if workers == 0 {
+		workers = -1 // historical PruneParallel convention: 0 = GOMAXPROCS
+	}
+	workers = par.Resolve(workers, g.blocks.NumEntities)
 	switch a {
 	case CEP:
-		out = g.cepParallel(workers)
+		return g.cepParallel(workers)
 	case WEP:
-		out = g.wepParallel(workers)
+		return g.wepParallel(workers)
 	case CNP:
-		out = g.cnpParallel(workers)
+		return g.cnpParallel(workers)
 	case WNP:
-		out = g.wnpParallel(workers)
+		return g.wnpParallel(workers)
 	case RedefinedCNP:
-		out = g.redefinedCNPParallel(false, workers)
+		return g.redefinedCNPParallel(false, workers)
 	case ReciprocalCNP:
-		out = g.redefinedCNPParallel(true, workers)
+		return g.redefinedCNPParallel(true, workers)
 	case RedefinedWNP:
-		out = g.redefinedWNPParallel(false, workers)
+		return g.redefinedWNPParallel(false, workers)
 	case ReciprocalWNP:
-		out = g.redefinedWNPParallel(true, workers)
+		return g.redefinedWNPParallel(true, workers)
 	default:
-		out = g.Prune(a)
+		out := g.Prune(a)
+		sortPairs(out)
+		return out
 	}
-	sortPairs(out)
+}
+
+func pairLess(p, q entity.Pair) bool {
+	if p.A != q.A {
+		return p.A < q.A
+	}
+	return p.B < q.B
+}
+
+func comparePairs(p, q entity.Pair) int {
+	switch {
+	case p.A < q.A:
+		return -1
+	case p.A > q.A:
+		return 1
+	case p.B < q.B:
+		return -1
+	case p.B > q.B:
+		return 1
+	}
+	return 0
+}
+
+// sortPairs orders pairs canonically by (A, B). Exact duplicates (the
+// redundant comparisons of CNP/WNP) are indistinguishable, so the unstable
+// sort is deterministic.
+func sortPairs(pairs []entity.Pair) {
+	slices.SortFunc(pairs, comparePairs)
+}
+
+// assembleRangeBuckets turns per-worker buckets produced from disjoint
+// ascending emitting-endpoint ranges (forEachEdgeRange, the mark reducers)
+// into one canonically ordered slice: each bucket is sorted concurrently,
+// and because bucket b's pairs all have smaller A than bucket b+1's, the
+// sorted buckets concatenate into a globally sorted result — no k-way
+// merge and no global sort.
+func assembleRangeBuckets(buckets [][]entity.Pair) []entity.Pair {
+	sortBucketsConcurrently(buckets)
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	out := make([]entity.Pair, 0, total)
+	for _, b := range buckets {
+		out = append(out, b...)
+	}
 	return out
 }
 
-func sortPairs(pairs []entity.Pair) {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
+// assembleNodeBuckets merges per-worker buckets whose pairs may interleave
+// across the whole ID space (node-centric traversals emit MakePair(i, j)
+// with j on either side of the worker's range): each bucket is sorted
+// concurrently, then adjacent runs are merged pairwise — also
+// concurrently — into ping-pong buffers until one sorted run remains.
+func assembleNodeBuckets(buckets [][]entity.Pair) []entity.Pair {
+	sortBucketsConcurrently(buckets)
+
+	// Pack the sorted buckets into one backing array, tracking run bounds.
+	total := 0
+	runs := make([]int, 0, len(buckets)+1)
+	runs = append(runs, 0)
+	for _, b := range buckets {
+		if len(b) > 0 {
+			total += len(b)
+			runs = append(runs, total)
 		}
-		return pairs[i].B < pairs[j].B
-	})
+	}
+	cur := make([]entity.Pair, total)
+	{
+		off := 0
+		for _, b := range buckets {
+			off += copy(cur[off:], b)
+		}
+	}
+	if len(runs) <= 2 {
+		return cur
+	}
+	tmp := make([]entity.Pair, total)
+	for len(runs) > 2 {
+		nextRuns := make([]int, 0, len(runs)/2+2)
+		nextRuns = append(nextRuns, 0)
+		var thunks []func()
+		for i := 0; i+2 < len(runs); i += 2 {
+			lo, mid, hi := runs[i], runs[i+1], runs[i+2]
+			nextRuns = append(nextRuns, hi)
+			thunks = append(thunks, func() {
+				mergePairRuns(tmp[lo:hi], cur[lo:mid], cur[mid:hi])
+			})
+		}
+		if len(runs)%2 == 0 { // odd run count: copy the trailing run over
+			lo, hi := runs[len(runs)-2], runs[len(runs)-1]
+			nextRuns = append(nextRuns, hi)
+			thunks = append(thunks, func() { copy(tmp[lo:hi], cur[lo:hi]) })
+		}
+		par.Do(thunks...)
+		cur, tmp = tmp, cur
+		runs = nextRuns
+	}
+	return cur
+}
+
+// mergePairRuns merges the two sorted runs a and b into dst
+// (len(dst) == len(a)+len(b)), preferring a on ties.
+func mergePairRuns(dst, a, b []entity.Pair) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if pairLess(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
+// sortBucketsConcurrently sorts every bucket canonically, one goroutine per
+// non-trivial bucket.
+func sortBucketsConcurrently(buckets [][]entity.Pair) {
+	var thunks []func()
+	for _, b := range buckets {
+		if len(b) > 1 {
+			b := b
+			thunks = append(thunks, func() { sortPairs(b) })
+		}
+	}
+	if len(thunks) == 0 {
+		return
+	}
+	par.Do(thunks...)
 }
 
 func (g *Graph) wepParallel(workers int) []entity.Pair {
-	// Pass 1: collect every edge weight, then take the order-insensitive
-	// (sorted) mean so the threshold is bit-identical to the serial one.
-	weightBuckets := make([][]float64, 64)
+	// Pass 1: per-worker exact partial sums (no edge weight is ever
+	// materialized). The exact sum is a property of the weight multiset, so
+	// the resulting mean is bit-identical to the serial threshold for every
+	// worker count.
+	accs := make([]floatsum.Acc, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
-		var local []float64
+		acc := &accs[worker]
 		w.forEachEdgeRange(lo, hi, func(_, _ entity.ID, wt float64) {
-			local = append(local, wt)
+			acc.Add(wt)
 		})
-		weightBuckets[worker%len(weightBuckets)] = append(weightBuckets[worker%len(weightBuckets)], local...)
 	})
-	var weights []float64
-	for _, b := range weightBuckets {
-		weights = append(weights, b...)
+	var total floatsum.Acc
+	for i := range accs {
+		total.Merge(&accs[i])
 	}
-	if len(weights) == 0 {
+	if total.Count() == 0 {
 		return nil
 	}
-	mean := sortedMeanInPlace(weights)
+	mean := total.Mean()
 
-	// Pass 2: retain in per-worker buckets.
-	buckets := make([][]entity.Pair, 64)
+	// Pass 2: retain in per-worker buckets over disjoint A ranges.
+	buckets := make([][]entity.Pair, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
 		var local []entity.Pair
 		w.forEachEdgeRange(lo, hi, func(i, j entity.ID, wt float64) {
@@ -173,9 +297,9 @@ func (g *Graph) wepParallel(workers int) []entity.Pair {
 				local = append(local, entity.MakePair(i, j))
 			}
 		})
-		buckets[worker%len(buckets)] = append(buckets[worker%len(buckets)], local...)
+		buckets[worker] = local
 	})
-	return flatten(buckets)
+	return assembleRangeBuckets(buckets)
 }
 
 func (g *Graph) cepParallel(workers int) []entity.Pair {
@@ -183,13 +307,13 @@ func (g *Graph) cepParallel(workers int) []entity.Pair {
 	if k == 0 {
 		return nil
 	}
-	heaps := make([]*edgeHeap, 64)
+	heaps := make([]*edgeHeap, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
 		h := newEdgeHeap(k)
 		w.forEachEdgeRange(lo, hi, func(i, j entity.ID, wt float64) {
 			h.offer(wt, i, j)
 		})
-		heaps[worker%len(heaps)] = h
+		heaps[worker] = h
 	})
 	// Merge: the global top-K of the per-worker top-Ks.
 	final := newEdgeHeap(k)
@@ -205,12 +329,13 @@ func (g *Graph) cepParallel(workers int) []entity.Pair {
 	for _, e := range final.items {
 		out = append(out, entity.MakePair(e.i, e.j))
 	}
+	sortPairs(out)
 	return out
 }
 
 func (g *Graph) cnpParallel(workers int) []entity.Pair {
 	k := g.CardinalityNodeThreshold()
-	buckets := make([][]entity.Pair, 64)
+	buckets := make([][]entity.Pair, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
 		h := newEdgeHeap(k)
 		var local []entity.Pair
@@ -223,13 +348,13 @@ func (g *Graph) cnpParallel(workers int) []entity.Pair {
 				local = append(local, entity.MakePair(e.i, e.j))
 			}
 		})
-		buckets[worker%len(buckets)] = local
+		buckets[worker] = local
 	})
-	return flatten(buckets)
+	return assembleNodeBuckets(buckets)
 }
 
 func (g *Graph) wnpParallel(workers int) []entity.Pair {
-	buckets := make([][]entity.Pair, 64)
+	buckets := make([][]entity.Pair, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
 		var local []entity.Pair
 		w.forEachNodeRange(lo, hi, func(i entity.ID, neighbors []entity.ID, weights []float64) {
@@ -240,25 +365,36 @@ func (g *Graph) wnpParallel(workers int) []entity.Pair {
 				}
 			}
 		})
-		buckets[worker%len(buckets)] = local
+		buckets[worker] = local
 	})
-	return flatten(buckets)
+	return assembleNodeBuckets(buckets)
 }
 
+// pairMark is one endpoint's vote for a pair: bit 1 when the smaller
+// endpoint ranked the edge in its top-k, bit 2 when the larger one did.
+type pairMark struct {
+	p entity.Pair
+	m uint8
+}
+
+// redefinedCNPParallel implements the Redefined (OR) and Reciprocal (AND)
+// CNP variants with sharded mark accumulation instead of a global hash
+// map: finder workers emit per-reducer mark lists partitioned by the
+// pair's canonical A, and each reducer sorts its shard and merges mark
+// runs in one pass. Reducer shards cover disjoint ascending A ranges, so
+// their outputs concatenate into the canonical global order.
 func (g *Graph) redefinedCNPParallel(reciprocal bool, workers int) []entity.Pair {
 	k := g.CardinalityNodeThreshold()
-	type mark struct {
-		p entity.Pair
-		m uint8
-	}
-	buckets := make([][]mark, 64)
+	n := g.blocks.NumEntities
+	reducers := workers
+	marks := make([][][]pairMark, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
+		local := make([][]pairMark, reducers)
 		h := newEdgeHeap(k)
-		var local []mark
 		w.forEachNodeRange(lo, hi, func(i entity.ID, neighbors []entity.ID, weights []float64) {
 			h.reset()
-			for n, j := range neighbors {
-				h.offer(weights[n], i, j)
+			for nn, j := range neighbors {
+				h.offer(weights[nn], i, j)
 			}
 			for _, e := range h.items {
 				p := entity.MakePair(e.i, e.j)
@@ -266,18 +402,63 @@ func (g *Graph) redefinedCNPParallel(reciprocal bool, workers int) []entity.Pair
 				if e.i > e.j {
 					bit = 2
 				}
-				local = append(local, mark{p: p, m: bit})
+				r := int(uint64(p.A) * uint64(reducers) / uint64(n))
+				local[r] = append(local[r], pairMark{p: p, m: bit})
 			}
 		})
-		buckets[worker%len(buckets)] = local
+		marks[worker] = local
 	})
-	marks := make(map[entity.Pair]uint8)
-	for _, b := range buckets {
-		for _, mk := range b {
-			marks[mk.p] |= mk.m
+
+	outs := make([][]entity.Pair, reducers)
+	par.Ranges(reducers, reducers, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			outs[r] = reduceMarkShard(marks, r, reciprocal)
+		}
+	})
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]entity.Pair, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}
+
+// reduceMarkShard gathers every worker's marks for reducer shard r, sorts
+// them canonically and ORs each pair's bits in a single run scan.
+func reduceMarkShard(marks [][][]pairMark, r int, reciprocal bool) []entity.Pair {
+	total := 0
+	for _, workerMarks := range marks {
+		if workerMarks != nil {
+			total += len(workerMarks[r])
 		}
 	}
-	return collectMarks(marks, reciprocal)
+	if total == 0 {
+		return nil
+	}
+	shard := make([]pairMark, 0, total)
+	for _, workerMarks := range marks {
+		if workerMarks != nil {
+			shard = append(shard, workerMarks[r]...)
+		}
+	}
+	// Equal pairs may carry different bits; their relative order is
+	// irrelevant because the run scan ORs them.
+	slices.SortFunc(shard, func(a, b pairMark) int { return comparePairs(a.p, b.p) })
+	var out []entity.Pair
+	for i := 0; i < len(shard); {
+		p := shard[i].p
+		m := shard[i].m
+		for i++; i < len(shard) && shard[i].p == p; i++ {
+			m |= shard[i].m
+		}
+		if !reciprocal || m == 3 {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func (g *Graph) redefinedWNPParallel(reciprocal bool, workers int) []entity.Pair {
@@ -287,7 +468,7 @@ func (g *Graph) redefinedWNPParallel(reciprocal bool, workers int) []entity.Pair
 			thresholds[i] = mean(weights) // disjoint index ranges: no race
 		})
 	})
-	buckets := make([][]entity.Pair, 64)
+	buckets := make([][]entity.Pair, workers)
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
 		var local []entity.Pair
 		w.forEachEdgeRange(lo, hi, func(i, j entity.ID, wt float64) {
@@ -296,19 +477,7 @@ func (g *Graph) redefinedWNPParallel(reciprocal bool, workers int) []entity.Pair
 				local = append(local, entity.MakePair(i, j))
 			}
 		})
-		buckets[worker%len(buckets)] = local
+		buckets[worker] = local
 	})
-	return flatten(buckets)
-}
-
-func flatten(buckets [][]entity.Pair) []entity.Pair {
-	var n int
-	for _, b := range buckets {
-		n += len(b)
-	}
-	out := make([]entity.Pair, 0, n)
-	for _, b := range buckets {
-		out = append(out, b...)
-	}
-	return out
+	return assembleRangeBuckets(buckets)
 }

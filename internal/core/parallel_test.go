@@ -3,11 +3,13 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"metablocking/internal/block"
 	"metablocking/internal/blocking"
 	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
 	"metablocking/internal/paperexample"
 )
 
@@ -26,7 +28,7 @@ func TestPruneParallelMatchesSerial(t *testing.T) {
 			for _, alg := range AllAlgorithms {
 				want := NewGraph(blocks, scheme).Prune(alg)
 				sortPairs(want)
-				for _, workers := range []int{1, 2, 3, 8} {
+				for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
 					got := NewGraph(blocks, scheme).PruneParallel(alg, workers)
 					if !reflect.DeepEqual(got, want) {
 						t.Fatalf("%s/%v/%v workers=%d: parallel (%d pairs) ≠ serial (%d pairs)",
@@ -50,6 +52,36 @@ func TestPruneParallelOnSyntheticDataset(t *testing.T) {
 		if !reflect.DeepEqual(serial, parallel) {
 			t.Fatalf("%v: parallel ≠ serial on synthetic data: %d vs %d pairs",
 				alg, len(parallel), len(serial))
+		}
+	}
+}
+
+// TestNewGraphWorkersMatchesSerial: the parallel graph construction must
+// produce the same Entity Index contents and (for EJS) the same node
+// degrees as the serial build, for every worker count.
+func TestNewGraphWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	inputs := map[string]*block.Collection{
+		"dirty": randomDirtyBlocks(rng, 60, 50),
+		"clean": randomCleanBlocks(rng, 25, 60, 50),
+	}
+	for name, blocks := range inputs {
+		want := NewGraph(blocks, EJS)
+		for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0), -1} {
+			got := NewGraphWorkers(blocks, EJS, workers)
+			if got.NumNodes() != want.NumNodes() {
+				t.Fatalf("%s workers=%d: NumNodes %d ≠ %d", name, workers, got.NumNodes(), want.NumNodes())
+			}
+			for id := 0; id < blocks.NumEntities; id++ {
+				i := entity.ID(id)
+				if !reflect.DeepEqual(got.index.BlockList(i), want.index.BlockList(i)) {
+					t.Fatalf("%s workers=%d entity %d: block lists differ", name, workers, id)
+				}
+				if got.degrees[i] != want.degrees[i] {
+					t.Fatalf("%s workers=%d entity %d: degree %d ≠ %d",
+						name, workers, id, got.degrees[i], want.degrees[i])
+				}
+			}
 		}
 	}
 }

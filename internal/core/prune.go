@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"metablocking/internal/entity"
+	"metablocking/internal/floatsum"
 )
 
 // Algorithm selects the pruning algorithm applied to the blocking graph.
@@ -149,17 +149,19 @@ func (g *Graph) cep() []entity.Pair {
 // wep retains edges at or above the graph's mean edge weight. The mean is
 // derived in a first traversal and the pruning happens in a second one,
 // since the implicit graph stores no weights. Like the neighborhood means,
-// the global mean sums in ascending weight order so every implementation
-// (serial, parallel, MapReduce) lands on the same threshold bit-for-bit.
+// the global mean uses exact (correctly rounded) summation, so every
+// implementation (serial, parallel, MapReduce) and every worker partition
+// lands on the same threshold bit-for-bit — without materializing or
+// sorting the edge weights.
 func (g *Graph) wep() []entity.Pair {
-	var weights []float64
+	var acc floatsum.Acc
 	g.edges(func(_, _ entity.ID, w float64) {
-		weights = append(weights, w)
+		acc.Add(w)
 	})
-	if len(weights) == 0 {
+	if acc.Count() == 0 {
 		return nil
 	}
-	mean := sortedMeanInPlace(weights)
+	mean := acc.Mean()
 	var out []entity.Pair
 	g.edges(func(i, j entity.ID, w float64) {
 		if w >= mean {
@@ -259,30 +261,12 @@ func collectMarks(marks map[entity.Pair]uint8, reciprocal bool) []entity.Pair {
 	return out
 }
 
-// mean computes the average weight of a neighborhood. The summation runs
-// over an ascending copy so the result is independent of neighbor
-// enumeration order — float addition is not associative, and an
-// order-sensitive mean would make threshold decisions on boundary edges
-// nondeterministic across traversal strategies (serial, parallel,
-// MapReduce).
+// mean computes the average weight of a neighborhood with exact summation,
+// so the result depends only on the multiset of weights — float addition
+// is not associative, and an order-sensitive mean would make threshold
+// decisions on boundary edges nondeterministic across traversal strategies
+// (serial, parallel, MapReduce). Unlike the previous sort-based mean it
+// neither copies nor sorts the weights.
 func mean(xs []float64) float64 {
-	switch len(xs) {
-	case 0:
-		return 0
-	case 1:
-		return xs[0]
-	}
-	sorted := append([]float64(nil), xs...)
-	return sortedMeanInPlace(sorted)
-}
-
-// sortedMeanInPlace sorts xs ascending and returns its mean. xs must be
-// non-empty; it is clobbered.
-func sortedMeanInPlace(xs []float64) float64 {
-	sort.Float64s(xs)
-	var sum float64
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return floatsum.Mean(xs)
 }

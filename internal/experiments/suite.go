@@ -32,6 +32,10 @@ type Suite struct {
 	Scale float64
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+	// Workers parallelizes dataset preparation (Token Blocking and Block
+	// Filtering): 0 = serial, negative = GOMAXPROCS. The prepared blocks
+	// are identical for any value.
+	Workers int
 
 	prepared []*Prepared
 }
@@ -71,13 +75,13 @@ func (s *Suite) Datasets() []*Prepared {
 		p := &Prepared{Dataset: ds}
 
 		start := time.Now()
-		blocks := blocking.TokenBlocking{}.Build(ds.Collection)
+		blocks := blocking.TokenBlocking{Workers: s.Workers}.Build(ds.Collection)
 		blocks = blockproc.BlockPurging{}.Apply(blocks)
 		p.BlockingTime = time.Since(start)
 		p.Original = blocks
 
 		start = time.Now()
-		p.Filtered = blockproc.BlockFiltering{Ratio: FilterRatio}.Apply(blocks)
+		p.Filtered = blockproc.BlockFiltering{Ratio: FilterRatio, Workers: s.Workers}.Apply(blocks)
 		p.FilteringTime = time.Since(start)
 
 		p.measureMatchCost()

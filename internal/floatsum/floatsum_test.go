@@ -1,0 +1,90 @@
+package floatsum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSumExactCases checks the classic cancellation cases a naive sum gets
+// wrong.
+func TestSumExactCases(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{2.5}, 2.5},
+		{[]float64{1, 1e100, 1, -1e100}, 2},
+		// Ten 0.1s: the exact sum 1.0000000000000000555… rounds to 1.0
+		// (a naive left-to-right sum yields 0.9999999999999999).
+		{[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}, 1.0},
+	}
+	for _, tc := range cases {
+		if got := Sum(tc.xs); got != tc.want {
+			t.Errorf("Sum(%v) = %g, want %g", tc.xs, got, tc.want)
+		}
+	}
+}
+
+// TestSumOrderIndependent: any permutation and any partitioning into merged
+// accumulators must give bit-identical sums — the property the parallel
+// pipeline's thresholds rely on.
+func TestSumOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(60)-30))
+	}
+	want := Sum(xs)
+
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(xs))
+		shuffled := make([]float64, len(xs))
+		for i, p := range perm {
+			shuffled[i] = xs[p]
+		}
+		if got := Sum(shuffled); got != want {
+			t.Fatalf("trial %d: shuffled sum %v ≠ %v", trial, got, want)
+		}
+		// Partition into k accumulators, merge, compare.
+		k := 1 + rng.Intn(8)
+		accs := make([]Acc, k)
+		for i, x := range shuffled {
+			accs[i%k].Add(x)
+		}
+		var total Acc
+		for i := range accs {
+			total.Merge(&accs[i])
+		}
+		if got := total.Sum(); got != want {
+			t.Fatalf("trial %d: merged sum %v ≠ %v", trial, got, want)
+		}
+		if total.Count() != int64(len(xs)) {
+			t.Fatalf("trial %d: merged count %d ≠ %d", trial, total.Count(), len(xs))
+		}
+	}
+}
+
+// TestMeanMatchesSum ensures Mean is Sum/len and handles the degenerate
+// sizes.
+func TestMeanMatchesSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{3.5}) != 3.5 {
+		t.Fatal("Mean singleton")
+	}
+	xs := []float64{0.1, 0.2, 0.3, 0.7, 1e-17}
+	if got, want := Mean(xs), Sum(xs)/float64(len(xs)); got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	var a Acc
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.Mean() != Mean(xs) {
+		t.Fatal("Acc.Mean disagrees with Mean")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"metablocking/internal/block"
 	"metablocking/internal/core"
 	"metablocking/internal/entity"
+	"metablocking/internal/floatsum"
 	"metablocking/internal/mapreduce"
 )
 
@@ -213,18 +214,14 @@ func (j *Job) WEP() []entity.Pair {
 	if len(edges) == 0 {
 		return nil
 	}
-	// Order-insensitive (sorted) mean, bit-identical to core's threshold
-	// when the per-edge weights are.
-	weights := make([]float64, len(edges))
-	for i, e := range edges {
-		weights[i] = e.Weight
+	// Exact (correctly rounded) mean, bit-identical to core's threshold
+	// when the per-edge weights are: the exact sum depends only on the
+	// multiset of weights, not on shuffle order.
+	var acc floatsum.Acc
+	for _, e := range edges {
+		acc.Add(e.Weight)
 	}
-	sort.Float64s(weights)
-	var sum float64
-	for _, w := range weights {
-		sum += w
-	}
-	mean := sum / float64(len(weights))
+	mean := acc.Mean()
 	var out []entity.Pair
 	for _, e := range edges {
 		if e.Weight >= mean {

@@ -5,6 +5,7 @@ import (
 
 	"metablocking/internal/core"
 	"metablocking/internal/entity"
+	"metablocking/internal/floatsum"
 	"metablocking/internal/mapreduce"
 )
 
@@ -67,19 +68,14 @@ func (j *Job) nodeCentric(cardinality bool, reciprocal bool) []entity.Pair {
 					retained = neighborhood
 				}
 			} else {
-				// Order-insensitive mean, matching core's: values arrive
-				// in shuffle order, and float addition is not
-				// associative, so the fold must fix its own order.
-				weights := make([]float64, len(neighborhood))
-				for i, a := range neighborhood {
-					weights[i] = a.weight
+				// Exact mean, matching core's: values arrive in shuffle
+				// order, and float addition is not associative, so the
+				// fold must be order-independent.
+				var acc floatsum.Acc
+				for _, a := range neighborhood {
+					acc.Add(a.weight)
 				}
-				sort.Float64s(weights)
-				var sum float64
-				for _, w := range weights {
-					sum += w
-				}
-				mean := sum / float64(len(weights))
+				mean := acc.Mean()
 				for _, a := range neighborhood {
 					if a.weight >= mean {
 						retained = append(retained, a)

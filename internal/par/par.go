@@ -1,0 +1,77 @@
+// Package par holds the small shared machinery of the parallel pipeline:
+// worker-count resolution and deterministic range fan-out. Every parallel
+// stage (blocking, filtering, Entity Index construction, graph traversal)
+// partitions its input into one contiguous range per worker, so results can
+// be merged back in worker order without any cross-worker coordination.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a Workers knob to a concrete worker count for an input of
+// size n, using the convention of core.Config.Workers: 0 or 1 keeps the
+// serial path, negative uses GOMAXPROCS, positive uses that many workers.
+// The result is clamped to [1, n] (with a minimum of 1 for empty inputs).
+func Resolve(workers, n int) int {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Ranges splits [0, n) into one contiguous chunk per worker and runs
+// fn(worker, lo, hi) concurrently. workers must already be resolved
+// (≥ 1); workers == 1 runs fn inline with the full range. Trailing workers
+// whose chunk is empty are not started, so fn may index per-worker result
+// buckets with its worker argument directly.
+func Ranges(workers, n int, fn func(worker, lo, hi int)) {
+	if workers <= 1 || n == 0 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			fn(worker, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks concurrently and waits for all of them — the
+// fork/join used for independent pipeline phases (e.g. sorting per-worker
+// result buckets).
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

@@ -193,10 +193,28 @@ type Pipeline struct {
 	Algorithm Algorithm
 	// OriginalWeighting switches to Algorithm 2 edge weighting.
 	OriginalWeighting bool
-	// Workers enables parallel pruning: 0 = serial, negative = one worker
-	// per CPU, positive = that many workers. Parallel pruning always uses
-	// Optimized Edge Weighting.
+	// Workers parallelizes every stage of the pipeline — blocking (for the
+	// sharded methods: Token, Q-grams, Suffix Arrays, Extended Q-grams),
+	// Block Filtering, graph construction and pruning: 0 = serial,
+	// negative = one worker per CPU, positive = that many workers. Every
+	// stage produces bit-identical output for any worker count. Parallel
+	// pruning always uses Optimized Edge Weighting. A blocking method whose
+	// own Workers field is already non-zero keeps it.
 	Workers int
+}
+
+// Stages breaks a pipeline run's wall-clock time down by stage.
+type Stages struct {
+	// Blocking is the time spent building the input blocks.
+	Blocking time.Duration
+	// Filtering is the time spent cleaning them (Block Purging plus Block
+	// Filtering).
+	Filtering time.Duration
+	// Graph is the time spent building the blocking graph (Entity Index
+	// and, for EJS, the degree pass).
+	Graph time.Duration
+	// Prune is the time spent pruning the graph's edges.
+	Prune time.Duration
 }
 
 // Result is a pipeline run's output.
@@ -210,6 +228,9 @@ type Result struct {
 	// OTime is the total overhead time (blocking excluded, cleaning and
 	// pruning included), mirroring the paper's OTime of restructuring.
 	OTime time.Duration
+	// Stages breaks the run down by stage; unlike OTime it includes the
+	// blocking time.
+	Stages Stages
 }
 
 // Run executes the pipeline on a collection.
@@ -228,22 +249,26 @@ func (p Pipeline) Run(c *Collection) (*Result, error) {
 		return nil, errors.New("metablocking: GraphFree requires a FilterRatio")
 	}
 
-	blocks := method.Build(c)
+	blockStart := time.Now()
+	blocks := withWorkers(method, p.Workers).Build(c)
 	start := time.Now()
+	res := &Result{Stages: Stages{Blocking: start.Sub(blockStart)}}
 	if !p.DisablePurging {
 		blocks = blockproc.BlockPurging{}.Apply(blocks)
 	}
-	res := &Result{}
 	if p.GraphFree {
 		res.Pairs = blockproc.GraphFreeMetaBlocking{Ratio: p.FilterRatio}.Apply(blocks)
 		res.InputBlocks = blocks.Len()
 		res.InputComparisons = blocks.Comparisons()
 		res.OTime = time.Since(start)
+		res.Stages.Prune = res.OTime
 		return res, nil
 	}
 	if p.FilterRatio > 0 {
-		blocks = blockproc.BlockFiltering{Ratio: p.FilterRatio}.Apply(blocks)
+		blocks = blockproc.BlockFiltering{Ratio: p.FilterRatio, Workers: p.Workers}.Apply(blocks)
 	}
+	filterDone := time.Now()
+	res.Stages.Filtering = filterDone.Sub(start)
 	res.InputBlocks = blocks.Len()
 	res.InputComparisons = blocks.Comparisons()
 	run := core.Run(blocks, core.Config{
@@ -254,7 +279,41 @@ func (p Pipeline) Run(c *Collection) (*Result, error) {
 	})
 	res.Pairs = run.Pairs
 	res.OTime = time.Since(start)
+	res.Stages.Graph = run.GraphTime
+	res.Stages.Prune = run.PruneTime
 	return res, nil
+}
+
+// withWorkers propagates the pipeline's worker count into the blocking
+// methods that support sharded builds, unless the method already sets its
+// own Workers.
+func withWorkers(m BlockingMethod, workers int) BlockingMethod {
+	if workers == 0 {
+		return m
+	}
+	switch b := m.(type) {
+	case TokenBlocking:
+		if b.Workers == 0 {
+			b.Workers = workers
+		}
+		return b
+	case QGramsBlocking:
+		if b.Workers == 0 {
+			b.Workers = workers
+		}
+		return b
+	case SuffixArrayBlocking:
+		if b.Workers == 0 {
+			b.Workers = workers
+		}
+		return b
+	case ExtendedQGramsBlocking:
+		if b.Workers == 0 {
+			b.Workers = workers
+		}
+		return b
+	}
+	return m
 }
 
 // Evaluate measures retained comparisons against a ground truth; baseline
