@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench-parallel
+.PHONY: check race ci bench-parallel
 
 ## check: vet, build and test everything (the tier-1 gate).
 check:
@@ -8,9 +8,13 @@ check:
 	$(GO) build ./...
 	$(GO) test ./...
 
-## race: run the parallel pipeline's packages under the race detector.
+## race: run the packages with concurrency — including the root package's
+## observability/cancellation tests — under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/block/... ./internal/blocking/...
+	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/...
+
+## ci: what the GitHub Actions workflow runs (check + race).
+ci: check race
 
 ## bench-parallel: regenerate the worker-sweep numbers of
 ## results_parallel_scale0.5.txt (honest wall-clock depends on host cores).

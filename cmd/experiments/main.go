@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"metablocking/internal/experiments"
+	"metablocking/internal/obs"
 )
 
 func main() {
@@ -24,7 +25,23 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write per-table CSV files into this directory")
 	workers := flag.Int("workers", -1, "worker goroutines for dataset preparation (-1 = all CPUs, 0 = serial)")
+	metrics := flag.Bool("metrics", false, "print the aggregated pipeline counter table to stderr on exit")
+	pprofAddr := flag.String("pprof", "", "serve expvar and net/http/pprof on this address while the suite runs")
 	flag.Parse()
+
+	var reg *obs.Metrics
+	if *metrics || *pprofAddr != "" {
+		reg = obs.NewMetrics()
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", *pprofAddr)
+	}
 
 	if *list {
 		fmt.Println("table1   block collections before/after Block Filtering")
@@ -42,6 +59,12 @@ func main() {
 
 	s := experiments.NewSuite(*scale, os.Stdout)
 	s.Workers = *workers
+	s.Metrics = reg
+	printMetrics := func() {
+		if *metrics {
+			fmt.Fprint(os.Stderr, reg.Snapshot().Table())
+		}
+	}
 	fmt.Printf("Enhanced Meta-blocking experiment suite (scale %.2f)\n", *scale)
 	start := time.Now()
 	if *csvDir != "" {
@@ -51,6 +74,7 @@ func main() {
 		}
 		fmt.Printf("\nCSV reports written to %s\n", *csvDir)
 		fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+		printMetrics()
 		return
 	}
 	switch *only {
@@ -81,4 +105,5 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	printMetrics()
 }

@@ -18,15 +18,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"time"
 
 	mb "metablocking"
 	"metablocking/internal/dataio"
+	"metablocking/internal/obs"
 )
 
 func main() {
@@ -51,8 +56,16 @@ func run() error {
 		match     = flag.Float64("match", 0, "Jaccard matching threshold; 0 outputs raw comparisons")
 		output    = flag.String("output", "", "output CSV path (default stdout)")
 		saveBlk   = flag.String("save-blocks", "", "persist the cleaned block collection to this file")
+		metrics   = flag.Bool("metrics", false, "print the per-stage counter/gauge table to stderr")
+		pprofAddr = flag.String("pprof", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
+		progress  = flag.Bool("progress", false, "stream per-stage progress to stderr")
 	)
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) cancels the pipeline cooperatively: every stage
+	// drains its workers and RunContext returns context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	collection, gt, err := loadInput(*input, *truth, *dataset, *scale)
 	if err != nil {
@@ -72,6 +85,23 @@ func run() error {
 		return err
 	}
 
+	var opts []mb.RunOption
+	if *metrics || *pprofAddr != "" {
+		reg := mb.NewMetrics()
+		opts = append(opts, mb.WithMetrics(reg))
+		if *pprofAddr != "" {
+			srv, err := obs.ServeDebug(*pprofAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", *pprofAddr)
+		}
+	}
+	if *progress {
+		opts = append(opts, mb.WithProgress(progressPrinter(os.Stderr)))
+	}
+
 	p := mb.Pipeline{
 		Blocking:    blocking,
 		FilterRatio: *filter,
@@ -80,7 +110,7 @@ func run() error {
 		Algorithm:   alg,
 		Workers:     *workers,
 	}
-	res, err := p.Run(collection)
+	res, err := p.RunContext(ctx, collection, opts...)
 	if err != nil {
 		return err
 	}
@@ -88,6 +118,9 @@ func run() error {
 		collection.Size(), res.InputComparisons, len(res.Pairs), res.OTime)
 	fmt.Fprintf(os.Stderr, "stages: blocking=%v filtering=%v graph=%v pruning=%v\n",
 		res.Stages.Blocking, res.Stages.Filtering, res.Stages.Graph, res.Stages.Prune)
+	if *metrics {
+		fmt.Fprint(os.Stderr, metricsReport(res))
+	}
 
 	if *saveBlk != "" {
 		cleaned := mb.BuildBlocks(collection, blocking, *filter)
@@ -110,6 +143,35 @@ func run() error {
 	}
 
 	return writePairs(*output, pairs)
+}
+
+// metricsReport renders the run's counter/gauge snapshot for -metrics.
+func metricsReport(res *mb.Result) string {
+	return res.Metrics.Table()
+}
+
+// progressPrinter returns a ProgressFunc that streams per-stage progress
+// lines to w, throttled to one line per stage per 200ms (the final
+// done==total line is always printed). The callback is invoked
+// concurrently from worker goroutines, hence the lock.
+func progressPrinter(w io.Writer) mb.ProgressFunc {
+	var mu sync.Mutex
+	latest := make(map[string]int64)
+	last := make(map[string]time.Time)
+	return func(stage string, done, total int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done < latest[stage] {
+			return // a lagging worker's tick arrived out of order
+		}
+		latest[stage] = done
+		now := time.Now()
+		if done < total && now.Sub(last[stage]) < 200*time.Millisecond {
+			return
+		}
+		last[stage] = now
+		fmt.Fprintf(w, "%s: %d/%d\n", stage, done, total)
+	}
 }
 
 func loadInput(input, truth, dataset string, scale float64) (*mb.Collection, *mb.GroundTruth, error) {

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	mb "metablocking"
@@ -129,6 +133,62 @@ func TestParsers(t *testing.T) {
 	}
 	if _, err := parseAlgorithm("xx"); err == nil {
 		t.Error("bad algorithm accepted")
+	}
+}
+
+// tableValue extracts one named counter/gauge value from the -metrics
+// table rendering.
+func tableValue(t *testing.T, table, name string) int64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(table))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("row %q: %v", sc.Text(), err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("table has no row %q:\n%s", name, table)
+	return 0
+}
+
+// TestMetricsReport verifies the -metrics table agrees exactly with the
+// run's Result: the filter-stage comparison count is InputComparisons and
+// the retained-pair counter is len(Pairs).
+func TestMetricsReport(t *testing.T) {
+	ds := mb.GenerateDataset(mb.D1D, 0.1)
+	res, err := mb.Pipeline{FilterRatio: 0.8, Scheme: mb.JS, Algorithm: mb.ReciprocalWNP, Workers: -1}.
+		RunContext(context.Background(), ds.Collection, mb.WithMetrics(mb.NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := metricsReport(res)
+	if got := tableValue(t, table, "filter.comparisons"); got != res.InputComparisons {
+		t.Errorf("filter.comparisons = %d, want InputComparisons %d", got, res.InputComparisons)
+	}
+	if got := tableValue(t, table, "prune.pairs"); got != int64(len(res.Pairs)) {
+		t.Errorf("prune.pairs = %d, want len(Pairs) %d", got, len(res.Pairs))
+	}
+	for _, name := range []string{"blocking.blocks", "blocking.comparisons", "purge.blocks",
+		"purge.comparisons", "filter.blocks", "graph.nodes", "prune.edges_weighted"} {
+		tableValue(t, table, name) // must be present
+	}
+}
+
+// TestProgressPrinter exercises the -progress line format and throttling.
+func TestProgressPrinter(t *testing.T) {
+	var b strings.Builder
+	fn := progressPrinter(&b)
+	fn("blocking", 512, 1024)
+	fn("blocking", 256, 1024) // out-of-order tick: dropped
+	fn("blocking", 600, 1024) // within throttle window: dropped
+	fn("blocking", 1024, 1024)
+	want := "blocking: 512/1024\nblocking: 1024/1024\n"
+	if b.String() != want {
+		t.Errorf("progress output %q, want %q", b.String(), want)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	mb "metablocking"
 	"metablocking/internal/core"
 	"metablocking/internal/incremental"
+	"metablocking/internal/obs"
 )
 
 // options carries the parsed command-line configuration.
@@ -37,21 +38,46 @@ type options struct {
 	scheme    string
 	maxBlock  int
 	threshold float64
+	metrics   bool
 }
 
 func main() {
 	var opts options
+	var pprofAddr string
 	flag.StringVar(&opts.input, "input", "", "JSONL profiles file (default stdin)")
 	flag.IntVar(&opts.k, "k", 10, "max candidates per arrival (0 = mean-weight pruning)")
 	flag.StringVar(&opts.scheme, "scheme", "js", "weighting scheme: arcs, cbs, ecbs, js")
 	flag.IntVar(&opts.maxBlock, "maxblock", 1000, "ignore blocks larger than this")
 	flag.Float64Var(&opts.threshold, "min-weight", 0, "drop candidates below this weight")
+	flag.BoolVar(&opts.metrics, "metrics", false, "print the stream counter table to stderr on exit")
+	flag.StringVar(&pprofAddr, "pprof", "", "serve expvar and net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+	if pprofAddr != "" {
+		srv, err := obs.ServeDebug(pprofAddr, streamMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stream:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", pprofAddr)
+	}
 	if err := run(os.Stdin, os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "stream:", err)
 		os.Exit(1)
 	}
 }
+
+// streamMetrics collects the resolver's own counters: arrivals, emitted
+// candidates and candidates dropped by -min-weight. It is served live by
+// -pprof and printed on exit by -metrics.
+var streamMetrics = obs.NewMetrics()
+
+// Stream counter names.
+const (
+	ctrProfiles   = "stream.profiles"
+	ctrCandidates = "stream.candidates"
+	ctrDropped    = "stream.dropped"
+)
 
 func run(stdin io.Reader, stdout io.Writer, opts options) error {
 	sch, err := parseScheme(opts.scheme)
@@ -107,11 +133,14 @@ func run(stdin io.Reader, stdout io.Writer, opts options) error {
 			}
 		}
 		id, candidates := resolver.Add(p)
+		streamMetrics.Counter(ctrProfiles).Inc()
 		for _, c := range candidates {
 			if c.Weight < opts.threshold {
+				streamMetrics.Counter(ctrDropped).Inc()
 				continue
 			}
 			fmt.Fprintf(w, "%d,%d,%s\n", id, c.ID, strconv.FormatFloat(c.Weight, 'g', 6, 64))
+			streamMetrics.Counter(ctrCandidates).Inc()
 			emitted++
 		}
 	}
@@ -120,6 +149,9 @@ func run(stdin io.Reader, stdout io.Writer, opts options) error {
 	}
 	fmt.Fprintf(os.Stderr, "stream: %d profiles, %d candidate comparisons emitted\n",
 		resolver.Size(), emitted)
+	if opts.metrics {
+		fmt.Fprint(os.Stderr, streamMetrics.Snapshot().Table())
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package block
 
 import (
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 	"metablocking/internal/par"
 )
 
@@ -34,6 +35,15 @@ func NewEntityIndex(c *Collection) *EntityIndex {
 // result is bit-identical to the serial build — including the ascending
 // order within every entity's list — without any locking.
 func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
+	return NewEntityIndexObserved(c, workers, nil)
+}
+
+// NewEntityIndexObserved is NewEntityIndexParallel with an observability
+// handle: the count and fill loops poll o for cancellation once per
+// stride of blocks and the build aborts between passes once o's context
+// is canceled, returning a partially built index the caller must discard
+// after checking o. A nil o disables the polls.
+func NewEntityIndexObserved(c *Collection, workers int, o *obs.Observer) *EntityIndex {
 	idx := &EntityIndex{
 		lists:       make([][]int32, c.NumEntities),
 		numEntities: c.NumEntities,
@@ -41,7 +51,7 @@ func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
 	numBlocks := len(c.Blocks)
 	workers = par.Resolve(workers, numBlocks)
 	if workers <= 1 {
-		idx.buildSerial(c)
+		idx.buildSerial(c, o)
 		return idx
 	}
 
@@ -50,6 +60,9 @@ func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
 	par.Ranges(workers, numBlocks, func(w, lo, hi int) {
 		counts := make([]int32, c.NumEntities)
 		for i := lo; i < hi; i++ {
+			if (i-lo)&obs.StrideMask == obs.StrideMask && o.Canceled() {
+				break
+			}
 			b := &c.Blocks[i]
 			for _, id := range b.E1 {
 				counts[id]++
@@ -60,6 +73,9 @@ func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
 		}
 		perWorker[w] = counts
 	})
+	if o.Canceled() {
+		return idx
+	}
 
 	// Per-entity totals (parallel over entity ranges), then one serial
 	// prefix sum to place every entity's segment in the flat array.
@@ -102,6 +118,9 @@ func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
 	par.Ranges(workers, numBlocks, func(w, lo, hi int) {
 		cursors := perWorker[w]
 		for i := lo; i < hi; i++ {
+			if (i-lo)&obs.StrideMask == obs.StrideMask && o.Canceled() {
+				break
+			}
 			b := &c.Blocks[i]
 			for _, id := range b.E1 {
 				idx.flat[cursors[id]] = int32(i)
@@ -127,9 +146,12 @@ func NewEntityIndexParallel(c *Collection, workers int) *EntityIndex {
 
 // buildSerial is the single-core build: one count pass, one prefix sum,
 // one fill pass into the flat backing array.
-func (x *EntityIndex) buildSerial(c *Collection) {
+func (x *EntityIndex) buildSerial(c *Collection, o *obs.Observer) {
 	counts := make([]int32, c.NumEntities)
 	for i := range c.Blocks {
+		if i&obs.StrideMask == obs.StrideMask && o.Canceled() {
+			return
+		}
 		b := &c.Blocks[i]
 		for _, id := range b.E1 {
 			counts[id]++

@@ -11,6 +11,7 @@ import (
 
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 	"metablocking/internal/par"
 )
 
@@ -21,6 +22,35 @@ type Method interface {
 	// Build extracts the block collection. Implementations must produce a
 	// deterministic block order for a given input.
 	Build(c *entity.Collection) *block.Collection
+}
+
+// WorkerSetter is implemented by the methods with a sharded parallel
+// build (Token, Q-grams, Suffix Arrays, Extended Q-grams). It lets
+// callers propagate a pipeline-wide worker count without enumerating the
+// concrete method types.
+type WorkerSetter interface {
+	Method
+	// WithWorkers returns a copy of the method with the given worker
+	// count, keeping the method's own Workers when already non-zero.
+	WithWorkers(workers int) Method
+}
+
+// ObservedMethod is implemented by the methods whose build reports into
+// an observability handle: blocking-stage progress over the profiles, the
+// workers.blocking gauge, and cooperative cancellation polled at shard
+// strides. A nil Observer makes BuildObserved identical to Build.
+type ObservedMethod interface {
+	Method
+	BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection
+}
+
+// BuildObserved runs the method's observed build when it has one and
+// falls back to the plain Build otherwise.
+func BuildObserved(m Method, c *entity.Collection, o *obs.Observer) *block.Collection {
+	if om, ok := m.(ObservedMethod); ok {
+		return om.BuildObserved(c, o)
+	}
+	return m.Build(c)
 }
 
 // keyIndex accumulates, per blocking key, the profiles assigned to it,
@@ -127,15 +157,26 @@ func buildBlocks(c *entity.Collection, maps []map[string]*keyEntry, drop func(e 
 // IDs strictly below worker w+1's and postings merge in worker order,
 // every posting list comes out in ascending ID order — bit-identical to
 // the serial single-map build.
-func buildKeyed(c *entity.Collection, workers int, keysOf func(p *entity.Profile, emit func(string)), drop func(e *keyEntry) bool) *block.Collection {
+//
+// An optional Observer o reports blocking-stage progress over the
+// profiles and the resolved workers.blocking gauge, and is polled for
+// cancellation once per stride of profiles: once o's context is canceled
+// the remaining phases are skipped and an empty collection is returned —
+// callers must check o.Err before using the result.
+func buildKeyed(c *entity.Collection, workers int, o *obs.Observer, keysOf func(p *entity.Profile, emit func(string)), drop func(e *keyEntry) bool) *block.Collection {
 	workers = par.Resolve(workers, len(c.Profiles))
+	o.Gauge(obs.GaugeWorkersBlocking).Set(int64(workers))
+	meter := o.NewMeter(obs.StageBlocking, int64(len(c.Profiles)))
 	if workers <= 1 {
 		idx := newKeyIndex(c)
-		forEachProfileKeys(c, keysOf, func(id entity.ID, keys []string) {
+		forEachProfileKeysRange(c, 0, len(c.Profiles), o, meter, keysOf, func(id entity.ID, keys []string) {
 			for _, k := range keys {
 				idx.add(k, id)
 			}
 		})
+		if o.Canceled() {
+			return &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+		}
 		return buildBlocks(c, []map[string]*keyEntry{idx.keys}, drop, 1)
 	}
 
@@ -149,7 +190,7 @@ func buildKeyed(c *entity.Collection, workers int, keysOf func(p *entity.Profile
 		for s := range local {
 			local[s] = make(map[string]*keyEntry)
 		}
-		forEachProfileKeysRange(c, lo, hi, keysOf, func(id entity.ID, keys []string) {
+		forEachProfileKeysRange(c, lo, hi, o, meter, keysOf, func(id entity.ID, keys []string) {
 			for _, key := range keys {
 				m := local[keyShard(key, workers)]
 				e := m[key]
@@ -166,12 +207,18 @@ func buildKeyed(c *entity.Collection, workers int, keysOf func(p *entity.Profile
 		})
 		sharded[w] = local
 	})
+	if o.Canceled() {
+		return &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+	}
 
 	// Merge phase: shard s collects every worker's shard-s postings in
 	// worker order.
 	merged := make([]map[string]*keyEntry, workers)
 	par.Ranges(workers, workers, func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
+			if o.Canceled() {
+				break
+			}
 			m := make(map[string]*keyEntry)
 			for _, local := range sharded {
 				if local == nil {
@@ -190,21 +237,32 @@ func buildKeyed(c *entity.Collection, workers int, keysOf func(p *entity.Profile
 			merged[s] = m
 		}
 	})
+	if o.Canceled() {
+		return &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
+	}
 	return buildBlocks(c, merged, drop, workers)
 }
 
 // forEachProfileKeys runs fn once per profile with that profile's distinct
 // blocking keys, reusing a scratch set between profiles.
 func forEachProfileKeys(c *entity.Collection, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
-	forEachProfileKeysRange(c, 0, len(c.Profiles), keysOf, fn)
+	forEachProfileKeysRange(c, 0, len(c.Profiles), nil, nil, keysOf, fn)
 }
 
 // forEachProfileKeysRange is forEachProfileKeys restricted to profiles
-// [lo, hi) — the per-worker slice of the sharded build.
-func forEachProfileKeysRange(c *entity.Collection, lo, hi int, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
+// [lo, hi) — the per-worker slice of the sharded build. It ticks m and
+// polls o for cancellation once per stride of profiles, aborting the
+// range early when the run is canceled.
+func forEachProfileKeysRange(c *entity.Collection, lo, hi int, o *obs.Observer, m *obs.Meter, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
 	seen := make(map[string]struct{})
 	var buf []string
 	for i := lo; i < hi; i++ {
+		if (i-lo)&obs.StrideMask == obs.StrideMask {
+			m.Add(obs.Stride)
+			if o.Canceled() {
+				return
+			}
+		}
 		p := &c.Profiles[i]
 		buf = buf[:0]
 		clear(seen)
@@ -220,4 +278,5 @@ func forEachProfileKeysRange(c *entity.Collection, lo, hi int, keysOf func(p *en
 		})
 		fn(p.ID, buf)
 	}
+	m.Add(int64(hi-lo) & obs.StrideMask)
 }

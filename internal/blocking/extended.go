@@ -6,6 +6,7 @@ import (
 
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 )
 
 // ExtendedQGramsBlocking increases the precision of Q-grams Blocking by
@@ -26,11 +27,29 @@ type ExtendedQGramsBlocking struct {
 	Workers int
 }
 
+var (
+	_ WorkerSetter   = ExtendedQGramsBlocking{}
+	_ ObservedMethod = ExtendedQGramsBlocking{}
+)
+
 // Name implements Method.
 func (ExtendedQGramsBlocking) Name() string { return "Extended Q-grams Blocking" }
 
+// WithWorkers implements WorkerSetter.
+func (x ExtendedQGramsBlocking) WithWorkers(workers int) Method {
+	if x.Workers == 0 {
+		x.Workers = workers
+	}
+	return x
+}
+
 // Build implements Method.
 func (x ExtendedQGramsBlocking) Build(c *entity.Collection) *block.Collection {
+	return x.BuildObserved(c, nil)
+}
+
+// BuildObserved implements ObservedMethod.
+func (x ExtendedQGramsBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection {
 	q := x.Q
 	if q < 2 {
 		q = 3
@@ -39,7 +58,7 @@ func (x ExtendedQGramsBlocking) Build(c *entity.Collection) *block.Collection {
 	if threshold <= 0 || threshold > 1 {
 		threshold = 0.9
 	}
-	return buildKeyed(c, x.Workers, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, x.Workers, o, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				for _, key := range extendedQGramKeys(tok, q, threshold) {

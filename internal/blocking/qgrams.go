@@ -3,6 +3,7 @@ package blocking
 import (
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 )
 
 // QGramsBlocking generalizes Token Blocking by keying on the character
@@ -17,6 +18,11 @@ type QGramsBlocking struct {
 	Workers int
 }
 
+var (
+	_ WorkerSetter   = QGramsBlocking{}
+	_ ObservedMethod = QGramsBlocking{}
+)
+
 // Name implements Method.
 func (q QGramsBlocking) Name() string { return "Q-grams Blocking" }
 
@@ -27,10 +33,23 @@ func (q QGramsBlocking) size() int {
 	return q.Q
 }
 
+// WithWorkers implements WorkerSetter.
+func (q QGramsBlocking) WithWorkers(workers int) Method {
+	if q.Workers == 0 {
+		q.Workers = workers
+	}
+	return q
+}
+
 // Build implements Method.
 func (q QGramsBlocking) Build(c *entity.Collection) *block.Collection {
+	return q.BuildObserved(c, nil)
+}
+
+// BuildObserved implements ObservedMethod.
+func (q QGramsBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection {
 	n := q.size()
-	return buildKeyed(c, q.Workers, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, q.Workers, o, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				if len(tok) <= n {
@@ -60,11 +79,29 @@ type SuffixArrayBlocking struct {
 	Workers int
 }
 
+var (
+	_ WorkerSetter   = SuffixArrayBlocking{}
+	_ ObservedMethod = SuffixArrayBlocking{}
+)
+
 // Name implements Method.
 func (SuffixArrayBlocking) Name() string { return "Suffix Arrays Blocking" }
 
+// WithWorkers implements WorkerSetter.
+func (s SuffixArrayBlocking) WithWorkers(workers int) Method {
+	if s.Workers == 0 {
+		s.Workers = workers
+	}
+	return s
+}
+
 // Build implements Method.
 func (s SuffixArrayBlocking) Build(c *entity.Collection) *block.Collection {
+	return s.BuildObserved(c, nil)
+}
+
+// BuildObserved implements ObservedMethod.
+func (s SuffixArrayBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection {
 	minLen := s.MinLength
 	if minLen < 1 {
 		minLen = 4
@@ -76,7 +113,7 @@ func (s SuffixArrayBlocking) Build(c *entity.Collection) *block.Collection {
 	// Oversized suffix blocks are dropped at materialization time, after
 	// the sharded postings have been merged (the per-worker partial counts
 	// say nothing about a key's global size).
-	return buildKeyed(c, s.Workers, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, s.Workers, o, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				if len(tok) < minLen {

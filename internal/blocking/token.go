@@ -3,6 +3,7 @@ package blocking
 import (
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 )
 
 // TokenBlocking is the paper's primary blocking method (§1, §6.2): it
@@ -19,12 +20,30 @@ type TokenBlocking struct {
 	Workers int
 }
 
+var (
+	_ WorkerSetter   = TokenBlocking{}
+	_ ObservedMethod = TokenBlocking{}
+)
+
 // Name implements Method.
 func (TokenBlocking) Name() string { return "Token Blocking" }
 
+// WithWorkers implements WorkerSetter.
+func (t TokenBlocking) WithWorkers(workers int) Method {
+	if t.Workers == 0 {
+		t.Workers = workers
+	}
+	return t
+}
+
 // Build implements Method.
 func (t TokenBlocking) Build(c *entity.Collection) *block.Collection {
-	return buildKeyed(c, t.Workers, func(p *entity.Profile, emit func(string)) {
+	return t.BuildObserved(c, nil)
+}
+
+// BuildObserved implements ObservedMethod.
+func (t TokenBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection {
+	return buildKeyed(c, t.Workers, o, func(p *entity.Profile, emit func(string)) {
 		for _, a := range p.Attributes {
 			for _, tok := range entity.Tokenize(a.Value) {
 				if len(tok) >= t.MinTokenLength {

@@ -3,6 +3,7 @@ package blockproc
 import (
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 	"metablocking/internal/par"
 )
 
@@ -30,6 +31,12 @@ type BlockFiltering struct {
 	// inherently sequential (each removal depends on all prior blocks) and
 	// stays serial; output is identical for any worker count.
 	Workers int
+	// Obs is the optional observability handle: it receives the filter
+	// stage's progress over the sorted blocks and the workers.filter gauge,
+	// and is polled for cancellation between passes and once per stride of
+	// the retain loop. When Obs's context is canceled Apply returns a
+	// partial collection the caller must discard after checking Obs.Err.
+	Obs *obs.Observer
 }
 
 // Apply restructures the collection per Algorithm 1 and returns the result.
@@ -37,13 +44,22 @@ type BlockFiltering struct {
 // cardinality (the processing order of the algorithm), which downstream
 // methods such as Iterative Blocking also assume.
 func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
+	o := f.Obs
 	workers := par.Resolve(f.Workers, len(c.Blocks))
+	o.Gauge(obs.GaugeWorkersFilter).Set(int64(workers))
+	out := &block.Collection{Task: c.Task, NumEntities: c.NumEntities, Split: c.Split}
 	sorted := c.CloneWorkers(workers)
 	sorted.SortByCardinalityWorkers(workers) // orderBlocks: descending importance
+	if o.Canceled() {
+		return out
+	}
 
 	// getThresholds: the per-profile limit ⌈r·|Bi|⌉ (at least 1 so no
 	// profile disappears from all blocks).
 	counts := assignmentCounts(sorted, workers)
+	if o.Canceled() {
+		return out
+	}
 	limits := make([]int32, c.NumEntities)
 	par.Ranges(par.Resolve(workers, len(limits)), len(limits), func(_, lo, hi int) {
 		for id := lo; id < hi; id++ {
@@ -59,9 +75,15 @@ func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
 		}
 	})
 
-	out := &block.Collection{Task: c.Task, NumEntities: c.NumEntities, Split: c.Split}
+	meter := o.NewMeter(obs.StageFilter, int64(len(sorted.Blocks)))
 	counters := make([]int32, c.NumEntities)
 	for i := range sorted.Blocks {
+		if i&obs.StrideMask == obs.StrideMask {
+			meter.Add(obs.Stride)
+			if o.Canceled() {
+				return out
+			}
+		}
 		b := &sorted.Blocks[i]
 		e1 := filterMembers(b.E1, counters, limits)
 		var e2 []entity.ID
@@ -77,6 +99,7 @@ func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
 		}
 		out.Blocks = append(out.Blocks, nb)
 	}
+	meter.Add(int64(len(sorted.Blocks)) & obs.StrideMask)
 	return out
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 	"metablocking/internal/par"
 )
 
@@ -36,7 +37,37 @@ type Graph struct {
 	epoch        int64
 	commonBlocks []float64
 	neighbors    []entity.ID
+
+	// obs carries the run's observability handle (cancellation polls and
+	// the edges-weighted counter); meter is the current stage's progress
+	// meter. Both are nil on un-observed graphs and shared across shards.
+	obs   *obs.Observer
+	meter *obs.Meter
 }
+
+// obsTick batches progress ticks and cancellation polls for the hot
+// traversal loops: step is called once per outer-loop iteration, ticks the
+// meter every obs.Stride iterations and reports whether the traversal
+// should abort. flush reports the iterations since the last full stride.
+type obsTick struct {
+	o *obs.Observer
+	m *obs.Meter
+	n int64
+}
+
+func (t *obsTick) step() bool {
+	t.n++
+	if t.n&obs.StrideMask != 0 {
+		return false
+	}
+	t.m.Add(obs.Stride)
+	return t.o.Canceled()
+}
+
+func (t *obsTick) flush() { t.m.Add(t.n & obs.StrideMask) }
+
+// SetMeter installs the progress meter ticked by the traversal loops.
+func (g *Graph) SetMeter(m *obs.Meter) { g.meter = m }
 
 // NewGraph builds the implicit blocking graph for the given (redundancy-
 // positive) block collection and weighting scheme on a single core.
@@ -51,12 +82,26 @@ func NewGraph(c *block.Collection, scheme Scheme) *Graph {
 // fill passes and the EJS degree pass are sharded across the workers. The
 // resulting graph is bit-identical to the serial build.
 func NewGraphWorkers(c *block.Collection, scheme Scheme, workers int) *Graph {
+	return NewGraphObserved(c, scheme, workers, nil)
+}
+
+// NewGraphObserved is NewGraphWorkers with an observability handle: the
+// resolved worker count is reported to the workers.graph gauge, the EJS
+// degree pass reports graph-stage progress, and construction aborts
+// between (and, for the sharded passes, inside) its passes once o's
+// context is canceled — callers must check o.Err before using the graph.
+func NewGraphObserved(c *block.Collection, scheme Scheme, workers int, o *obs.Observer) *Graph {
 	workers = par.Resolve(workers, c.NumEntities)
+	o.Gauge(obs.GaugeWorkersGraph).Set(int64(workers))
 	g := &Graph{
 		blocks:       c,
-		index:        block.NewEntityIndexParallel(c, workers),
+		index:        block.NewEntityIndexObserved(c, workers, o),
+		obs:          o,
 		flags:        make([]int64, c.NumEntities),
 		commonBlocks: make([]float64, c.NumEntities),
+	}
+	if o.Canceled() {
+		return g
 	}
 	if scheme.usesReciprocalCardinality() {
 		g.invCard = make([]float64, len(c.Blocks))
@@ -73,8 +118,10 @@ func NewGraphWorkers(c *block.Collection, scheme Scheme, workers int) *Graph {
 		}
 	}
 	g.ctx = weightContext{scheme: scheme, numBlocks: float64(len(c.Blocks)), numNodes: float64(numNodes)}
-	if scheme.NeedsDegrees() {
+	if scheme.NeedsDegrees() && !o.Canceled() {
+		g.meter = o.NewMeter(obs.StageGraph, int64(c.NumEntities))
 		g.computeDegrees(workers)
+		g.meter = nil
 	}
 	return g
 }
@@ -154,13 +201,18 @@ func (g *Graph) accumulate(i entity.ID, others []entity.ID, inc float64, skipSel
 func (g *Graph) computeDegrees(workers int) {
 	g.degrees = make([]int32, g.blocks.NumEntities)
 	g.parallelRanges(workers, func(w *Graph, _, lo, hi int) {
+		tick := obsTick{o: w.obs, m: w.meter}
 		for id := lo; id < hi; id++ {
+			if tick.step() {
+				break
+			}
 			i := entity.ID(id)
 			if w.index.NumBlocks(i) == 0 {
 				continue
 			}
 			g.degrees[i] = int32(len(w.scanNeighborhood(i)))
 		}
+		tick.flush()
 	})
 }
 
@@ -179,8 +231,13 @@ func (g *Graph) weightOf(i, j entity.ID) float64 {
 // Edge Weighting, Alg. 3). The slices passed to fn are scratch buffers,
 // only valid for the duration of the call.
 func (g *Graph) ForEachNode(fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
+	tick := obsTick{o: g.obs, m: g.meter}
 	var weights []float64
+	var weighed int64
 	for id := 0; id < g.blocks.NumEntities; id++ {
+		if tick.step() {
+			break
+		}
 		i := entity.ID(id)
 		if g.index.NumBlocks(i) == 0 {
 			continue
@@ -193,20 +250,28 @@ func (g *Graph) ForEachNode(fn func(i entity.ID, neighbors []entity.ID, weights 
 		for _, j := range neighbors {
 			weights = append(weights, g.weightOf(i, j))
 		}
+		weighed += int64(len(neighbors))
 		fn(i, neighbors, weights)
 	}
+	tick.flush()
+	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }
 
 // ForEachEdge invokes fn once per edge of the blocking graph with its
 // weight, using the optimized per-node scan and emitting each pair from its
 // smaller endpoint only.
 func (g *Graph) ForEachEdge(fn func(i, j entity.ID, w float64)) {
+	tick := obsTick{o: g.obs, m: g.meter}
 	clean := g.blocks.Task == entity.CleanClean
 	limit := g.blocks.NumEntities
 	if clean {
 		limit = g.blocks.Split // E2 nodes' edges are all emitted from the E1 side
 	}
+	var weighed int64
 	for id := 0; id < limit; id++ {
+		if tick.step() {
+			break
+		}
 		i := entity.ID(id)
 		if g.index.NumBlocks(i) == 0 {
 			continue
@@ -215,7 +280,10 @@ func (g *Graph) ForEachEdge(fn func(i, j entity.ID, w float64)) {
 			if !clean && j < i {
 				continue // emitted when scanning j
 			}
+			weighed++
 			fn(i, j, g.weightOf(i, j))
 		}
 	}
+	tick.flush()
+	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }

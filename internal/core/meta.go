@@ -5,6 +5,7 @@ import (
 
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 )
 
 // Config selects a full meta-blocking configuration: one weighting scheme
@@ -23,6 +24,12 @@ type Config struct {
 	// canonical order; OriginalWeighting takes precedence when both are
 	// set.
 	Workers int
+	// Obs is the run's observability handle: graph/prune stage spans,
+	// progress, the graph.nodes / prune.* counters and cooperative
+	// cancellation. Nil disables all of it. When Obs's context is
+	// canceled, Run aborts mid-stage and returns a partial Result the
+	// caller must discard after checking Obs.Err.
+	Obs *obs.Observer
 }
 
 // Result is the output of one meta-blocking run.
@@ -44,27 +51,67 @@ type Result struct {
 // broken down into graph construction and pruning. A non-zero Workers
 // parallelizes both phases.
 func Run(c *block.Collection, cfg Config) Result {
+	o := cfg.Obs
 	start := time.Now()
 	parallel := cfg.Workers != 0 && !cfg.OriginalWeighting
-	var g *Graph
+	endSpan := o.StartSpan(obs.StageGraph)
+	graphWorkers := 1
 	if parallel {
-		g = NewGraphWorkers(c, cfg.Scheme, cfg.Workers)
-	} else {
-		g = NewGraph(c, cfg.Scheme)
+		graphWorkers = cfg.Workers
 	}
+	g := NewGraphObserved(c, cfg.Scheme, graphWorkers, o)
 	g.OriginalWeighting = cfg.OriginalWeighting
+	endSpan()
 	graphDone := time.Now()
+	if o.Canceled() {
+		return Result{OTime: graphDone.Sub(start), GraphTime: graphDone.Sub(start)}
+	}
+	o.Counter(obs.CtrGraphNodes).Add(int64(g.NumNodes()))
+	endSpan = o.StartSpan(obs.StagePrune)
+	if !cfg.OriginalWeighting {
+		// The progress total is the exact number of outer-loop iterations
+		// of the algorithm's optimized weighting passes; the Original
+		// traversals are comparison-driven and report no progress.
+		g.meter = o.NewMeter(obs.StagePrune, pruneTicks(cfg.Algorithm, c))
+	}
 	var pairs []entity.Pair
 	if parallel {
 		pairs = g.PruneParallel(cfg.Algorithm, cfg.Workers)
 	} else {
+		o.Gauge(obs.GaugeWorkersPrune).Set(1)
 		pairs = g.Prune(cfg.Algorithm)
 	}
+	g.meter = nil
+	endSpan()
+	o.Counter(obs.CtrPairsRetained).Add(int64(len(pairs)))
 	end := time.Now()
 	return Result{
 		Pairs:     pairs,
 		OTime:     end.Sub(start),
 		GraphTime: graphDone.Sub(start),
 		PruneTime: end.Sub(graphDone),
+	}
+}
+
+// pruneTicks returns the exact number of outer-loop iterations the
+// algorithm's optimized weighting passes perform over the collection —
+// the progress total of the prune stage. Node-centric passes visit every
+// entity ID; edge-centric passes visit only the emitting endpoints (all
+// IDs for Dirty ER, the E1 side for Clean-Clean ER).
+func pruneTicks(a Algorithm, c *block.Collection) int64 {
+	node := int64(c.NumEntities)
+	edge := node
+	if c.Task == entity.CleanClean {
+		edge = int64(c.Split)
+	}
+	switch a {
+	case CEP:
+		return edge
+	case WEP:
+		return 2 * edge
+	case RedefinedWNP, ReciprocalWNP:
+		return node + edge
+	default: // CNP, WNP, RedefinedCNP, ReciprocalCNP: one node-centric pass
+		return node
 	}
 }

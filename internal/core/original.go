@@ -2,6 +2,7 @@ package core
 
 import (
 	"metablocking/internal/entity"
+	"metablocking/internal/obs"
 )
 
 // ForEachEdgeOriginal invokes fn once per edge with its weight using the
@@ -12,7 +13,11 @@ import (
 // from the full intersection. Its average cost is O(2·BPE·‖B‖), which the
 // optimized ForEachEdge reduces to O(‖B‖ + |v̄|·|E|) (paper §4.3).
 func (g *Graph) ForEachEdgeOriginal(fn func(i, j entity.ID, w float64)) {
+	var seen, weighed int64
 	g.blocks.ForEachComparison(func(blockID int, a, b entity.ID) bool {
+		if seen++; seen&obs.StrideMask == 0 && g.obs.Canceled() {
+			return false
+		}
 		common, ok := g.intersect(int32(blockID), a, b)
 		if !ok {
 			return true // redundant comparison: skip
@@ -22,9 +27,11 @@ func (g *Graph) ForEachEdgeOriginal(fn func(i, j entity.ID, w float64)) {
 			da, db = g.degrees[a], g.degrees[b]
 		}
 		w := g.ctx.weight(common, g.index.NumBlocks(a), g.index.NumBlocks(b), da, db)
+		weighed++
 		fn(a, b, w)
 		return true
 	})
+	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }
 
 // intersect walks the two block lists in parallel (Alg. 2, lines 7-15),
@@ -63,8 +70,13 @@ func (g *Graph) intersect(blockID int32, a, b entity.ID) (common float64, ok boo
 // pruning schemes cost without Optimized Edge Weighting (Table 3 vs
 // Table 5).
 func (g *Graph) ForEachNodeOriginal(fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
+	tick := obsTick{o: g.obs}
 	var weights []float64
+	var weighed int64
 	for id := 0; id < g.blocks.NumEntities; id++ {
+		if tick.step() {
+			break
+		}
 		i := entity.ID(id)
 		if g.index.NumBlocks(i) == 0 {
 			continue
@@ -82,8 +94,10 @@ func (g *Graph) ForEachNodeOriginal(fn func(i entity.ID, neighbors []entity.ID, 
 			}
 			weights = append(weights, g.ctx.weight(common, g.index.NumBlocks(i), g.index.NumBlocks(j), di, dj))
 		}
+		weighed += int64(len(neighbors))
 		fn(i, neighbors, weights)
 	}
+	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }
 
 // distinctNeighbors enumerates the distinct co-occurring profiles of i

@@ -6,6 +6,7 @@ import (
 
 	"metablocking/internal/entity"
 	"metablocking/internal/floatsum"
+	"metablocking/internal/obs"
 	"metablocking/internal/par"
 )
 
@@ -20,6 +21,8 @@ func (g *Graph) shard() *Graph {
 		ctx:               g.ctx,
 		invCard:           g.invCard,
 		degrees:           g.degrees,
+		obs:               g.obs,
+		meter:             g.meter,
 		flags:             make([]int64, g.blocks.NumEntities),
 		commonBlocks:      make([]float64, g.blocks.NumEntities),
 	}
@@ -27,8 +30,13 @@ func (g *Graph) shard() *Graph {
 
 // forEachNodeRange is ForEachNode restricted to node IDs in [lo, hi).
 func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
+	tick := obsTick{o: g.obs, m: g.meter}
 	var weights []float64
+	var weighed int64
 	for id := lo; id < hi; id++ {
+		if tick.step() {
+			break
+		}
 		i := entity.ID(id)
 		if g.index.NumBlocks(i) == 0 {
 			continue
@@ -41,8 +49,11 @@ func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []en
 		for _, j := range neighbors {
 			weights = append(weights, g.weightOf(i, j))
 		}
+		weighed += int64(len(neighbors))
 		fn(i, neighbors, weights)
 	}
+	tick.flush()
+	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }
 
 // forEachEdgeRange is ForEachEdge restricted to edges whose emitting
@@ -50,11 +61,16 @@ func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []en
 // lies in [lo, hi). Every emitted pair's canonical A is the emitting
 // endpoint, so per-range result buckets cover disjoint ascending A ranges.
 func (g *Graph) forEachEdgeRange(lo, hi int, fn func(i, j entity.ID, w float64)) {
+	tick := obsTick{o: g.obs, m: g.meter}
 	clean := g.blocks.Task == entity.CleanClean
 	if clean && hi > g.blocks.Split {
 		hi = g.blocks.Split
 	}
+	var weighed int64
 	for id := lo; id < hi; id++ {
+		if tick.step() {
+			break
+		}
 		i := entity.ID(id)
 		if g.index.NumBlocks(i) == 0 {
 			continue
@@ -63,9 +79,12 @@ func (g *Graph) forEachEdgeRange(lo, hi int, fn func(i, j entity.ID, w float64))
 			if !clean && j < i {
 				continue
 			}
+			weighed++
 			fn(i, j, g.weightOf(i, j))
 		}
 	}
+	tick.flush()
+	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }
 
 // parallelRanges splits [0, n) into roughly equal chunks, one per worker,
@@ -110,6 +129,7 @@ func (g *Graph) PruneParallel(a Algorithm, workers int) []entity.Pair {
 		workers = -1 // historical PruneParallel convention: 0 = GOMAXPROCS
 	}
 	workers = par.Resolve(workers, g.blocks.NumEntities)
+	g.obs.Gauge(obs.GaugeWorkersPrune).Set(int64(workers))
 	switch a {
 	case CEP:
 		return g.cepParallel(workers)

@@ -31,6 +31,7 @@ func (s *Suite) pruneAveraged(p *Prepared, c *block.Collection, alg core.Algorit
 			Scheme:            scheme,
 			Algorithm:         alg,
 			OriginalWeighting: originalWeighting,
+			Obs:               s.obsHandle(),
 		})
 		rep := eval.EvaluatePairs(res.Pairs, p.Dataset.GroundTruth, c.Comparisons())
 		comparisons = append(comparisons, rep.Comparisons)

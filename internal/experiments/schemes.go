@@ -35,7 +35,7 @@ func (s *Suite) SchemeBreakdown() []SchemeRow {
 		for _, p := range s.Datasets() {
 			s.printf("%-5s", p.Dataset.Name)
 			for _, scheme := range core.AllSchemes {
-				res := core.Run(p.Filtered, core.Config{Scheme: scheme, Algorithm: alg})
+				res := core.Run(p.Filtered, core.Config{Scheme: scheme, Algorithm: alg, Obs: s.obsHandle()})
 				rep := eval.EvaluatePairs(res.Pairs, p.Dataset.GroundTruth, p.Filtered.Comparisons())
 				out = append(out, SchemeRow{
 					Dataset:     p.Dataset.Name,

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"metablocking/internal/entity"
 	"metablocking/internal/eval"
 	"metablocking/internal/matching"
+	"metablocking/internal/obs"
 )
 
 // FilterRatio is the Block Filtering ratio the paper tunes for
@@ -36,6 +38,9 @@ type Suite struct {
 	// Filtering): 0 = serial, negative = GOMAXPROCS. The prepared blocks
 	// are identical for any value.
 	Workers int
+	// Metrics, when non-nil, aggregates the pipeline counters of every
+	// meta-blocking run the suite performs (cmd/experiments -metrics).
+	Metrics *obs.Metrics
 
 	prepared []*Prepared
 }
@@ -55,6 +60,15 @@ type Prepared struct {
 	FilteringTime time.Duration
 
 	matchCost time.Duration // measured per-comparison matching cost
+}
+
+// obsHandle returns an observability handle reporting into the suite's
+// registry, or nil (a no-op handle) when no registry is attached.
+func (s *Suite) obsHandle() *obs.Observer {
+	if s.Metrics == nil {
+		return nil
+	}
+	return obs.New(context.Background(), obs.WithMetrics(s.Metrics))
 }
 
 // NewSuite builds a suite at the given scale.

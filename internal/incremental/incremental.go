@@ -13,13 +13,18 @@
 package incremental
 
 import (
-	"fmt"
+	"errors"
 	"math"
 	"sort"
 
 	"metablocking/internal/core"
 	"metablocking/internal/entity"
 )
+
+// ErrUnsupportedScheme is returned by NewResolver for weighting schemes the
+// incremental setting cannot maintain (currently EJS, whose global node
+// degrees change with every arriving profile).
+var ErrUnsupportedScheme = errors.New("incremental: EJS needs global node degrees; use ARCS, CBS, ECBS or JS")
 
 // Config tunes the incremental resolver.
 type Config struct {
@@ -65,7 +70,7 @@ type Resolver struct {
 // NewResolver validates the configuration and returns an empty resolver.
 func NewResolver(cfg Config) (*Resolver, error) {
 	if cfg.Scheme == core.EJS {
-		return nil, fmt.Errorf("incremental: EJS needs global node degrees; use ARCS, CBS, ECBS or JS")
+		return nil, ErrUnsupportedScheme
 	}
 	if cfg.MaxBlockSize == 0 {
 		cfg.MaxBlockSize = 1000

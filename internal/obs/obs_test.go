@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	if o.Canceled() {
+		t.Error("nil observer reports canceled")
+	}
+	if o.Err() != nil {
+		t.Error("nil observer reports an error")
+	}
+	o.Counter("x").Add(5) // must not panic
+	o.Gauge("x").Set(5)
+	o.NewMeter("stage", 10).Add(3)
+	o.StartSpan("stage")()
+	if v := o.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if s := o.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+
+	var m *Metrics
+	m.Counter("x").Inc()
+	m.Gauge("x").Set(1)
+	if s := m.Snapshot(); len(s.Counters) != 0 {
+		t.Errorf("nil metrics snapshot not empty: %+v", s)
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("stage.items")
+	c.Add(40)
+	c.Inc()
+	m.Counter("stage.items").Inc() // same instrument on re-lookup
+	m.Gauge("workers").Set(7)
+	m.Gauge("workers").Set(3)
+
+	s := m.Snapshot()
+	if got := s.Counter("stage.items"); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if got := s.Gauge("workers"); got != 3 {
+		t.Errorf("gauge = %d, want 3", got)
+	}
+	if got := s.Counter("absent"); got != 0 {
+		t.Errorf("absent counter = %d", got)
+	}
+
+	table := s.Table()
+	for _, want := range []string{"counters", "stage.items", "42", "gauges", "workers", "3"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot().Counter("c"); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+}
+
+func TestObserverCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	o := New(ctx)
+	if o.Canceled() {
+		t.Error("canceled before cancel")
+	}
+	if o.Err() != nil {
+		t.Errorf("err before cancel: %v", o.Err())
+	}
+	cancel()
+	if !o.Canceled() {
+		t.Error("not canceled after cancel")
+	}
+	if o.Err() != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", o.Err())
+	}
+
+	if New(nil).Canceled() {
+		t.Error("nil-context observer reports canceled")
+	}
+}
+
+func TestObserverProgressAndSpans(t *testing.T) {
+	var mu sync.Mutex
+	var stages []string
+	var dones []int64
+	var spans []string
+	o := New(context.Background(),
+		WithProgress(func(stage string, done, total int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			stages = append(stages, stage)
+			dones = append(dones, done)
+			if total != 100 {
+				t.Errorf("total = %d, want 100", total)
+			}
+		}),
+		WithSpanHooks(
+			func(stage string) { spans = append(spans, "start:"+stage) },
+			func(stage string, elapsed time.Duration) {
+				if elapsed < 0 {
+					t.Errorf("negative elapsed %v", elapsed)
+				}
+				spans = append(spans, "end:"+stage)
+			},
+		),
+	)
+
+	meter := o.NewMeter(StagePrune, 100)
+	meter.Add(30)
+	meter.Add(70)
+	meter.Add(0) // no-op, must not fire
+	if len(stages) != 2 || stages[0] != StagePrune || dones[1] != 100 {
+		t.Errorf("progress calls = %v %v", stages, dones)
+	}
+
+	end := o.StartSpan(StageGraph)
+	end()
+	if len(spans) != 2 || spans[0] != "start:graph" || spans[1] != "end:graph" {
+		t.Errorf("spans = %v", spans)
+	}
+
+	// Without a callback there is no meter at all.
+	if New(context.Background()).NewMeter("x", 1) != nil {
+		t.Error("meter allocated without progress callback")
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("filter.comparisons").Add(123456)
+	srv, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "filter.comparisons") || !strings.Contains(body, "123456") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars missing memstats")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ missing goroutine profile link")
+	}
+}

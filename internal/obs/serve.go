@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name against the
+// duplicate-Publish panic when several servers share one registry.
+var publishOnce sync.Once
+
+// ServeDebug serves live observability for the registry on addr:
+//
+//   - /debug/vars   — expvar JSON (cmdline, memstats, and the registry
+//     under the "metablocking" key)
+//   - /debug/pprof/ — net/http/pprof profiles (heap, goroutine, CPU, …)
+//   - /metrics      — the registry as a plain-text counter table
+//
+// The listener is bound synchronously (so the returned address is ready)
+// and served in a background goroutine. Close the returned server to stop
+// it. A nil registry serves only expvar and pprof.
+func ServeDebug(addr string, m *Metrics) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		publishOnce.Do(func() {
+			expvar.Publish("metablocking", expvar.Func(func() any { return m.Snapshot() }))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, m.Snapshot().Table())
+	})
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln)
+	return srv, nil
+}

@@ -21,6 +21,7 @@
 package metablocking
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -33,9 +34,27 @@ import (
 	"metablocking/internal/eval"
 	"metablocking/internal/incremental"
 	"metablocking/internal/matching"
+	"metablocking/internal/obs"
 	"metablocking/internal/progressive"
 	"metablocking/internal/store"
 	"metablocking/internal/supervised"
+)
+
+// Sentinel errors of the public API; test for them with errors.Is.
+var (
+	// ErrEmptyCollection is returned when the pipeline input is nil or has
+	// no profiles.
+	ErrEmptyCollection = errors.New("metablocking: empty collection")
+	// ErrInvalidFilterRatio is returned when FilterRatio falls outside
+	// [0, 1].
+	ErrInvalidFilterRatio = errors.New("metablocking: FilterRatio must be in [0, 1]")
+	// ErrGraphFreeNeedsFilter is returned when GraphFree is set without a
+	// FilterRatio — the graph-free workflow of Figure 7(b) is Block
+	// Filtering followed by Comparison Propagation, so a ratio is required.
+	ErrGraphFreeNeedsFilter = errors.New("metablocking: GraphFree requires a FilterRatio")
+	// ErrUnsupportedScheme is returned by NewIncrementalResolver for
+	// weighting schemes the incremental setting cannot maintain (EJS).
+	ErrUnsupportedScheme = incremental.ErrUnsupportedScheme
 )
 
 // Entity model.
@@ -203,6 +222,42 @@ type Pipeline struct {
 	Workers int
 }
 
+// Observability. A Metrics registry collects per-stage counters and worker
+// gauges; pass one to RunContext via WithMetrics and read the snapshot from
+// Result.Metrics (or the registry itself, which is safe to share across
+// concurrent runs — counters accumulate).
+type (
+	// Metrics is a registry of named counters and gauges.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time copy of a registry's values.
+	MetricsSnapshot = obs.Snapshot
+	// ProgressFunc receives per-stage progress: done out of total units of
+	// work (profiles for blocking, blocks for filtering, entities for
+	// graph construction, traversal steps for pruning). It is called
+	// concurrently from worker goroutines and must be safe and fast.
+	ProgressFunc = obs.ProgressFunc
+	// RunOption configures one RunContext call.
+	RunOption = obs.Option
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// WithMetrics directs the run's counters and gauges into the registry and
+// fills Result.Metrics with its snapshot.
+func WithMetrics(m *Metrics) RunOption { return obs.WithMetrics(m) }
+
+// WithProgress installs a progress callback, invoked about once per 1024
+// units of work per worker.
+func WithProgress(fn ProgressFunc) RunOption { return obs.WithProgress(fn) }
+
+// WithSpanHooks installs stage-span hooks: start fires when a pipeline
+// stage begins, end when it finishes with the elapsed wall-clock time.
+// Stage names are "blocking", "purge", "filter", "graph" and "prune".
+func WithSpanHooks(start func(stage string), end func(stage string, elapsed time.Duration)) RunOption {
+	return obs.WithSpanHooks(start, end)
+}
+
 // Stages breaks a pipeline run's wall-clock time down by stage.
 type Stages struct {
 	// Blocking is the time spent building the input blocks.
@@ -231,87 +286,117 @@ type Result struct {
 	// Stages breaks the run down by stage; unlike OTime it includes the
 	// blocking time.
 	Stages Stages
+	// Metrics is the run's counter/gauge snapshot, taken from the registry
+	// passed via WithMetrics. Zero when the run had no registry.
+	Metrics MetricsSnapshot
 }
 
-// Run executes the pipeline on a collection.
+// Run executes the pipeline on a collection. It is RunContext with a
+// background context and no options.
 func (p Pipeline) Run(c *Collection) (*Result, error) {
+	return p.RunContext(context.Background(), c)
+}
+
+// RunContext executes the pipeline on a collection under a context.
+//
+// When ctx is canceled the run aborts cooperatively — every stage polls
+// the context at shard boundaries, all worker goroutines drain, partial
+// output is discarded — and RunContext returns ctx.Err(). Options attach
+// observability: WithMetrics collects per-stage counters and worker
+// gauges (snapshotted into Result.Metrics), WithProgress streams per-stage
+// progress, WithSpanHooks brackets each stage. All of it is optional and
+// the retained pairs and counter values are identical whether or not any
+// option is set, serial or parallel.
+func (p Pipeline) RunContext(ctx context.Context, c *Collection, opts ...RunOption) (*Result, error) {
 	if c == nil || c.Size() == 0 {
-		return nil, errors.New("metablocking: empty collection")
+		return nil, ErrEmptyCollection
 	}
 	method := p.Blocking
 	if method == nil {
 		method = TokenBlocking{}
 	}
 	if p.FilterRatio < 0 || p.FilterRatio > 1 {
-		return nil, errors.New("metablocking: FilterRatio must be in [0, 1]")
+		return nil, ErrInvalidFilterRatio
 	}
 	if p.GraphFree && p.FilterRatio == 0 {
-		return nil, errors.New("metablocking: GraphFree requires a FilterRatio")
+		return nil, ErrGraphFreeNeedsFilter
 	}
+	o := obs.New(ctx, opts...)
 
 	blockStart := time.Now()
-	blocks := withWorkers(method, p.Workers).Build(c)
+	endSpan := o.StartSpan(obs.StageBlocking)
+	blocks := blocking.BuildObserved(withWorkers(method, p.Workers), c, o)
+	endSpan()
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
+	o.Counter(obs.CtrBlockingBlocks).Add(int64(blocks.Len()))
+	o.Counter(obs.CtrBlockingComparisons).Add(blocks.Comparisons())
+
 	start := time.Now()
 	res := &Result{Stages: Stages{Blocking: start.Sub(blockStart)}}
 	if !p.DisablePurging {
+		endSpan = o.StartSpan(obs.StagePurge)
 		blocks = blockproc.BlockPurging{}.Apply(blocks)
+		endSpan()
 	}
+	o.Counter(obs.CtrPurgeBlocks).Add(int64(blocks.Len()))
+	o.Counter(obs.CtrPurgeComparisons).Add(blocks.Comparisons())
 	if p.GraphFree {
-		res.Pairs = blockproc.GraphFreeMetaBlocking{Ratio: p.FilterRatio}.Apply(blocks)
 		res.InputBlocks = blocks.Len()
 		res.InputComparisons = blocks.Comparisons()
+		o.Counter(obs.CtrFilterBlocks).Add(int64(res.InputBlocks))
+		o.Counter(obs.CtrFilterComparisons).Add(res.InputComparisons)
+		endSpan = o.StartSpan(obs.StagePrune)
+		res.Pairs = blockproc.GraphFreeMetaBlocking{Ratio: p.FilterRatio}.Apply(blocks)
+		endSpan()
+		o.Counter(obs.CtrPairsRetained).Add(int64(len(res.Pairs)))
 		res.OTime = time.Since(start)
 		res.Stages.Prune = res.OTime
+		res.Metrics = o.Snapshot()
 		return res, nil
 	}
 	if p.FilterRatio > 0 {
-		blocks = blockproc.BlockFiltering{Ratio: p.FilterRatio, Workers: p.Workers}.Apply(blocks)
+		endSpan = o.StartSpan(obs.StageFilter)
+		blocks = blockproc.BlockFiltering{Ratio: p.FilterRatio, Workers: p.Workers, Obs: o}.Apply(blocks)
+		endSpan()
+		if err := o.Err(); err != nil {
+			return nil, err
+		}
 	}
 	filterDone := time.Now()
 	res.Stages.Filtering = filterDone.Sub(start)
 	res.InputBlocks = blocks.Len()
 	res.InputComparisons = blocks.Comparisons()
+	o.Counter(obs.CtrFilterBlocks).Add(int64(res.InputBlocks))
+	o.Counter(obs.CtrFilterComparisons).Add(res.InputComparisons)
 	run := core.Run(blocks, core.Config{
 		Scheme:            p.Scheme,
 		Algorithm:         p.Algorithm,
 		OriginalWeighting: p.OriginalWeighting,
 		Workers:           p.Workers,
+		Obs:               o,
 	})
+	if err := o.Err(); err != nil {
+		return nil, err
+	}
 	res.Pairs = run.Pairs
 	res.OTime = time.Since(start)
 	res.Stages.Graph = run.GraphTime
 	res.Stages.Prune = run.PruneTime
+	res.Metrics = o.Snapshot()
 	return res, nil
 }
 
 // withWorkers propagates the pipeline's worker count into the blocking
-// methods that support sharded builds, unless the method already sets its
-// own Workers.
+// methods with sharded builds (the blocking.WorkerSetter implementations);
+// a method whose own Workers field is already non-zero keeps it.
 func withWorkers(m BlockingMethod, workers int) BlockingMethod {
 	if workers == 0 {
 		return m
 	}
-	switch b := m.(type) {
-	case TokenBlocking:
-		if b.Workers == 0 {
-			b.Workers = workers
-		}
-		return b
-	case QGramsBlocking:
-		if b.Workers == 0 {
-			b.Workers = workers
-		}
-		return b
-	case SuffixArrayBlocking:
-		if b.Workers == 0 {
-			b.Workers = workers
-		}
-		return b
-	case ExtendedQGramsBlocking:
-		if b.Workers == 0 {
-			b.Workers = workers
-		}
-		return b
+	if ws, ok := m.(blocking.WorkerSetter); ok {
+		return ws.WithWorkers(workers)
 	}
 	return m
 }
@@ -409,15 +494,22 @@ func LoadBlocks(path string) (*Blocks, error) { return store.LoadBlocksFile(path
 
 // BuildBlocks runs a blocking method plus the paper's standard cleaning
 // (Block Purging, then Block Filtering when ratio > 0) and returns the
-// block collection — the input for schedulers and supervised runs.
-func BuildBlocks(c *Collection, method BlockingMethod, filterRatio float64) *Blocks {
+// block collection — the input for schedulers and supervised runs. An
+// optional workers argument parallelizes the sharded blocking methods and
+// Block Filtering exactly as Pipeline.Workers does; the output is
+// bit-identical for any worker count.
+func BuildBlocks(c *Collection, method BlockingMethod, filterRatio float64, workers ...int) *Blocks {
+	w := 0
+	if len(workers) > 0 {
+		w = workers[0]
+	}
 	if method == nil {
 		method = TokenBlocking{}
 	}
-	blocks := method.Build(c)
+	blocks := withWorkers(method, w).Build(c)
 	blocks = blockproc.BlockPurging{}.Apply(blocks)
 	if filterRatio > 0 {
-		blocks = blockproc.BlockFiltering{Ratio: filterRatio}.Apply(blocks)
+		blocks = blockproc.BlockFiltering{Ratio: filterRatio, Workers: w}.Apply(blocks)
 	}
 	return blocks
 }
