@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: check race ci bench-parallel
+# FUZZTIME bounds each fuzz-smoke target; COVER_BASELINE is the minimum
+# total statement coverage `make cover` accepts (the pre-harness figure,
+# ratcheted up as coverage grows).
+FUZZTIME ?= 30s
+COVER_BASELINE ?= 85.4
+
+.PHONY: check race cover fuzz-smoke ci bench-parallel
 
 ## check: vet, build and test everything (the tier-1 gate).
 check:
@@ -11,10 +17,24 @@ check:
 ## race: run the packages with concurrency — including the root package's
 ## observability/cancellation tests — under the race detector.
 race:
-	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/...
+	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/...
 
-## ci: what the GitHub Actions workflow runs (check + race).
-ci: check race
+## cover: fail if total statement coverage drops below COVER_BASELINE.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_BASELINE) \
+		'/^total:/ { sub(/%/, "", $$3); printf "total coverage %s%% (baseline %s%%)\n", $$3, min; \
+		if ($$3+0 < min+0) { print "coverage regressed below baseline"; exit 1 } }'
+
+## fuzz-smoke: run every fuzz target for FUZZTIME each — the differential
+## oracle comparators on mutated block collections, and the tokenizer.
+fuzz-smoke:
+	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzDiffDirty$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzDiffClean$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/entity -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME)
+
+## ci: what the GitHub Actions workflow runs.
+ci: check race cover fuzz-smoke
 
 ## bench-parallel: regenerate the worker-sweep numbers of
 ## results_parallel_scale0.5.txt (honest wall-clock depends on host cores).

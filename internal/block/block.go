@@ -210,13 +210,21 @@ func (c *Collection) CloneWorkers(workers int) *Collection {
 	par.Ranges(workers, len(c.Blocks), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			b := &c.Blocks[i]
-			nb := Block{Key: b.Key, E1: append([]entity.ID(nil), b.E1...)}
-			if b.E2 != nil {
-				nb.E2 = append([]entity.ID(nil), b.E2...)
-			}
-			out.Blocks[i] = nb
+			// cloneIDs rather than append(nil, ...): an empty E2 must stay
+			// non-nil, because E2's nil-ness decides whether Comparisons()
+			// counts the block as bilateral or unilateral.
+			out.Blocks[i] = Block{Key: b.Key, E1: cloneIDs(b.E1), E2: cloneIDs(b.E2)}
 		}
 	})
+	return out
+}
+
+func cloneIDs(ids []entity.ID) []entity.ID {
+	if ids == nil {
+		return nil
+	}
+	out := make([]entity.ID, len(ids))
+	copy(out, ids)
 	return out
 }
 

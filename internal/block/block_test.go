@@ -96,6 +96,28 @@ func TestCloneIsDeep(t *testing.T) {
 	}
 }
 
+// TestClonePreservesEmptySides: E2's nil-ness decides whether a block is
+// bilateral, so cloning an empty-but-non-nil side must not turn it nil —
+// that would flip Comparisons() from |E1|·0 to |E1|-choose-2 and reorder
+// Block Filtering's cardinality sort (found by FuzzDiffClean).
+func TestClonePreservesEmptySides(t *testing.T) {
+	c := &Collection{Task: entity.CleanClean, NumEntities: 6, Split: 3, Blocks: []Block{
+		{Key: "a", E1: []entity.ID{0, 1, 2}, E2: []entity.ID{}},
+		{Key: "b", E1: []entity.ID{}, E2: []entity.ID{4}},
+		{Key: "c", E1: []entity.ID{0, 1}},
+	}}
+	cl := c.CloneWorkers(2)
+	for i := range c.Blocks {
+		b, nb := &c.Blocks[i], &cl.Blocks[i]
+		if (b.E1 == nil) != (nb.E1 == nil) || (b.E2 == nil) != (nb.E2 == nil) {
+			t.Errorf("block %q: clone changed side nil-ness", b.Key)
+		}
+		if b.Comparisons() != nb.Comparisons() {
+			t.Errorf("block %q: clone changed comparisons %d → %d", b.Key, b.Comparisons(), nb.Comparisons())
+		}
+	}
+}
+
 func TestForEachComparisonDirty(t *testing.T) {
 	c := dirtyFixture()
 	var got []entity.Pair

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"metablocking/internal/block"
 	"metablocking/internal/blocking"
 	"metablocking/internal/entity"
 	"metablocking/internal/paperexample"
@@ -418,5 +419,124 @@ func TestPruningOnCleanCleanDataset(t *testing.T) {
 	}
 	if cepPC > wnpPC {
 		t.Errorf("CEP recall %.3f should not exceed WNP's %.3f", cepPC, wnpPC)
+	}
+}
+
+// topKSets derives every node's top-k edge set straight from the
+// ForEachNode data with a plain sort under the heap's total order (weight
+// descending, ties on the lexicographically smaller canonical pair) — an
+// independent restatement of what edgeHeap selects.
+func topKSets(g *Graph, k int) map[entity.ID]map[entity.Pair]bool {
+	top := make(map[entity.ID]map[entity.Pair]bool)
+	g.ForEachNode(func(i entity.ID, neighbors []entity.ID, weights []float64) {
+		type ranked struct {
+			p entity.Pair
+			w float64
+		}
+		edges := make([]ranked, len(neighbors))
+		for n, j := range neighbors {
+			edges[n] = ranked{p: entity.MakePair(i, j), w: weights[n]}
+		}
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a].w != edges[b].w {
+				return edges[a].w > edges[b].w
+			}
+			if edges[a].p.A != edges[b].p.A {
+				return edges[a].p.A < edges[b].p.A
+			}
+			return edges[a].p.B < edges[b].p.B
+		})
+		if k < len(edges) {
+			edges = edges[:k]
+		}
+		set := make(map[entity.Pair]bool, len(edges))
+		for _, e := range edges {
+			set[e.p] = true
+		}
+		top[i] = set
+	})
+	return top
+}
+
+// TestReciprocalCNPSerialSemantics pins the serial path to the §5.2
+// definition on random Dirty and Clean-Clean inputs: a comparison survives
+// Reciprocal CNP iff BOTH endpoints rank the edge in their top-k, and
+// Redefined CNP iff EITHER does — each retained exactly once.
+func TestReciprocalCNPSerialSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 4; trial++ {
+		for _, c := range []*struct {
+			name   string
+			blocks func() *block.Collection
+		}{
+			{"dirty", func() *block.Collection { return randomDirtyBlocks(rng, 40, 30) }},
+			{"clean", func() *block.Collection { return randomCleanBlocks(rng, 18, 40, 30) }},
+		} {
+			blocks := c.blocks()
+			for _, scheme := range AllSchemes {
+				g := NewGraph(blocks, scheme)
+				top := topKSets(g, g.CardinalityNodeThreshold())
+				var wantRecip, wantRedef []entity.Pair
+				g.ForEachEdge(func(i, j entity.ID, _ float64) {
+					p := entity.MakePair(i, j)
+					if top[i][p] && top[j][p] {
+						wantRecip = append(wantRecip, p)
+					}
+					if top[i][p] || top[j][p] {
+						wantRedef = append(wantRedef, p)
+					}
+				})
+				if got := sortedDistinct(g.Prune(ReciprocalCNP)); !reflect.DeepEqual(got, sortedDistinct(wantRecip)) {
+					t.Fatalf("%s/%v: Reciprocal CNP = %v, want %v", c.name, scheme, got, sortedDistinct(wantRecip))
+				}
+				if got := sortedDistinct(g.Prune(RedefinedCNP)); !reflect.DeepEqual(got, sortedDistinct(wantRedef)) {
+					t.Fatalf("%s/%v: Redefined CNP = %v, want %v", c.name, scheme, got, sortedDistinct(wantRedef))
+				}
+			}
+		}
+	}
+}
+
+// TestRedefinedWNPSerialSemantics pins the serial path to the Algorithm 5
+// definition on random Dirty and Clean-Clean inputs: with every
+// neighborhood's mean weight as its threshold, Redefined WNP retains an
+// edge (once) iff it meets either endpoint's threshold, Reciprocal WNP iff
+// it meets both.
+func TestRedefinedWNPSerialSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 4; trial++ {
+		for _, c := range []*struct {
+			name   string
+			blocks func() *block.Collection
+		}{
+			{"dirty", func() *block.Collection { return randomDirtyBlocks(rng, 40, 30) }},
+			{"clean", func() *block.Collection { return randomCleanBlocks(rng, 18, 40, 30) }},
+		} {
+			blocks := c.blocks()
+			for _, scheme := range AllSchemes {
+				g := NewGraph(blocks, scheme)
+				thresholds := make(map[entity.ID]float64)
+				g.ForEachNode(func(i entity.ID, _ []entity.ID, weights []float64) {
+					thresholds[i] = mean(weights)
+				})
+				var wantRedef, wantRecip []entity.Pair
+				g.ForEachEdge(func(i, j entity.ID, w float64) {
+					p := entity.MakePair(i, j)
+					okI, okJ := w >= thresholds[i], w >= thresholds[j]
+					if okI || okJ {
+						wantRedef = append(wantRedef, p)
+					}
+					if okI && okJ {
+						wantRecip = append(wantRecip, p)
+					}
+				})
+				if got := sortedDistinct(g.Prune(RedefinedWNP)); !reflect.DeepEqual(got, sortedDistinct(wantRedef)) {
+					t.Fatalf("%s/%v: Redefined WNP = %v, want %v", c.name, scheme, got, sortedDistinct(wantRedef))
+				}
+				if got := sortedDistinct(g.Prune(ReciprocalWNP)); !reflect.DeepEqual(got, sortedDistinct(wantRecip)) {
+					t.Fatalf("%s/%v: Reciprocal WNP = %v, want %v", c.name, scheme, got, sortedDistinct(wantRecip))
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,89 @@
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// FilterBlocks is the brute-force reference for Block Filtering (paper
+// §4.1, Algorithm 1): order blocks from the most to the least important
+// (ascending comparison cardinality, ties on the block key), limit every
+// profile to round(r·|Bi|) memberships — at least one, the tie policy of
+// the reference implementations — and drop blocks left without a valid
+// comparison. The input is not modified; output blocks appear in the
+// sorted processing order, as the production implementation's does.
+func FilterBlocks(c *block.Collection, ratio float64) *block.Collection {
+	type indexed struct {
+		comparisons int64
+		key         string
+		bid         int
+	}
+	order := make([]indexed, len(c.Blocks))
+	for i := range c.Blocks {
+		order[i] = indexed{comparisons: c.Blocks[i].Comparisons(), key: c.Blocks[i].Key, bid: i}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].comparisons != order[j].comparisons {
+			return order[i].comparisons < order[j].comparisons
+		}
+		return order[i].key < order[j].key
+	})
+
+	// |Bi| per profile and the per-profile membership limit.
+	counts := make(map[entity.ID]int)
+	for i := range c.Blocks {
+		for _, id := range c.Blocks[i].E1 {
+			counts[id]++
+		}
+		for _, id := range c.Blocks[i].E2 {
+			counts[id]++
+		}
+	}
+	limits := make(map[entity.ID]int, len(counts))
+	for id, n := range counts {
+		limit := int(math.Floor(ratio*float64(n) + 0.5))
+		if limit < 1 {
+			limit = 1
+		}
+		limits[id] = limit
+	}
+
+	out := &block.Collection{Task: c.Task, NumEntities: c.NumEntities, Split: c.Split}
+	used := make(map[entity.ID]int)
+	keep := func(ids []entity.ID) []entity.ID {
+		var kept []entity.ID
+		for _, id := range ids {
+			if used[id] >= limits[id] {
+				continue
+			}
+			used[id]++
+			kept = append(kept, id)
+		}
+		return kept
+	}
+	for _, o := range order {
+		b := &c.Blocks[o.bid]
+		e1 := keep(b.E1)
+		var e2 []entity.ID
+		if b.E2 != nil {
+			e2 = keep(b.E2)
+		}
+		// A filtered block survives only if it still entails a comparison.
+		if c.Task == entity.CleanClean {
+			if len(e1) == 0 || len(e2) == 0 {
+				continue
+			}
+		} else if len(e1) < 2 {
+			continue
+		}
+		nb := block.Block{Key: b.Key, E1: e1}
+		if b.E2 != nil {
+			nb.E2 = e2
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}

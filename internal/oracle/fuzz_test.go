@@ -1,0 +1,62 @@
+package oracle
+
+import (
+	"testing"
+
+	"metablocking/internal/core"
+)
+
+// fuzzDiff decodes a fuzzer-controlled byte string into a small block
+// collection and runs the full differential comparator on it: bit-identical
+// weights across Algorithm 2, Algorithm 3 and the oracle, exact
+// comparison-set equality for every pruning algorithm (serial, original
+// weighting, parallel), and the Redefined/Reciprocal family theorems. The
+// weighting scheme is itself fuzzer-chosen.
+func fuzzDiff(t *testing.T, data []byte, clean bool) {
+	if len(data) == 0 {
+		return
+	}
+	scheme := core.AllSchemes[int(data[0])%len(core.AllSchemes)]
+	c := FromBytes(data[1:], clean)
+	if c == nil {
+		return
+	}
+	if err := CheckWeights(c, scheme); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFamilies(c, scheme); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range core.AllAlgorithms {
+		if err := CheckPruning(c, scheme, alg, 1, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := CheckFiltering(c, 0.5, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 7, 3})
+	// One multi-block input per scheme byte so every formula is in the
+	// initial corpus.
+	for s := byte(0); s < 5; s++ {
+		f.Add([]byte{s, 13, 9, 4, 1, 2, 3, 4, 3, 2, 5, 9, 0, 2, 200, 100, 5, 1, 2, 3, 4, 5, 1, 7})
+	}
+}
+
+// FuzzDiffDirty cross-checks production against the oracle on mutated
+// Dirty ER collections.
+func FuzzDiffDirty(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzDiff(t, data, false) })
+}
+
+// FuzzDiffClean cross-checks production against the oracle on mutated
+// Clean-Clean ER collections.
+func FuzzDiffClean(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzDiff(t, data, true) })
+}

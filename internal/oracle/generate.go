@@ -1,0 +1,164 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"metablocking/internal/block"
+	"metablocking/internal/entity"
+)
+
+// GenConfig parameterizes the seeded random block-collection generator.
+// The generator aims for nasty inputs rather than realistic ones: Zipf-
+// skewed membership (a few entities land in very many blocks, mirroring
+// the skewed token distributions real blocking produces), plus explicit
+// empty and singleton blocks, which blocking methods never emit but the
+// algorithms must tolerate (they change |B|, Σ|b| and |Bi|, and therefore
+// the ECBS/EJS weights and the CEP/CNP cardinality thresholds).
+type GenConfig struct {
+	// Entities is |E|; for Clean-Clean ER the ID space covers both sources.
+	Entities int
+	// Split is the E1/E2 boundary; 0 or Entities generates Dirty ER.
+	Split int
+	// Blocks is the number of regular (multi-member) blocks.
+	Blocks int
+	// MaxBlockSize caps the members sampled per block side (minimum 2).
+	MaxBlockSize int
+	// ZipfS skews member sampling toward low IDs; values ≤ 1 fall back
+	// to 1.5.
+	ZipfS float64
+	// EmptyBlocks and SingletonBlocks add that many comparison-free
+	// blocks (no members / one member).
+	EmptyBlocks, SingletonBlocks int
+}
+
+// Random generates a block collection from the config. The same rng
+// state yields the same collection; block keys are distinct (a total
+// order requirement of the cardinality sort), and members are distinct
+// and ascending within each block side, as real blocking output is.
+func Random(rng *rand.Rand, cfg GenConfig) *block.Collection {
+	clean := cfg.Split > 0 && cfg.Split < cfg.Entities
+	c := &block.Collection{Task: entity.Dirty, NumEntities: cfg.Entities, Split: cfg.Entities}
+	if clean {
+		c.Task = entity.CleanClean
+		c.Split = cfg.Split
+	}
+	s := cfg.ZipfS
+	if s <= 1 {
+		s = 1.5
+	}
+	max := cfg.MaxBlockSize
+	if max < 2 {
+		max = 2
+	}
+	// Zipf over an offset so every entity stays reachable.
+	zipf := rand.NewZipf(rng, s, 1, uint64(cfg.Entities-1))
+	sample := func(lo, hi, n int) []entity.ID {
+		seen := make(map[entity.ID]bool)
+		var out []entity.ID
+		for attempts := 0; len(out) < n && attempts < 20*n; attempts++ {
+			id := entity.ID(lo + int(zipf.Uint64())%(hi-lo))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	bid := 0
+	add := func(b block.Block) {
+		b.Key = fmt.Sprintf("b%04d", bid)
+		bid++
+		c.Blocks = append(c.Blocks, b)
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		if clean {
+			add(block.Block{
+				E1: sample(0, cfg.Split, 1+rng.Intn(max)),
+				E2: sample(cfg.Split, cfg.Entities, 1+rng.Intn(max)),
+			})
+			continue
+		}
+		add(block.Block{E1: sample(0, cfg.Entities, 2+rng.Intn(max-1))})
+	}
+	for i := 0; i < cfg.SingletonBlocks; i++ {
+		var b block.Block
+		switch {
+		case !clean:
+			b.E1 = sample(0, cfg.Entities, 1)
+		case rng.Intn(2) == 0:
+			// Bilateral blocks keep each source on its own side even when
+			// one side is empty.
+			b.E1, b.E2 = sample(0, cfg.Split, 1), []entity.ID{}
+		default:
+			b.E1, b.E2 = []entity.ID{}, sample(cfg.Split, cfg.Entities, 1)
+		}
+		add(b)
+	}
+	for i := 0; i < cfg.EmptyBlocks; i++ {
+		add(block.Block{})
+	}
+	// Shuffle so the nasty blocks are not clustered at the tail (block
+	// IDs feed the LeCoBI condition and the ARCS summation order).
+	rng.Shuffle(len(c.Blocks), func(i, j int) {
+		c.Blocks[i], c.Blocks[j] = c.Blocks[j], c.Blocks[i]
+	})
+	return c
+}
+
+// FromBytes decodes a fuzzer-controlled byte string into a small, always
+// valid block collection: a header picks the ID space and task, then each
+// block consumes a size byte and that many member bytes. It never fails —
+// every input maps to some collection — so the fuzzer explores the input
+// space without wasted executions. Returns nil when the data cannot seed
+// even one entity.
+func FromBytes(data []byte, clean bool) *block.Collection {
+	if len(data) < 2 {
+		return nil
+	}
+	numEntities := 2 + int(data[0])%30
+	c := &block.Collection{Task: entity.Dirty, NumEntities: numEntities, Split: numEntities}
+	if clean {
+		split := 1 + int(data[1])%(numEntities-1)
+		c.Task = entity.CleanClean
+		c.Split = split
+	}
+	data = data[2:]
+
+	bid := 0
+	for len(data) > 0 && bid < 64 {
+		size := int(data[0]) % 8 // 0 and 1 yield empty/singleton blocks
+		data = data[1:]
+		if size > len(data) {
+			size = len(data)
+		}
+		members := make(map[entity.ID]bool)
+		for _, raw := range data[:size] {
+			members[entity.ID(int(raw)%numEntities)] = true
+		}
+		data = data[size:]
+		b := block.Block{Key: fmt.Sprintf("f%03d", bid)}
+		for id := range members {
+			if clean && int(id) >= c.Split {
+				b.E2 = append(b.E2, id)
+			} else {
+				b.E1 = append(b.E1, id)
+			}
+		}
+		sort.Slice(b.E1, func(i, j int) bool { return b.E1[i] < b.E1[j] })
+		sort.Slice(b.E2, func(i, j int) bool { return b.E2[i] < b.E2[j] })
+		if clean && b.E2 == nil {
+			b.E2 = []entity.ID{} // keep the two-sided shape of Clean-Clean blocks
+		}
+		c.Blocks = append(c.Blocks, b)
+		bid++
+	}
+	if len(c.Blocks) == 0 {
+		return nil
+	}
+	return c
+}

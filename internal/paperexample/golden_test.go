@@ -1,0 +1,98 @@
+package paperexample
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"metablocking/internal/blocking"
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file with the current output")
+
+// TestGoldenPaperExample pins the complete §3 worked example — Token
+// Blocking output, the JS blocking graph, and all eight pruned comparison
+// sets — to a golden file. Any change to tokenization, weighting or
+// pruning that shifts the example shows up as a readable diff; regenerate
+// deliberately with:
+//
+//	go test ./internal/paperexample -update
+func TestGoldenPaperExample(t *testing.T) {
+	var sb strings.Builder
+	blocks := blocking.TokenBlocking{}.Build(Collection())
+
+	sb.WriteString("# Token Blocking (Figure 1(b))\n")
+	type kb struct {
+		key     string
+		members []entity.ID
+	}
+	sorted := make([]kb, 0, blocks.Len())
+	for i := range blocks.Blocks {
+		b := &blocks.Blocks[i]
+		sorted = append(sorted, kb{key: b.Key, members: b.E1})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].key < sorted[j].key })
+	for _, b := range sorted {
+		fmt.Fprintf(&sb, "block %-8s %v\n", b.key, b.members)
+	}
+
+	sb.WriteString("\n# JS blocking graph (Figure 2(a))\n")
+	g := core.NewGraph(blocks, core.JS)
+	type edge struct {
+		p entity.Pair
+		w float64
+	}
+	var edges []edge
+	g.ForEachEdge(func(i, j entity.ID, w float64) {
+		edges = append(edges, edge{p: entity.MakePair(i, j), w: w})
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].p.A != edges[j].p.A {
+			return edges[i].p.A < edges[j].p.A
+		}
+		return edges[i].p.B < edges[j].p.B
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "edge p%d-p%d %.17g\n", e.p.A+1, e.p.B+1, e.w)
+	}
+
+	sb.WriteString("\n# Pruned comparisons (JS weighting)\n")
+	for _, alg := range core.AllAlgorithms {
+		pairs := core.NewGraph(blocks, core.JS).Prune(alg)
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].A != pairs[j].A {
+				return pairs[i].A < pairs[j].A
+			}
+			return pairs[i].B < pairs[j].B
+		})
+		parts := make([]string, len(pairs))
+		for i, p := range pairs {
+			parts[i] = fmt.Sprintf("p%d-p%d", p.A+1, p.B+1)
+		}
+		fmt.Fprintf(&sb, "%-14s %s\n", alg, strings.Join(parts, " "))
+	}
+
+	got := sb.String()
+	path := filepath.Join("testdata", "paper_example.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/paperexample -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch (run with -update after verifying the change is intended)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
