@@ -1,0 +1,159 @@
+// Command serve runs the online Entity Resolution query service: an
+// HTTP/JSON façade over the incremental resolver that micro-batches
+// concurrent /v1/resolve requests into single index passes, sheds load
+// with 429 + Retry-After when its bounded admission queue fills, and
+// hot-swaps pre-blocked snapshots (written by internal/store) via
+// /v1/admin/reload without failing in-flight requests.
+//
+// Endpoints: POST /v1/resolve, POST /v1/admin/reload, GET /healthz,
+// GET /readyz, GET /metrics, GET /debug/vars.
+//
+// Example:
+//
+//	go run ./cmd/serve -addr 127.0.0.1:8080 -scheme js -k 5 &
+//	curl -X POST -d '{"attributes":{"name":["Jack Miller"]}}' \
+//	    http://127.0.0.1:8080/v1/resolve
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops, accepted
+// requests are answered, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"metablocking/internal/core"
+	"metablocking/internal/incremental"
+	"metablocking/internal/server"
+)
+
+// options carries the parsed command-line configuration.
+type options struct {
+	addr        string
+	scheme      string
+	k           int
+	maxBlock    int
+	minToken    int
+	batchWindow time.Duration
+	batchMax    int
+	queueDepth  int
+	retryAfter  time.Duration
+	snapshot    string
+	metrics     bool
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	flag.StringVar(&opts.scheme, "scheme", "js", "weighting scheme: arcs, cbs, ecbs, js")
+	flag.IntVar(&opts.k, "k", 10, "max candidates per arrival (0 = mean-weight pruning)")
+	flag.IntVar(&opts.maxBlock, "maxblock", 1000, "ignore blocks larger than this")
+	flag.IntVar(&opts.minToken, "min-token", 0, "drop tokens shorter than this at blocking time")
+	flag.DurationVar(&opts.batchWindow, "batch-window", 2*time.Millisecond, "max wait for more arrivals before flushing a micro-batch")
+	flag.IntVar(&opts.batchMax, "batch-max", 64, "max arrivals per index pass")
+	flag.IntVar(&opts.queueDepth, "queue", 1024, "admission queue bound; overflow sheds with 429")
+	flag.DurationVar(&opts.retryAfter, "retry-after", time.Second, "advisory back-off sent with 429 responses")
+	flag.StringVar(&opts.snapshot, "snapshot", "", "resolver snapshot to load at startup (see /v1/admin/reload)")
+	flag.BoolVar(&opts.metrics, "metrics", false, "print the counter table to stderr on exit")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opts, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is canceled, then drains
+// gracefully. When ready is non-nil the resolved listen address is sent on
+// it once the listener is bound (used by tests and by nothing else).
+func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string) error {
+	scheme, err := parseScheme(opts.scheme)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Resolver: incremental.Config{
+			Scheme:         scheme,
+			K:              opts.k,
+			MaxBlockSize:   opts.maxBlock,
+			MinTokenLength: opts.minToken,
+		},
+		BatchWindow: opts.batchWindow,
+		MaxBatch:    opts.batchMax,
+		QueueDepth:  opts.queueDepth,
+		RetryAfter:  opts.retryAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if opts.snapshot != "" {
+		n, err := srv.ReloadFile(opts.snapshot)
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		fmt.Fprintf(logw, "serve: loaded snapshot %s (%d profiles)\n", opts.snapshot, n)
+	}
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(logw, "serve: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop the listener (in-flight handlers finish),
+	// then answer every accepted request before exiting.
+	fmt.Fprintln(logw, "serve: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	srv.Close()
+	if opts.metrics {
+		fmt.Fprint(logw, srv.Metrics().Snapshot().Table())
+	}
+	fmt.Fprintf(logw, "serve: drained, %d profiles resolved\n", srv.Size())
+	return nil
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch s {
+	case "arcs":
+		return core.ARCS, nil
+	case "cbs":
+		return core.CBS, nil
+	case "ecbs":
+		return core.ECBS, nil
+	case "js":
+		return core.JS, nil
+	default:
+		return 0, fmt.Errorf("unknown or unsupported scheme %q: %w (EJS needs global state)", s, core.ErrUnsupportedScheme)
+	}
+}

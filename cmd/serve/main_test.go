@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"metablocking/internal/core"
+)
+
+// TestServeLifecycle boots the service on a random port, resolves two
+// profiles over HTTP, checks the operational endpoints, then cancels the
+// context and expects a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	var logBuf bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			addr:        "127.0.0.1:0",
+			scheme:      "js",
+			k:           10,
+			maxBlock:    1000,
+			batchWindow: time.Millisecond,
+			batchMax:    16,
+			queueDepth:  64,
+			retryAfter:  time.Second,
+			metrics:     true,
+		}, &logBuf, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	post := func(payload string) string {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/resolve", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("resolve = %d %s", resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	first := post(`{"attributes":{"name":["jack miller"],"job":["car seller"]}}`)
+	if !strings.Contains(first, `"id":0`) {
+		t.Fatalf("first resolve = %s", first)
+	}
+	second := post(`{"attributes":{"fullname":["jack q miller"],"work":["car vendor"]}}`)
+	if !strings.Contains(second, `"candidates":[{"id":0,`) {
+		t.Fatalf("second resolve found no candidate: %s", second)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "server.accepted") {
+		t.Fatalf("metrics = %d %q", code, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never drained")
+	}
+	log := logBuf.String()
+	for _, want := range []string{"listening on", "draining", "drained, 2 profiles resolved", "server.accepted"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestParseSchemeServe(t *testing.T) {
+	for _, s := range []string{"arcs", "cbs", "ecbs", "js"} {
+		if _, err := parseScheme(s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	if _, err := parseScheme("ejs"); !errors.Is(err, core.ErrUnsupportedScheme) {
+		t.Errorf("ejs error = %v, want the shared sentinel", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(context.Background(), options{scheme: "nope"}, io.Discard, nil); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if err := run(context.Background(), options{scheme: "js", addr: "256.0.0.1:bad"}, io.Discard, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	if err := run(context.Background(), options{
+		scheme: "js", addr: "127.0.0.1:0", snapshot: "/nonexistent/snap",
+	}, io.Discard, nil); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

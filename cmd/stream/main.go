@@ -17,16 +17,14 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strconv"
 
-	mb "metablocking"
 	"metablocking/internal/core"
+	"metablocking/internal/dataio"
 	"metablocking/internal/incremental"
 	"metablocking/internal/obs"
 )
@@ -106,9 +104,6 @@ func run(stdin io.Reader, stdout io.Writer, opts options) error {
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 
-	type record struct {
-		Attributes map[string][]string `json:"attributes"`
-	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	emitted := 0
@@ -117,20 +112,9 @@ func run(stdin io.Reader, stdout io.Writer, opts options) error {
 		if len(line) == 0 {
 			continue
 		}
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil {
+		p, err := dataio.ParseProfileJSON(line)
+		if err != nil {
 			return fmt.Errorf("line %d: %v", resolver.Size()+1, err)
-		}
-		var p mb.Profile
-		names := make([]string, 0, len(rec.Attributes))
-		for name := range rec.Attributes {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			for _, value := range rec.Attributes[name] {
-				p.Add(name, value)
-			}
 		}
 		id, candidates := resolver.Add(p)
 		streamMetrics.Counter(ctrProfiles).Inc()

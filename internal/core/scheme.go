@@ -6,9 +6,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrUnsupportedScheme is the shared sentinel for "this component cannot
+// evaluate that weighting scheme". Components wrap it with their own
+// context (e.g. internal/incremental explains why EJS is out of reach),
+// and the public metablocking package aliases it, so errors.Is matches
+// across every layer.
+var ErrUnsupportedScheme = errors.New("metablocking: unsupported weighting scheme")
 
 // Scheme selects the edge-weighting scheme of the blocking graph (Fig. 4).
 // All schemes assign higher weights to edges more likely to connect

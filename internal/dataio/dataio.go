@@ -125,6 +125,43 @@ type jsonlProfile struct {
 	Attributes map[string][]string `json:"attributes"`
 }
 
+// ParseProfileJSON decodes a single JSONL profile record —
+// {"id": 0, "source": 1, "attributes": {"name": ["Jack Miller"], ...}} —
+// into a Profile. The id and source fields are ignored: callers that
+// assign IDs by arrival order (cmd/stream, the resolve server) own them.
+// Attribute names are emitted in sorted order so the profile is
+// deterministic regardless of JSON map iteration.
+func ParseProfileJSON(line []byte) (entity.Profile, error) {
+	var rec jsonlProfile
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return entity.Profile{}, fmt.Errorf("dataio: %v", err)
+	}
+	var p entity.Profile
+	names := make([]string, 0, len(rec.Attributes))
+	for name := range rec.Attributes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, value := range rec.Attributes[name] {
+			p.Add(name, value)
+		}
+	}
+	return p, nil
+}
+
+// MarshalProfileJSON encodes a profile as one JSONL record — the shape
+// ParseProfileJSON reads. Attributes with the same name are grouped, so
+// Parse(Marshal(p)) yields p with attributes grouped by sorted name; two
+// marshal/parse round trips are idempotent.
+func MarshalProfileJSON(p entity.Profile) ([]byte, error) {
+	attrs := make(map[string][]string, len(p.Attributes))
+	for _, a := range p.Attributes {
+		attrs[a.Name] = append(attrs[a.Name], a.Value)
+	}
+	return json.Marshal(jsonlProfile{ID: int(p.ID), Source: 1, Attributes: attrs})
+}
+
 // ReadProfilesJSONL parses one JSON object per line.
 func ReadProfilesJSONL(r io.Reader) (*entity.Collection, error) {
 	profiles := make(map[int]*rawProfile)

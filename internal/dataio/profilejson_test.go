@@ -1,0 +1,72 @@
+package dataio
+
+import (
+	"reflect"
+	"testing"
+
+	"metablocking/internal/entity"
+)
+
+func TestParseProfileJSON(t *testing.T) {
+	p, err := ParseProfileJSON([]byte(`{"id": 7, "source": 2,
+		"attributes": {"name": ["Jack Miller"], "address": ["Ast. 5", "Athens"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute names come out sorted, values in declaration order; id and
+	// source are ignored (arrival order owns IDs).
+	want := []entity.Attribute{
+		{Name: "address", Value: "Ast. 5"},
+		{Name: "address", Value: "Athens"},
+		{Name: "name", Value: "Jack Miller"},
+	}
+	if p.ID != 0 {
+		t.Fatalf("ID = %d, want 0 (unassigned)", p.ID)
+	}
+	if !reflect.DeepEqual(p.Attributes, want) {
+		t.Fatalf("attributes = %v, want %v", p.Attributes, want)
+	}
+}
+
+func TestParseProfileJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseProfileJSON([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMarshalParseProfileRoundTrip(t *testing.T) {
+	var p entity.Profile
+	p.Add("name", "Jack Miller")
+	p.Add("job", "car seller")
+	p.Add("name", "J. Miller")
+
+	raw, err := MarshalProfileJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseProfileJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-tripping groups attributes by sorted name; a second round trip
+	// is the identity.
+	want := []entity.Attribute{
+		{Name: "job", Value: "car seller"},
+		{Name: "name", Value: "Jack Miller"},
+		{Name: "name", Value: "J. Miller"},
+	}
+	if !reflect.DeepEqual(got.Attributes, want) {
+		t.Fatalf("first round trip = %v, want %v", got.Attributes, want)
+	}
+	raw2, err := MarshalProfileJSON(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseProfileJSON(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Attributes, got.Attributes) {
+		t.Fatal("second round trip is not the identity")
+	}
+}

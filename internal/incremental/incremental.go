@@ -13,7 +13,7 @@
 package incremental
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -23,8 +23,10 @@ import (
 
 // ErrUnsupportedScheme is returned by NewResolver for weighting schemes the
 // incremental setting cannot maintain (currently EJS, whose global node
-// degrees change with every arriving profile).
-var ErrUnsupportedScheme = errors.New("incremental: EJS needs global node degrees; use ARCS, CBS, ECBS or JS")
+// degrees change with every arriving profile). It wraps the shared
+// core.ErrUnsupportedScheme sentinel — the one the public metablocking
+// package aliases — so errors.Is matches across layers.
+var ErrUnsupportedScheme = fmt.Errorf("incremental: EJS needs global node degrees; use ARCS, CBS, ECBS or JS: %w", core.ErrUnsupportedScheme)
 
 // Config tunes the incremental resolver.
 type Config struct {
@@ -51,7 +53,10 @@ type Candidate struct {
 }
 
 // Resolver incrementally blocks profiles and emits pruned candidate
-// comparisons. It is not safe for concurrent use.
+// comparisons. It is not safe for concurrent use: callers that serve
+// concurrent traffic must serialize Add/AddBatch behind a single writer
+// and fence reads (Size, Profile, Snapshot) from mutations, as
+// internal/server's single-writer/multi-reader façade does.
 type Resolver struct {
 	cfg Config
 
@@ -193,6 +198,98 @@ func (r *Resolver) weight(i, j entity.ID) float64 {
 	default:
 		return common
 	}
+}
+
+// BatchResult pairs one arrival of an AddBatch call with its assigned ID
+// and pruned candidates.
+type BatchResult struct {
+	ID         entity.ID
+	Candidates []Candidate
+}
+
+// AddBatch adds the profiles in order under one index pass and returns one
+// result per profile. It is semantically identical to calling Add for each
+// profile in sequence — earlier batch members become candidates of later
+// ones — but amortizes the per-arrival overhead, which is what lets a
+// serving layer coalesce many concurrent requests into a single writer
+// turn. An empty batch returns nil.
+func (r *Resolver) AddBatch(ps []entity.Profile) []BatchResult {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]BatchResult, len(ps))
+	for i, p := range ps {
+		id, cands := r.Add(p)
+		out[i] = BatchResult{ID: id, Candidates: cands}
+	}
+	return out
+}
+
+// Snapshot is a self-contained, restorable copy of a resolver's state: the
+// configuration, the profiles in arrival order, and the token index so a
+// restore does not re-tokenize. internal/store persists it as the
+// "resolver" artifact; the serving layer hot-swaps resolvers built from
+// one.
+type Snapshot struct {
+	Config   Config
+	Profiles []entity.Profile
+	// Blocks maps token → member profile IDs in arrival order.
+	Blocks map[string][]entity.ID
+	// BlocksOf lists the tokens (block keys) of each profile.
+	BlocksOf [][]string
+}
+
+// Snapshot deep-copies the resolver's state. The caller may persist or
+// mutate the copy while the resolver keeps resolving.
+func (r *Resolver) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Config:   r.cfg,
+		Profiles: append([]entity.Profile(nil), r.profiles...),
+		Blocks:   make(map[string][]entity.ID, len(r.blocks)),
+		BlocksOf: make([][]string, len(r.blocksOf)),
+	}
+	for k, members := range r.blocks {
+		s.Blocks[k] = append([]entity.ID(nil), members...)
+	}
+	for i, keys := range r.blocksOf {
+		s.BlocksOf[i] = append([]string(nil), keys...)
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a resolver from a snapshot, validating the
+// configuration and the index shape. The snapshot's slices are deep-copied,
+// so the caller may reuse it. Restoring n profiles costs O(index size)
+// copying but no re-tokenization.
+func FromSnapshot(s *Snapshot) (*Resolver, error) {
+	if s == nil {
+		return nil, fmt.Errorf("incremental: nil snapshot")
+	}
+	if len(s.BlocksOf) != len(s.Profiles) {
+		return nil, fmt.Errorf("incremental: snapshot has %d profiles but %d block-key lists",
+			len(s.Profiles), len(s.BlocksOf))
+	}
+	r, err := NewResolver(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Profiles)
+	r.profiles = append([]entity.Profile(nil), s.Profiles...)
+	r.blocksOf = make([][]string, n)
+	for i, keys := range s.BlocksOf {
+		r.blocksOf[i] = append([]string(nil), keys...)
+	}
+	for k, members := range s.Blocks {
+		for _, id := range members {
+			if int(id) < 0 || int(id) >= n {
+				return nil, fmt.Errorf("incremental: snapshot block %q references profile %d of %d", k, id, n)
+			}
+		}
+		r.blocks[k] = append([]entity.ID(nil), members...)
+	}
+	r.flags = make([]int64, n)
+	r.common = make([]float64, n)
+	return r, nil
 }
 
 func sortCandidates(cs []Candidate) {

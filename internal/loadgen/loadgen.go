@@ -1,0 +1,160 @@
+// Package loadgen drives concurrent resolve traffic against an Entity
+// Resolution serving target — the race-enabled harness behind the server's
+// equivalence and backpressure tests and its micro-benchmarks.
+//
+// The generator is transport-agnostic: Run fans Options.Requests calls
+// across Options.Clients goroutines through any Resolver func, and
+// HTTPResolver adapts a running /v1/resolve endpoint to that signature.
+// Shed load (HTTP 429 / server.ErrQueueFull mapped to ErrRejected by the
+// adapter) is tallied separately from hard errors, so tests can assert
+// "every accepted request completed" exactly.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"metablocking/internal/dataio"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+// ErrRejected marks a request the target shed under load (HTTP 429). The
+// generator counts these as backpressure, not failures.
+var ErrRejected = errors.New("loadgen: request shed by target")
+
+// Resolver is one resolve attempt against the target.
+type Resolver func(p entity.Profile) (incremental.BatchResult, error)
+
+// Options shapes a load run.
+type Options struct {
+	// Clients is the number of concurrent workers. Default 8.
+	Clients int
+	// Requests is the total number of resolve calls. Default 1000.
+	Requests int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 1000
+	}
+	return o
+}
+
+// Response records one completed request: the profile that was sent and
+// what the target answered.
+type Response struct {
+	Profile    entity.Profile
+	ID         entity.ID
+	Candidates []incremental.Candidate
+}
+
+// Report aggregates a load run.
+type Report struct {
+	// Responses holds every accepted-and-answered request, in no
+	// particular order (sort by ID to recover arrival order).
+	Responses []Response
+	// Rejected counts requests the target shed (ErrRejected).
+	Rejected int
+	// Errors holds every other failure.
+	Errors []error
+}
+
+// Run fans opts.Requests resolve calls over opts.Clients workers, cycling
+// through the profile set, and aggregates the outcomes. It returns once
+// every request has completed.
+func Run(resolve Resolver, profiles []entity.Profile, opts Options) *Report {
+	opts = opts.withDefaults()
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		rep  Report
+		wg   sync.WaitGroup
+	)
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					return
+				}
+				p := profiles[i%len(profiles)]
+				res, err := resolve(p)
+				mu.Lock()
+				switch {
+				case errors.Is(err, ErrRejected):
+					rep.Rejected++
+				case err != nil:
+					rep.Errors = append(rep.Errors, err)
+				default:
+					rep.Responses = append(rep.Responses, Response{
+						Profile:    p,
+						ID:         res.ID,
+						Candidates: res.Candidates,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return &rep
+}
+
+// HTTPResolver adapts a server's base URL ("http://host:port") to a
+// Resolver posting JSONL records to /v1/resolve. A 429 maps to
+// ErrRejected; any other non-200 status is a hard error. A nil client
+// uses http.DefaultClient.
+func HTTPResolver(baseURL string, client *http.Client) Resolver {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(p entity.Profile) (incremental.BatchResult, error) {
+		body, err := dataio.MarshalProfileJSON(p)
+		if err != nil {
+			return incremental.BatchResult{}, err
+		}
+		resp, err := client.Post(baseURL+"/v1/resolve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return incremental.BatchResult{}, err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return incremental.BatchResult{}, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			return incremental.BatchResult{}, fmt.Errorf("%w (Retry-After %s)", ErrRejected, resp.Header.Get("Retry-After"))
+		default:
+			return incremental.BatchResult{}, fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, payload)
+		}
+		var out struct {
+			ID         int `json:"id"`
+			Candidates []struct {
+				ID     int     `json:"id"`
+				Weight float64 `json:"weight"`
+			} `json:"candidates"`
+		}
+		if err := json.Unmarshal(payload, &out); err != nil {
+			return incremental.BatchResult{}, fmt.Errorf("loadgen: decoding response: %v", err)
+		}
+		res := incremental.BatchResult{ID: entity.ID(out.ID)}
+		for _, c := range out.Candidates {
+			res.Candidates = append(res.Candidates, incremental.Candidate{ID: entity.ID(c.ID), Weight: c.Weight})
+		}
+		return res, nil
+	}
+}

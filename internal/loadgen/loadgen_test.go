@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+func someProfiles(n int) []entity.Profile {
+	out := make([]entity.Profile, n)
+	for i := range out {
+		out[i].Add("name", fmt.Sprintf("profile %d", i))
+	}
+	return out
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	var calls atomic.Int64
+	resolve := func(p entity.Profile) (incremental.BatchResult, error) {
+		n := calls.Add(1)
+		switch {
+		case n%5 == 0:
+			return incremental.BatchResult{}, ErrRejected
+		case n%7 == 0:
+			return incremental.BatchResult{}, errors.New("boom")
+		default:
+			return incremental.BatchResult{ID: entity.ID(n)}, nil
+		}
+	}
+	rep := Run(resolve, someProfiles(10), Options{Clients: 4, Requests: 100})
+	if got := len(rep.Responses) + rep.Rejected + len(rep.Errors); got != 100 {
+		t.Fatalf("outcomes = %d, want 100", got)
+	}
+	if rep.Rejected == 0 || len(rep.Errors) == 0 || len(rep.Responses) == 0 {
+		t.Fatalf("classification degenerate: %d ok, %d shed, %d errors",
+			len(rep.Responses), rep.Rejected, len(rep.Errors))
+	}
+}
+
+func TestHTTPResolverMapsStatuses(t *testing.T) {
+	var mode atomic.Int32 // 0 = ok, 1 = shed, 2 = fail
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		switch mode.Load() {
+		case 0:
+			fmt.Fprint(w, `{"id": 3, "candidates": [{"id": 1, "weight": 0.5}]}`)
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			http.Error(w, "kaput", http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+	resolve := HTTPResolver(ts.URL, ts.Client())
+	p := someProfiles(1)[0]
+
+	res, err := resolve(p)
+	if err != nil || res.ID != 3 || len(res.Candidates) != 1 || res.Candidates[0].Weight != 0.5 {
+		t.Fatalf("ok mapping = %+v, %v", res, err)
+	}
+	mode.Store(1)
+	if _, err := resolve(p); !errors.Is(err, ErrRejected) {
+		t.Fatalf("429 mapped to %v, want ErrRejected", err)
+	}
+	mode.Store(2)
+	if _, err := resolve(p); err == nil || errors.Is(err, ErrRejected) {
+		t.Fatalf("500 mapped to %v, want a hard error", err)
+	}
+}

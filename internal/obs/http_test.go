@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestHTTPMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	status := http.StatusOK
+	h := HTTPMetrics(m, nil, "probe", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		time.Sleep(time.Millisecond) // make the latency counter observable
+		w.WriteHeader(status)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	hit := func(want int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, want)
+		}
+	}
+	hit(200)
+	status = http.StatusInternalServerError
+	hit(500)
+	status = http.StatusTooManyRequests
+	hit(429)
+
+	s := m.Snapshot()
+	if got := s.Counter("http.probe.requests"); got != 3 {
+		t.Fatalf("requests = %d, want 3", got)
+	}
+	if got := s.Counter("http.probe.errors"); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+	if got := s.Counter("http.probe.rejected"); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	if got := s.Counter("http.probe.latency_ns"); got < 3*int64(time.Millisecond) {
+		t.Fatalf("latency_ns = %d, want ≥ 3ms of handler sleep", got)
+	}
+}
+
+func TestHTTPMetricsSpans(t *testing.T) {
+	var started, ended []string
+	o := New(nil, WithSpanHooks(
+		func(stage string) { started = append(started, stage) },
+		func(stage string, _ time.Duration) { ended = append(ended, stage) },
+	))
+	h := HTTPMetrics(nil, o, "spanned", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if len(started) != 1 || started[0] != "http.spanned" || len(ended) != 1 {
+		t.Fatalf("spans = %v / %v, want one http.spanned pair", started, ended)
+	}
+}
+
+// TestHTTPMetricsNilRegistry: a nil registry degrades to pass-through.
+func TestHTTPMetricsNilRegistry(t *testing.T) {
+	h := HTTPMetrics(nil, nil, "noop", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}

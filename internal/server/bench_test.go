@@ -1,0 +1,46 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"metablocking/internal/core"
+	"metablocking/internal/incremental"
+)
+
+// BenchmarkServerResolve measures the batched resolve path end to end
+// (admission queue → micro-batch → index pass → reply), with concurrent
+// submitters so batches actually coalesce.
+func BenchmarkServerResolve(b *testing.B) {
+	profiles := testProfiles(b, 1000)
+	s, err := New(Config{
+		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		BatchWindow: 200 * time.Microsecond,
+		MaxBatch:    64,
+		QueueDepth:  8192,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetParallelism(8) // 8 submitters per proc so micro-batches coalesce
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Resolve(ctx, profiles[i%len(profiles)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	batches := s.Metrics().Counter(CtrBatches).Value()
+	if batches > 0 {
+		b.ReportMetric(float64(s.Metrics().Counter(CtrBatchedProfs).Value())/float64(batches), "profiles/batch")
+	}
+}

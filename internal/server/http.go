@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"metablocking/internal/dataio"
+	"metablocking/internal/obs"
+)
+
+// maxBodyBytes bounds a request body — matches the JSONL scanner buffer
+// used by the batch tools (4 MiB).
+const maxBodyBytes = 1 << 22
+
+// ResolveResponse is the JSON body of a successful /v1/resolve call.
+type ResolveResponse struct {
+	// ID is the arrival-order identifier the index assigned.
+	ID int `json:"id"`
+	// Candidates lists the pruned comparison suggestions, heaviest first.
+	Candidates []CandidateJSON `json:"candidates"`
+}
+
+// CandidateJSON is one pruned candidate comparison.
+type CandidateJSON struct {
+	ID     int     `json:"id"`
+	Weight float64 `json:"weight"`
+}
+
+// ReloadRequest is the JSON body of /v1/admin/reload.
+type ReloadRequest struct {
+	// Path names a resolver-snapshot artifact written by internal/store.
+	Path string `json:"path"`
+}
+
+// ReloadResponse reports a completed snapshot swap.
+type ReloadResponse struct {
+	// Profiles is the size of the freshly loaded index.
+	Profiles int `json:"profiles"`
+}
+
+// SnapshotRequest is the JSON body of /v1/admin/snapshot.
+type SnapshotRequest struct {
+	// Path is where the resolver-snapshot artifact is written.
+	Path string `json:"path"`
+}
+
+// SnapshotResponse reports a persisted snapshot.
+type SnapshotResponse struct {
+	// Profiles is the size of the index that was snapshotted.
+	Profiles int `json:"profiles"`
+	Path     string `json:"path"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service mux:
+//
+//	POST /v1/resolve      — resolve one JSONL profile record
+//	POST /v1/admin/reload — hot-swap the index from a snapshot file
+//	POST /v1/admin/snapshot — persist the serving index to a snapshot file
+//	GET  /healthz         — liveness (always 200 while the process runs)
+//	GET  /readyz          — readiness (503 once draining)
+//	GET  /metrics         — the obs registry as a plain-text table
+//	GET  /debug/vars      — the obs registry as expvar-style JSON
+//
+// Every endpoint is wrapped in obs.HTTPMetrics, so the registry carries
+// per-endpoint request/error/shed/latency counters.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.HTTPMetrics(s.metrics, nil, name, h))
+	}
+	handle("POST /v1/resolve", "resolve", s.handleResolve)
+	handle("POST /v1/admin/reload", "reload", s.handleReload)
+	handle("POST /v1/admin/snapshot", "snapshot", s.handleSnapshot)
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, s.metrics.Snapshot().Table())
+	})
+	handle("GET /debug/vars", "vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(s.metrics.Snapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	p, err := dataio.ParseProfileJSON(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	res, err := s.Resolve(req.Context(), p)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		return
+	case err != nil: // client context canceled/timed out
+		writeJSON(w, http.StatusRequestTimeout, ErrorResponse{Error: err.Error()})
+		return
+	}
+	out := ResolveResponse{ID: int(res.ID), Candidates: make([]CandidateJSON, len(res.Candidates))}
+	for i, c := range res.Candidates {
+		out.Candidates[i] = CandidateJSON{ID: int(c.ID), Weight: c.Weight}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
+	var r ReloadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(&r); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if r.Path == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing snapshot path"})
+		return
+	}
+	n, err := s.ReloadFile(r.Path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Profiles: n})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
+	var r SnapshotRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(&r); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if r.Path == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing snapshot path"})
+		return
+	}
+	n, err := s.SnapshotFile(r.Path)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Profiles: n, Path: r.Path})
+}

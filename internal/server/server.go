@@ -1,0 +1,354 @@
+// Package server is the online Entity Resolution query service: a
+// concurrency-safe façade over the incremental Resolver that turns the
+// one-shot cmd/stream workflow into an always-on serving layer.
+//
+// Three serving-stack shapes make it production-grade:
+//
+//   - Micro-batching. Concurrent /v1/resolve requests are coalesced into
+//     one index pass: a single batcher goroutine — the only writer —
+//     drains the admission queue for up to BatchWindow or MaxBatch
+//     arrivals and feeds them to Resolver.AddBatch under one lock
+//     acquisition. Responses are identical to processing the same
+//     arrival order one at a time.
+//   - Backpressure. Admission is a bounded queue; when it is full the
+//     server sheds load immediately (ErrQueueFull → HTTP 429 with
+//     Retry-After) instead of building an unbounded backlog. Accepted
+//     requests are never dropped: every queued job is answered, even
+//     during graceful shutdown.
+//   - Snapshot hot-swap. The resolver behind the façade can be replaced
+//     atomically (Reload / POST /v1/admin/reload) with one built from a
+//     pre-blocked internal/store snapshot. The swap fences on the same
+//     lock the batcher writes under, so in-flight requests complete
+//     against whichever index they were batched into and none fail.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+	"metablocking/internal/obs"
+	"metablocking/internal/store"
+)
+
+// Typed errors of the façade; test with errors.Is. The HTTP layer maps
+// ErrQueueFull to 429 + Retry-After and ErrDraining to 503.
+var (
+	// ErrQueueFull is returned when the admission queue is at capacity.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining is returned once Close has begun: the server finishes
+	// accepted work but admits nothing new.
+	ErrDraining = errors.New("server: shutting down")
+)
+
+// Counter and gauge names the server reports into its registry, alongside
+// the per-endpoint http.* counters from obs.HTTPMetrics.
+const (
+	CtrAccepted      = "server.accepted"
+	CtrRejectedFull  = "server.rejected_full"
+	CtrRejectedDrain = "server.rejected_draining"
+	CtrBatches       = "server.batches"
+	CtrBatchedProfs  = "server.batch_profiles"
+	CtrCandidates    = "server.candidates"
+	CtrReloads       = "server.reloads"
+	CtrSnapshots     = "server.snapshots"
+	GaugeProfiles    = "server.profiles"
+	GaugeQueueCap    = "server.queue_cap"
+)
+
+// Config tunes the serving façade. The zero value gets sensible defaults.
+type Config struct {
+	// Resolver configures the incremental index (scheme, K, block cap).
+	Resolver incremental.Config
+	// BatchWindow is how long the batcher waits for more arrivals after
+	// the first one before flushing a partial batch. Default 2ms.
+	BatchWindow time.Duration
+	// MaxBatch caps arrivals per index pass. Default 64.
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue sheds load
+	// with ErrQueueFull. Default 1024.
+	QueueDepth int
+	// RetryAfter is the advisory client back-off sent with 429 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// Metrics receives the server's counters; nil creates a private
+	// registry (exposed at /metrics either way).
+	Metrics *obs.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// job is one admitted resolve request. reply is buffered so the batcher
+// never blocks on a client that gave up waiting.
+type job struct {
+	profile entity.Profile
+	reply   chan incremental.BatchResult
+}
+
+// Server is the concurrency-safe serving façade. One batcher goroutine is
+// the single writer to the resolver; handler goroutines are readers that
+// fence on mu. Create with New, stop with Close.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+
+	// mu fences the resolver pointer and its state: the batcher's flush
+	// and Reload's swap take the write lock, read-only accessors the
+	// read lock.
+	mu       sync.RWMutex
+	resolver *incremental.Resolver
+
+	queue chan job
+
+	// submitMu serializes admission against the start of a drain: once
+	// Close sets draining under the write lock, no submitter can still
+	// be inside the enqueue critical section, so the batcher's final
+	// drain pass sees every accepted job.
+	submitMu sync.RWMutex
+	draining bool
+
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// New validates the configuration, builds an empty resolver and starts the
+// batcher. Call Close to stop it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	r, err := incremental.NewResolver(cfg.Resolver)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		resolver: r,
+		queue:    make(chan job, cfg.QueueDepth),
+		stopc:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.metrics.Gauge(GaugeQueueCap).Set(int64(cfg.QueueDepth))
+	s.metrics.Gauge(GaugeProfiles).Set(0)
+	go s.batcher()
+	return s, nil
+}
+
+// Resolve admits the profile, waits for its micro-batch to flush, and
+// returns the assigned ID and pruned candidates. It returns ErrQueueFull
+// when the admission queue is at capacity, ErrDraining after Close has
+// begun, and ctx.Err() if the caller gives up first — in which case the
+// accepted request is still processed (its ID is consumed) and only the
+// reply is discarded.
+func (s *Server) Resolve(ctx context.Context, p entity.Profile) (incremental.BatchResult, error) {
+	j := job{profile: p, reply: make(chan incremental.BatchResult, 1)}
+	s.submitMu.RLock()
+	if s.draining {
+		s.submitMu.RUnlock()
+		s.metrics.Counter(CtrRejectedDrain).Inc()
+		return incremental.BatchResult{}, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.submitMu.RUnlock()
+	default:
+		s.submitMu.RUnlock()
+		s.metrics.Counter(CtrRejectedFull).Inc()
+		return incremental.BatchResult{}, ErrQueueFull
+	}
+	s.metrics.Counter(CtrAccepted).Inc()
+	select {
+	case res := <-j.reply:
+		return res, nil
+	case <-ctx.Done():
+		return incremental.BatchResult{}, ctx.Err()
+	}
+}
+
+// Reload atomically swaps the serving index for one rebuilt from the
+// snapshot and returns its profile count. The swap waits for the batch in
+// flight (if any) to finish; requests already admitted but not yet batched
+// are resolved against the new index. IDs restart at the snapshot's size.
+func (s *Server) Reload(snap *incremental.Snapshot) (int, error) {
+	r, err := incremental.FromSnapshot(snap)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.resolver = r
+	n := r.Size()
+	s.mu.Unlock()
+	s.metrics.Counter(CtrReloads).Inc()
+	s.metrics.Gauge(GaugeProfiles).Set(int64(n))
+	return n, nil
+}
+
+// ReloadFile is Reload from a store resolver-snapshot file.
+func (s *Server) ReloadFile(path string) (int, error) {
+	snap, err := store.LoadResolverFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if snap.Config.Scheme != s.cfg.Resolver.Scheme {
+		return 0, fmt.Errorf("server: snapshot scheme %v differs from serving scheme %v",
+			snap.Config.Scheme, s.cfg.Resolver.Scheme)
+	}
+	return s.Reload(snap)
+}
+
+// Size returns the number of profiles in the serving index.
+func (s *Server) Size() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resolver.Size()
+}
+
+// Snapshot deep-copies the serving index, fenced against the writer — the
+// artifact Reload and /v1/admin/reload consume.
+func (s *Server) Snapshot() *incremental.Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resolver.Snapshot()
+}
+
+// SnapshotFile persists the current serving index as a resolver-snapshot
+// artifact at path, and returns the number of profiles it holds. The file
+// can be fed back to -snapshot at startup or to /v1/admin/reload.
+func (s *Server) SnapshotFile(path string) (int, error) {
+	snap := s.Snapshot()
+	if err := store.SaveResolverFile(path, snap); err != nil {
+		return 0, err
+	}
+	s.metrics.Counter(CtrSnapshots).Inc()
+	return len(snap.Profiles), nil
+}
+
+// Ready reports whether the server is accepting requests.
+func (s *Server) Ready() bool {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	return !s.draining
+}
+
+// Metrics returns the server's registry (never nil after New).
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// Close drains gracefully: new requests are rejected with ErrDraining,
+// every already-accepted request is answered, then the batcher exits.
+// Safe to call more than once.
+func (s *Server) Close() error {
+	s.submitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.submitMu.Unlock()
+	if !already {
+		close(s.stopc)
+	}
+	<-s.done
+	return nil
+}
+
+// batcher is the single writer: it owns every mutation of the resolver.
+func (s *Server) batcher() {
+	defer close(s.done)
+	for {
+		select {
+		case first := <-s.queue:
+			s.flush(s.fill(first))
+		case <-s.stopc:
+			// draining is set before stopc closes and submitters check
+			// it under submitMu, so the queue can only shrink now.
+			for {
+				select {
+				case first := <-s.queue:
+					s.flush(s.fillQueued(first))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// fill gathers a micro-batch: the first job plus whatever else arrives
+// within BatchWindow, capped at MaxBatch.
+func (s *Server) fill(first job) []job {
+	batch := append(make([]job, 0, s.cfg.MaxBatch), first)
+	if s.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		case <-s.stopc:
+			// Finish this batch immediately; the drain loop answers the
+			// rest of the queue.
+			return batch
+		}
+	}
+	return batch
+}
+
+// fillQueued gathers a batch without waiting — used by the drain loop,
+// when no new arrivals are possible.
+func (s *Server) fillQueued(first job) []job {
+	batch := append(make([]job, 0, s.cfg.MaxBatch), first)
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case j := <-s.queue:
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush runs one index pass over the batch and answers every job. The
+// write lock is taken once per batch — this is the micro-batching win —
+// and is the same lock Reload swaps under.
+func (s *Server) flush(batch []job) {
+	profiles := make([]entity.Profile, len(batch))
+	for i, j := range batch {
+		profiles[i] = j.profile
+	}
+	s.mu.Lock()
+	results := s.resolver.AddBatch(profiles)
+	size := s.resolver.Size()
+	s.mu.Unlock()
+
+	candidates := 0
+	for i, j := range batch {
+		candidates += len(results[i].Candidates)
+		j.reply <- results[i]
+	}
+	s.metrics.Counter(CtrBatches).Inc()
+	s.metrics.Counter(CtrBatchedProfs).Add(int64(len(batch)))
+	s.metrics.Counter(CtrCandidates).Add(int64(candidates))
+	s.metrics.Gauge(GaugeProfiles).Set(int64(size))
+}

@@ -1,0 +1,588 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"metablocking/internal/core"
+	"metablocking/internal/dataio"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+	"metablocking/internal/loadgen"
+	"metablocking/internal/store"
+)
+
+// testProfiles returns n synthetic profiles, JSON-normalized exactly as the
+// HTTP path normalizes them (marshal → parse groups attributes by sorted
+// name), so serial replays see byte-identical profiles.
+func testProfiles(t testing.TB, n int) []entity.Profile {
+	t.Helper()
+	ds := datagen.D1D(0.1)
+	if len(ds.Collection.Profiles) < n {
+		t.Fatalf("dataset has %d profiles, need %d", len(ds.Collection.Profiles), n)
+	}
+	out := make([]entity.Profile, n)
+	for i := 0; i < n; i++ {
+		raw, err := dataio.MarshalProfileJSON(ds.Collection.Profiles[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := dataio.ParseProfileJSON(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestBatchedEqualsSerial is the acceptance load test: ≥8 concurrent
+// clients drive ≥1k requests through the HTTP micro-batching path, and
+// the responses must be identical — IDs, candidate sets, exact weights —
+// to a serial one-at-a-time Resolver fed the same arrival order.
+func TestBatchedEqualsSerial(t *testing.T) {
+	cfg := Config{
+		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		BatchWindow: time.Millisecond,
+		MaxBatch:    32,
+		QueueDepth:  4096, // never shed: every request participates
+	}
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const requests = 1200
+	profiles := testProfiles(t, requests)
+	rep := loadgen.Run(loadgen.HTTPResolver(ts.URL, ts.Client()), profiles, loadgen.Options{
+		Clients:  8,
+		Requests: requests,
+	})
+	if len(rep.Errors) > 0 {
+		t.Fatalf("%d hard errors, first: %v", len(rep.Errors), rep.Errors[0])
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("%d requests shed with an oversized queue", rep.Rejected)
+	}
+	if len(rep.Responses) != requests {
+		t.Fatalf("got %d responses, want %d", len(rep.Responses), requests)
+	}
+
+	// Recover the server's arrival order from the assigned IDs: they must
+	// be dense 0..n-1.
+	byID := make([]*loadgen.Response, requests)
+	for i := range rep.Responses {
+		r := &rep.Responses[i]
+		if int(r.ID) < 0 || int(r.ID) >= requests || byID[r.ID] != nil {
+			t.Fatalf("IDs not dense: response ID %d", r.ID)
+		}
+		byID[r.ID] = r
+	}
+
+	// Serial oracle: the same profiles, one Add at a time, in the arrival
+	// order the server chose.
+	serial, err := incremental.NewResolver(cfg.Resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range byID {
+		_, want := serial.Add(r.Profile)
+		got := r.Candidates
+		if len(got) != len(want) {
+			t.Fatalf("arrival %d: %d candidates, serial wants %d", id, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || got[i].Weight != want[i].Weight {
+				t.Fatalf("arrival %d candidate %d: got (%d, %v), want (%d, %v)",
+					id, i, got[i].ID, got[i].Weight, want[i].ID, want[i].Weight)
+			}
+		}
+	}
+	if got := s.Metrics().Counter(CtrAccepted).Value(); got != requests {
+		t.Fatalf("accepted counter = %d, want %d", got, requests)
+	}
+	if batches := s.Metrics().Counter(CtrBatches).Value(); batches >= requests {
+		t.Errorf("no batching happened: %d batches for %d requests", batches, requests)
+	}
+}
+
+// TestQueueOverflowSheds stalls the single writer, overflows the bounded
+// queue, and checks that surplus requests are shed with ErrQueueFull while
+// every accepted request still gets its answer.
+func TestQueueOverflowSheds(t *testing.T) {
+	s := newTestServer(t, Config{
+		Resolver:    incremental.Config{Scheme: core.CBS},
+		MaxBatch:    1,
+		QueueDepth:  2,
+		BatchWindow: time.Millisecond,
+	})
+	profiles := testProfiles(t, 1)
+
+	s.mu.Lock() // stall the batcher's flush
+	const attempts = 20
+	type outcome struct {
+		res incremental.BatchResult
+		err error
+	}
+	results := make(chan outcome, attempts)
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.Resolve(context.Background(), profiles[0])
+			results <- outcome{res, err}
+		}()
+	}
+	// Wait until all attempts have either been accepted or shed: accepted
+	// ones are blocked on their reply, shed ones already counted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		acc := s.metrics.Counter(CtrAccepted).Value()
+		rej := s.metrics.Counter(CtrRejectedFull).Value()
+		if acc+rej == attempts {
+			break
+		}
+		if time.Now().After(deadline) {
+			s.mu.Unlock()
+			t.Fatalf("admission stuck: accepted %d + rejected %d != %d", acc, rej, attempts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	accepted := int(s.metrics.Counter(CtrAccepted).Value())
+	rejected := int(s.metrics.Counter(CtrRejectedFull).Value())
+	if rejected == 0 {
+		t.Fatal("queue of 2 never overflowed under 20 concurrent submits")
+	}
+	if accepted == 0 {
+		t.Fatal("no request was accepted")
+	}
+	s.mu.Unlock()
+	wg.Wait()
+	close(results)
+
+	gotResults, gotShed := 0, 0
+	for o := range results {
+		switch {
+		case errors.Is(o.err, ErrQueueFull):
+			gotShed++
+		case o.err != nil:
+			t.Fatalf("unexpected error: %v", o.err)
+		default:
+			gotResults++
+		}
+	}
+	if gotResults != accepted || gotShed != rejected {
+		t.Fatalf("answers %d/%d, shed %d/%d: accepted requests were dropped",
+			gotResults, accepted, gotShed, rejected)
+	}
+}
+
+// TestHTTPQueueOverflow429 checks the HTTP mapping of backpressure: 429
+// with a Retry-After header, and eventual success for accepted posts.
+func TestHTTPQueueOverflow429(t *testing.T) {
+	s := newTestServer(t, Config{
+		Resolver:    incremental.Config{Scheme: core.CBS},
+		MaxBatch:    1,
+		QueueDepth:  1,
+		BatchWindow: time.Millisecond,
+		RetryAfter:  3 * time.Second,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.mu.Lock()
+	type post struct {
+		status     int
+		retryAfter string
+	}
+	const attempts = 10
+	results := make(chan post, attempts)
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/resolve", "application/json",
+				bytes.NewReader([]byte(`{"attributes":{"name":["jack miller"]}}`)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- post{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+	// At least one shed response arrives while the writer is stalled.
+	select {
+	case p := <-results:
+		if p.status != http.StatusTooManyRequests {
+			t.Fatalf("first completed status = %d, want 429", p.status)
+		}
+		if p.retryAfter != "3" {
+			t.Fatalf("Retry-After = %q, want \"3\"", p.retryAfter)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no response while writer stalled")
+	}
+	s.mu.Unlock()
+	wg.Wait()
+	close(results)
+	for p := range results {
+		if p.status != http.StatusOK && p.status != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 200 or 429", p.status)
+		}
+	}
+}
+
+// TestReloadZeroFailures hot-swaps snapshots while 8 clients hammer
+// /v1/resolve; no request may fail with anything but backpressure.
+func TestReloadZeroFailures(t *testing.T) {
+	resolverCfg := incremental.Config{Scheme: core.JS, K: 10}
+	profiles := testProfiles(t, 500)
+
+	// Pre-block a 100-profile snapshot on disk.
+	pre, err := incremental.NewResolver(resolverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre.AddBatch(profiles[:100])
+	snapPath := filepath.Join(t.TempDir(), "resolver.snap")
+	if err := store.SaveResolverFile(snapPath, pre.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Config{
+		Resolver:    resolverCfg,
+		BatchWindow: time.Millisecond,
+		MaxBatch:    16,
+		QueueDepth:  4096,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reload := func() ReloadResponse {
+		body, _ := json.Marshal(ReloadRequest{Path: snapPath})
+		resp, err := ts.Client().Post(ts.URL+"/v1/admin/reload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload status %d: %s", resp.StatusCode, payload)
+		}
+		var rr ReloadResponse
+		if err := json.Unmarshal(payload, &rr); err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+
+	done := make(chan *loadgen.Report)
+	go func() {
+		done <- loadgen.Run(loadgen.HTTPResolver(ts.URL, ts.Client()), profiles[100:], loadgen.Options{
+			Clients:  8,
+			Requests: 400,
+		})
+	}()
+	const reloads = 5
+	for i := 0; i < reloads; i++ {
+		if rr := reload(); rr.Profiles != 100 {
+			t.Fatalf("reload %d loaded %d profiles, want 100", i, rr.Profiles)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep := <-done
+	if len(rep.Errors) > 0 {
+		t.Fatalf("reload failed %d in-flight requests, first: %v", len(rep.Errors), rep.Errors[0])
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("%d requests shed with an oversized queue", rep.Rejected)
+	}
+	if len(rep.Responses) != 400 {
+		t.Fatalf("%d responses, want 400", len(rep.Responses))
+	}
+	// Every response resolved against a swapped-in snapshot carries an ID
+	// at or past the snapshot size; pre-swap IDs start at 0. Both are
+	// legitimate — what matters is that all succeeded.
+	if got := s.Metrics().Counter(CtrReloads).Value(); got != reloads {
+		t.Fatalf("reload counter = %d, want %d", got, reloads)
+	}
+	if size := s.Size(); size < 100 {
+		t.Fatalf("size after final reload = %d, want ≥ 100", size)
+	}
+}
+
+// TestGracefulCloseDrains verifies that Close answers every accepted
+// request and rejects new ones with ErrDraining.
+func TestGracefulCloseDrains(t *testing.T) {
+	s := newTestServer(t, Config{
+		Resolver:    incremental.Config{Scheme: core.CBS},
+		BatchWindow: 50 * time.Millisecond, // long window: Close must cut it short
+		MaxBatch:    8,
+		QueueDepth:  64,
+	})
+	profiles := testProfiles(t, 5)
+
+	type outcome struct {
+		res incremental.BatchResult
+		err error
+	}
+	results := make(chan outcome, len(profiles))
+	for i := range profiles {
+		go func(p entity.Profile) {
+			res, err := s.Resolve(context.Background(), p)
+			results <- outcome{res, err}
+		}(profiles[i])
+	}
+	// Wait for all five to be admitted, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.Counter(CtrAccepted).Value() < int64(len(profiles)) {
+		if time.Now().After(deadline) {
+			t.Fatal("submissions not admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[entity.ID]bool)
+	for range profiles {
+		o := <-results
+		if o.err != nil {
+			t.Fatalf("accepted request failed during drain: %v", o.err)
+		}
+		if seen[o.res.ID] {
+			t.Fatalf("duplicate ID %d", o.res.ID)
+		}
+		seen[o.res.ID] = true
+	}
+	if s.Ready() {
+		t.Fatal("Ready after Close")
+	}
+	if _, err := s.Resolve(context.Background(), profiles[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-Close Resolve error = %v, want ErrDraining", err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestResolveContextCanceled: an accepted request whose client gives up is
+// still processed; only the reply is dropped.
+func TestResolveContextCanceled(t *testing.T) {
+	s := newTestServer(t, Config{
+		Resolver:    incremental.Config{Scheme: core.CBS},
+		MaxBatch:    1,
+		QueueDepth:  4,
+		BatchWindow: time.Millisecond,
+	})
+	profiles := testProfiles(t, 1)
+
+	s.mu.Lock()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Resolve(ctx, profiles[0])
+		errc <- err
+	}()
+	if err := <-errc; !errors.Is(err, context.DeadlineExceeded) {
+		s.mu.Unlock()
+		t.Fatalf("error = %v, want DeadlineExceeded", err)
+	}
+	s.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Size() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned request never processed, size = %d", s.Size())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEndpoints covers the operational surface: health, readiness,
+// metrics, expvar, and the error mappings of resolve and reload.
+func TestEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{Resolver: incremental.Config{Scheme: core.JS}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path, body string) (int, string) {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(payload)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz = %d %q", code, body)
+	}
+	if code, body := post("/v1/resolve", `{"attributes":{"name":["jack miller"]}}`); code != 200 {
+		t.Fatalf("resolve = %d %s", code, body)
+	}
+	if code, body := post("/v1/resolve", "not json"); code != 400 {
+		t.Fatalf("garbage resolve = %d %s", code, body)
+	}
+	if code, _ := post("/v1/admin/reload", `{}`); code != 400 {
+		t.Fatalf("reload without path = %d", code)
+	}
+	if code, _ := post("/v1/admin/reload", `{"path":"/nonexistent/snap"}`); code != 404 {
+		t.Fatalf("reload missing file = %d", code)
+	}
+	// A snapshot with a different scheme is refused.
+	other, err := incremental.NewResolver(incremental.Config{Scheme: core.CBS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherPath := filepath.Join(t.TempDir(), "other.snap")
+	if err := store.SaveResolverFile(otherPath, other.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post("/v1/admin/reload", fmt.Sprintf(`{"path":%q}`, otherPath)); code != 500 {
+		t.Fatalf("cross-scheme reload = %d %s", code, body)
+	}
+
+	if code, body := get("/metrics"); code != 200 ||
+		!bytes.Contains([]byte(body), []byte("server.accepted")) ||
+		!bytes.Contains([]byte(body), []byte("http.resolve.requests")) {
+		t.Fatalf("metrics = %d %q", code, body)
+	}
+	code, body := get("/debug/vars")
+	if code != 200 {
+		t.Fatalf("debug/vars = %d", code)
+	}
+	var snap struct {
+		Counters map[string]int64
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("debug/vars not JSON: %v", err)
+	}
+	if snap.Counters["server.accepted"] != 1 {
+		t.Fatalf("expvar accepted = %d, want 1", snap.Counters["server.accepted"])
+	}
+
+	s.Close()
+	if code, _ := get("/readyz"); code != 503 {
+		t.Fatalf("readyz after Close = %d, want 503", code)
+	}
+	if code, _ := post("/v1/resolve", `{"attributes":{"a":["b"]}}`); code != 503 {
+		t.Fatalf("resolve after Close = %d, want 503", code)
+	}
+}
+
+// TestSnapshotOfServingIndex: Server.Snapshot round-trips through the
+// store and reloads into an identical index.
+func TestSnapshotOfServingIndex(t *testing.T) {
+	s := newTestServer(t, Config{Resolver: incremental.Config{Scheme: core.JS, K: 5}})
+	profiles := testProfiles(t, 20)
+	for _, p := range profiles {
+		if _, err := s.Resolve(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "serving.snap")
+	if err := store.SaveResolverFile(path, s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.ReloadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 || s.Size() != 20 {
+		t.Fatalf("reloaded size = %d / %d, want 20", n, s.Size())
+	}
+}
+
+// TestSnapshotEndpoint drives the persist→reload loop entirely over HTTP:
+// /v1/admin/snapshot writes the serving index to disk, /v1/admin/reload
+// swaps it back in.
+func TestSnapshotEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Resolver: incremental.Config{Scheme: core.JS, K: 5}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (int, string) {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(payload)
+	}
+
+	for _, p := range testProfiles(t, 12) {
+		if _, err := s.Resolve(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if code, body := post("/v1/admin/snapshot", `{}`); code != 400 {
+		t.Fatalf("snapshot without path = %d %s", code, body)
+	}
+	if code, body := post("/v1/admin/snapshot", `{"path":"/nonexistent-dir/x.snap"}`); code != 500 {
+		t.Fatalf("snapshot to unwritable path = %d %s", code, body)
+	}
+
+	path := filepath.Join(t.TempDir(), "via-http.snap")
+	code, body := post("/v1/admin/snapshot", fmt.Sprintf(`{"path":%q}`, path))
+	if code != 200 {
+		t.Fatalf("snapshot = %d %s", code, body)
+	}
+	var sr SnapshotResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatalf("snapshot response not JSON: %v", err)
+	}
+	if sr.Profiles != 12 || sr.Path != path {
+		t.Fatalf("snapshot response = %+v, want 12 profiles at %s", sr, path)
+	}
+
+	code, body = post("/v1/admin/reload", fmt.Sprintf(`{"path":%q}`, path))
+	if code != 200 {
+		t.Fatalf("reload of own snapshot = %d %s", code, body)
+	}
+	if s.Size() != 12 {
+		t.Fatalf("size after reload = %d, want 12", s.Size())
+	}
+	if got := s.Metrics().Snapshot().Counters[CtrSnapshots]; got != 1 {
+		t.Fatalf("%s counter = %d, want 1", CtrSnapshots, got)
+	}
+}

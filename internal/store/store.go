@@ -11,9 +11,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"metablocking/internal/block"
+	"metablocking/internal/core"
 	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
 )
 
 // format versions, one per artifact kind. Bump on incompatible changes.
@@ -21,6 +24,7 @@ const (
 	collectionVersion = 1
 	blocksVersion     = 1
 	pairsVersion      = 1
+	resolverVersion   = 1
 )
 
 // envelope is the self-describing header of every stored artifact.
@@ -133,6 +137,94 @@ func ReadPairs(r io.Reader) ([]entity.Pair, error) {
 		return nil, err
 	}
 	return pairs, nil
+}
+
+// storedResolver mirrors incremental.Snapshot for gob. The block index is
+// flattened into parallel key/member slices, sorted by key, so the same
+// snapshot always serializes to the same bytes (gob map encoding would
+// follow Go's randomized map iteration).
+type storedResolver struct {
+	Scheme         int
+	K              int
+	MaxBlockSize   int
+	MinTokenLength int
+	Profiles       []entity.Profile
+	BlockKeys      []string
+	BlockMembers   [][]entity.ID
+	BlocksOf       [][]string
+}
+
+// WriteResolver persists an incremental-resolver snapshot — the artifact
+// cmd/serve loads at startup and hot-swaps via /v1/admin/reload.
+func WriteResolver(w io.Writer, s *incremental.Snapshot) error {
+	sr := storedResolver{
+		Scheme:         int(s.Config.Scheme),
+		K:              s.Config.K,
+		MaxBlockSize:   s.Config.MaxBlockSize,
+		MinTokenLength: s.Config.MinTokenLength,
+		Profiles:       s.Profiles,
+		BlocksOf:       s.BlocksOf,
+	}
+	sr.BlockKeys = make([]string, 0, len(s.Blocks))
+	for k := range s.Blocks {
+		sr.BlockKeys = append(sr.BlockKeys, k)
+	}
+	sort.Strings(sr.BlockKeys)
+	sr.BlockMembers = make([][]entity.ID, len(sr.BlockKeys))
+	for i, k := range sr.BlockKeys {
+		sr.BlockMembers[i] = s.Blocks[k]
+	}
+	return writeArtifact(w, "resolver", resolverVersion, sr)
+}
+
+// ReadResolver loads an incremental-resolver snapshot.
+func ReadResolver(r io.Reader) (*incremental.Snapshot, error) {
+	var sr storedResolver
+	if err := readArtifact(r, "resolver", resolverVersion, &sr); err != nil {
+		return nil, err
+	}
+	if len(sr.BlockKeys) != len(sr.BlockMembers) {
+		return nil, fmt.Errorf("store: resolver snapshot has %d block keys but %d member lists",
+			len(sr.BlockKeys), len(sr.BlockMembers))
+	}
+	s := &incremental.Snapshot{
+		Config: incremental.Config{
+			Scheme:         core.Scheme(sr.Scheme),
+			K:              sr.K,
+			MaxBlockSize:   sr.MaxBlockSize,
+			MinTokenLength: sr.MinTokenLength,
+		},
+		Profiles: sr.Profiles,
+		Blocks:   make(map[string][]entity.ID, len(sr.BlockKeys)),
+		BlocksOf: sr.BlocksOf,
+	}
+	for i, k := range sr.BlockKeys {
+		s.Blocks[k] = sr.BlockMembers[i]
+	}
+	return s, nil
+}
+
+// SaveResolverFile persists a resolver snapshot to a file.
+func SaveResolverFile(path string, s *incremental.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteResolver(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadResolverFile loads a resolver snapshot from a file.
+func LoadResolverFile(path string) (*incremental.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResolver(f)
 }
 
 // SaveBlocksFile and LoadBlocksFile are path-based conveniences.

@@ -52,9 +52,12 @@ var (
 	// FilterRatio — the graph-free workflow of Figure 7(b) is Block
 	// Filtering followed by Comparison Propagation, so a ratio is required.
 	ErrGraphFreeNeedsFilter = errors.New("metablocking: GraphFree requires a FilterRatio")
-	// ErrUnsupportedScheme is returned by NewIncrementalResolver for
-	// weighting schemes the incremental setting cannot maintain (EJS).
-	ErrUnsupportedScheme = incremental.ErrUnsupportedScheme
+	// ErrUnsupportedScheme is returned (wrapped with component context)
+	// wherever a weighting scheme cannot be evaluated — e.g. by
+	// NewIncrementalResolver for EJS, whose global node degrees the
+	// incremental setting cannot maintain. It aliases the shared
+	// internal sentinel, so errors.Is matches errors from every layer.
+	ErrUnsupportedScheme = core.ErrUnsupportedScheme
 )
 
 // Entity model.
