@@ -32,9 +32,20 @@ import (
 	"time"
 
 	"metablocking/internal/core"
+	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
 	"metablocking/internal/server"
+	"metablocking/internal/store"
 )
+
+// faultFlags collects repeatable -fault values ("site:directive,...").
+type faultFlags []string
+
+func (f *faultFlags) String() string { return fmt.Sprint(*f) }
+func (f *faultFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 // options carries the parsed command-line configuration.
 type options struct {
@@ -49,6 +60,13 @@ type options struct {
 	retryAfter  time.Duration
 	snapshot    string
 	metrics     bool
+
+	// Resilience knobs.
+	requestTimeout  time.Duration
+	breakerFailures int
+	breakerCooldown time.Duration
+	faults          faultFlags
+	faultSeed       int64
 }
 
 func main() {
@@ -64,6 +82,11 @@ func main() {
 	flag.DurationVar(&opts.retryAfter, "retry-after", time.Second, "advisory back-off sent with 429 responses")
 	flag.StringVar(&opts.snapshot, "snapshot", "", "resolver snapshot to load at startup (see /v1/admin/reload)")
 	flag.BoolVar(&opts.metrics, "metrics", false, "print the counter table to stderr on exit")
+	flag.DurationVar(&opts.requestTimeout, "request-timeout", 5*time.Second, "per-request deadline (0 disables)")
+	flag.IntVar(&opts.breakerFailures, "breaker-failures", 5, "consecutive resolve failures that open degraded mode (-1 disables)")
+	flag.DurationVar(&opts.breakerCooldown, "breaker-cooldown", time.Second, "how long degraded mode lasts before a recovery probe")
+	flag.Var(&opts.faults, "fault", "arm a fault site, e.g. store.save.sync:delay=2s or server.resolve:panic,times=1 (repeatable; chaos testing only)")
+	flag.Int64Var(&opts.faultSeed, "fault-seed", 1, "seed for probabilistic fault injection")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,6 +105,25 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 	if err != nil {
 		return err
 	}
+
+	// Chaos testing: arm the requested fault sites. The injector reaches
+	// the store (snapshot save/load) and the server's resolve path; with
+	// no -fault flags both run fault-free at nil-injector cost.
+	var inj *fault.Injector
+	if len(opts.faults) > 0 {
+		inj = fault.New(opts.faultSeed)
+		for _, v := range opts.faults {
+			name, spec, err := fault.ParseSpec(v)
+			if err != nil {
+				return err
+			}
+			inj.Arm(name, spec)
+			fmt.Fprintf(logw, "serve: armed fault %s\n", v)
+		}
+		store.SetInjector(inj)
+		defer store.SetInjector(nil)
+	}
+
 	srv, err := server.New(server.Config{
 		Resolver: incremental.Config{
 			Scheme:         scheme,
@@ -89,10 +131,14 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 			MaxBlockSize:   opts.maxBlock,
 			MinTokenLength: opts.minToken,
 		},
-		BatchWindow: opts.batchWindow,
-		MaxBatch:    opts.batchMax,
-		QueueDepth:  opts.queueDepth,
-		RetryAfter:  opts.retryAfter,
+		BatchWindow:      opts.batchWindow,
+		MaxBatch:         opts.batchMax,
+		QueueDepth:       opts.queueDepth,
+		RetryAfter:       opts.retryAfter,
+		Fault:            inj,
+		RequestTimeout:   opts.requestTimeout,
+		BreakerThreshold: opts.breakerFailures,
+		BreakerCooldown:  opts.breakerCooldown,
 	})
 	if err != nil {
 		return err
@@ -110,7 +156,17 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Connection-level deadlines: a client that stalls sending headers or
+	// a body, or stops reading its response, cannot pin a connection (and
+	// its handler goroutine) forever. Per-request work is bounded
+	// separately by -request-timeout inside the handler.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Fprintf(logw, "serve: listening on http://%s\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()

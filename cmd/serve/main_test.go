@@ -124,3 +124,64 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		t.Fatal("missing snapshot accepted")
 	}
 }
+
+// TestServeFaultFlag boots the service with an armed resolve fault and
+// checks the flag wiring end to end: the armed request fails with 500,
+// the next succeeds, and bad specs are rejected at startup.
+func TestServeFaultFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			addr:        "127.0.0.1:0",
+			scheme:      "js",
+			k:           10,
+			maxBlock:    1000,
+			batchWindow: time.Millisecond,
+			batchMax:    1,
+			queueDepth:  64,
+			retryAfter:  time.Second,
+			faults:      faultFlags{"server.resolve:error,times=1"},
+			faultSeed:   7,
+		}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	post := func() int {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/resolve", "application/json",
+			strings.NewReader(`{"attributes":{"name":["jack miller"]}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != 500 {
+		t.Fatalf("armed resolve = %d, want 500", code)
+	}
+	if code := post(); code != 200 {
+		t.Fatalf("resolve after fault budget = %d, want 200", code)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("drain returned %v", err)
+	}
+
+	if err := run(context.Background(), options{
+		scheme: "js", addr: "127.0.0.1:0", faults: faultFlags{"server.resolve:bogus"},
+	}, io.Discard, nil); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package fault is the deterministic fault-injection layer behind the
+// chaos acceptance suite. Production code declares named sites — points
+// where a failure could occur (a write, a sync, a rename, an index pass) —
+// and consults the injector there. A nil *Injector is the production
+// default: every method is a nil-safe no-op, so un-instrumented binaries
+// pay a single pointer comparison per site.
+//
+// Faults are armed per site with a Spec describing what happens (an error
+// return, a delay, a short write, a panic) and when (skip the first After
+// triggers, fire at most Times times, fire with probability Prob under the
+// injector's seeded RNG). Everything is deterministic for a given seed and
+// call sequence, which is what lets the chaos tests assert exact outcomes
+// ("exactly one request fails with 500") instead of flaky distributions.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error a firing site returns. Injected
+// failures wrap it, so errors.Is(err, fault.ErrInjected) identifies a
+// synthetic fault anywhere up the stack.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Spec describes one armed fault: what it does and when it fires.
+type Spec struct {
+	// Err is the error to return when the site fires; nil uses ErrInjected
+	// (wrapped with the site name). Ignored when Panic is set.
+	Err error
+	// Delay is slept each time the site fires, before the failure (if any)
+	// takes effect. A Spec with only a Delay is a pure slow-down.
+	Delay time.Duration
+	// Panic makes the site panic with a *fault.Panic value instead of
+	// returning an error.
+	Panic bool
+	// ShortWrite, when ≥ 0, truncates the Write call a Writer-wrapped
+	// site fires on: only ShortWrite bytes are written, then the injected
+	// error is returned. Negative means the write fails without writing.
+	ShortWrite int
+	// After skips the first After triggers of the site before it may fire.
+	After int
+	// Times caps how often the site fires; 0 means every trigger (after
+	// After) fires.
+	Times int
+	// Prob fires the site with this probability per trigger (once past
+	// After and under Times), using the injector's seeded RNG. 0 means
+	// always fire.
+	Prob float64
+}
+
+// Panic is the value an armed Panic site panics with.
+type Panic struct {
+	// Site names the fault site that fired.
+	Site string
+}
+
+func (p Panic) String() string { return "fault: injected panic at site " + p.Site }
+
+// site is the runtime state of one armed fault.
+type site struct {
+	spec  Spec
+	hits  int64 // triggers seen
+	fired int64 // triggers that fired
+}
+
+// Injector is a set of armed fault sites sharing one seeded RNG. The zero
+// value is not useful; use New. All methods are safe for concurrent use and
+// safe (as no-ops) on a nil receiver.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*site
+	sleep func(time.Duration)
+}
+
+// New returns an injector whose probabilistic decisions derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		sites: make(map[string]*site),
+		sleep: time.Sleep,
+	}
+}
+
+// Arm installs (or replaces) the fault at a named site.
+func (in *Injector) Arm(name string, spec Spec) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sites[name] = &site{spec: spec}
+}
+
+// Disarm removes the fault at a site, if any.
+func (in *Injector) Disarm(name string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.sites, name)
+}
+
+// Hits returns how many times the site has been consulted.
+func (in *Injector) Hits(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.sites[name]; s != nil {
+		return s.hits
+	}
+	return 0
+}
+
+// Fired returns how many times the site actually fired.
+func (in *Injector) Fired(name string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.sites[name]; s != nil {
+		return s.fired
+	}
+	return 0
+}
+
+// trigger records one consultation of the site and decides whether it
+// fires, returning the spec when it does.
+func (in *Injector) trigger(name string) (Spec, bool) {
+	if in == nil {
+		return Spec{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil {
+		return Spec{}, false
+	}
+	s.hits++
+	if s.hits <= int64(s.spec.After) {
+		return Spec{}, false
+	}
+	if s.spec.Times > 0 && s.fired >= int64(s.spec.Times) {
+		return Spec{}, false
+	}
+	if s.spec.Prob > 0 && in.rng.Float64() >= s.spec.Prob {
+		return Spec{}, false
+	}
+	s.fired++
+	return s.spec, true
+}
+
+// Check consults a site: if its fault fires, Check sleeps the armed delay
+// and then panics (Panic specs) or returns the armed error. A site that is
+// disarmed, out of budget, or attached to a nil injector returns nil.
+func (in *Injector) Check(name string) error {
+	spec, fire := in.trigger(name)
+	if !fire {
+		return nil
+	}
+	if spec.Delay > 0 {
+		in.sleep(spec.Delay)
+	}
+	if spec.Panic {
+		panic(Panic{Site: name})
+	}
+	if spec.Err != nil {
+		return fmt.Errorf("fault: site %s: %w", name, spec.Err)
+	}
+	if spec.Delay > 0 {
+		// Delay-only spec: a pure slow-down, not a failure.
+		return nil
+	}
+	return fmt.Errorf("fault: site %s: %w", name, ErrInjected)
+}
+
+// Writer wraps w so that when the site fires, that Write call is truncated
+// to the armed ShortWrite byte count and fails — a torn write. While the
+// site stays quiet (or the injector is nil) the writer passes through.
+func (in *Injector) Writer(name string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, name: name, w: w}
+}
+
+type faultWriter struct {
+	in   *Injector
+	name string
+	w    io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	spec, fire := fw.in.trigger(fw.name)
+	if !fire {
+		return fw.w.Write(p)
+	}
+	if spec.Delay > 0 {
+		fw.in.sleep(spec.Delay)
+	}
+	if spec.Panic {
+		panic(Panic{Site: fw.name})
+	}
+	n := 0
+	if spec.ShortWrite > 0 {
+		short := spec.ShortWrite
+		if short > len(p) {
+			short = len(p)
+		}
+		n, _ = fw.w.Write(p[:short])
+	}
+	err := spec.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return n, fmt.Errorf("fault: site %s: short write (%d of %d bytes): %w", fw.name, n, len(p), err)
+}
+
+// ParseSpec parses one "-fault" flag value of the form
+//
+//	site:directive[,directive...]
+//
+// with directives error, panic, delay=<duration>, short=<bytes>,
+// after=<n>, times=<n>, prob=<float>. A bare site (no directives) arms a
+// plain error return. Example:
+//
+//	store.save.sync:delay=2s
+//	server.resolve:panic,times=1
+func ParseSpec(v string) (name string, spec Spec, err error) {
+	name, rest, _ := strings.Cut(v, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", Spec{}, fmt.Errorf("fault: empty site in spec %q", v)
+	}
+	if strings.TrimSpace(rest) == "" {
+		return name, Spec{Err: ErrInjected}, nil
+	}
+	for _, d := range strings.Split(rest, ",") {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(d), "=")
+		switch key {
+		case "error":
+			spec.Err = ErrInjected
+		case "panic":
+			spec.Panic = true
+		case "delay":
+			if !hasVal {
+				return "", Spec{}, fmt.Errorf("fault: delay needs a duration in %q", v)
+			}
+			spec.Delay, err = time.ParseDuration(val)
+			if err != nil {
+				return "", Spec{}, fmt.Errorf("fault: bad delay in %q: %v", v, err)
+			}
+		case "short":
+			if !hasVal {
+				return "", Spec{}, fmt.Errorf("fault: short needs a byte count in %q", v)
+			}
+			spec.ShortWrite, err = strconv.Atoi(val)
+			if err != nil {
+				return "", Spec{}, fmt.Errorf("fault: bad short in %q: %v", v, err)
+			}
+			if spec.Err == nil {
+				spec.Err = ErrInjected
+			}
+		case "after":
+			if spec.After, err = strconv.Atoi(val); err != nil || !hasVal {
+				return "", Spec{}, fmt.Errorf("fault: bad after in %q", v)
+			}
+		case "times":
+			if spec.Times, err = strconv.Atoi(val); err != nil || !hasVal {
+				return "", Spec{}, fmt.Errorf("fault: bad times in %q", v)
+			}
+		case "prob":
+			if spec.Prob, err = strconv.ParseFloat(val, 64); err != nil || !hasVal {
+				return "", Spec{}, fmt.Errorf("fault: bad prob in %q", v)
+			}
+		default:
+			return "", Spec{}, fmt.Errorf("fault: unknown directive %q in %q", key, v)
+		}
+	}
+	return name, spec, nil
+}

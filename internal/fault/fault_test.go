@@ -1,0 +1,162 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Check("any"); err != nil {
+		t.Fatalf("nil injector Check = %v", err)
+	}
+	in.Arm("any", Spec{Err: ErrInjected})
+	in.Disarm("any")
+	if in.Hits("any") != 0 || in.Fired("any") != 0 {
+		t.Fatal("nil injector counted")
+	}
+	var buf bytes.Buffer
+	w := in.Writer("any", &buf)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("nil injector writer = %d, %v", n, err)
+	}
+}
+
+func TestCheckErrorAndBudget(t *testing.T) {
+	in := New(1)
+	in.Arm("s", Spec{After: 1, Times: 2})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if err := in.Check("s"); err != nil {
+			fired++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			if !strings.Contains(err.Error(), "site s") {
+				t.Fatalf("error %v does not name the site", err)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (after=1, times=2)", fired)
+	}
+	if in.Hits("s") != 5 || in.Fired("s") != 2 {
+		t.Fatalf("hits/fired = %d/%d, want 5/2", in.Hits("s"), in.Fired("s"))
+	}
+	if err := in.Check("unarmed"); err != nil {
+		t.Fatalf("unarmed site = %v", err)
+	}
+}
+
+func TestCheckCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	in := New(1)
+	in.Arm("s", Spec{Err: custom})
+	if err := in.Check("s"); !errors.Is(err, custom) {
+		t.Fatalf("error = %v, want wrapped custom", err)
+	}
+}
+
+func TestCheckPanics(t *testing.T) {
+	in := New(1)
+	in.Arm("p", Spec{Panic: true, Times: 1})
+	defer func() {
+		r := recover()
+		p, ok := r.(Panic)
+		if !ok || p.Site != "p" {
+			t.Fatalf("recovered %v, want fault.Panic at site p", r)
+		}
+		// The budget is spent: the site stays quiet now.
+		if err := in.Check("p"); err != nil {
+			t.Fatalf("after budget: %v", err)
+		}
+	}()
+	in.Check("p")
+	t.Fatal("no panic")
+}
+
+func TestCheckDelay(t *testing.T) {
+	in := New(1)
+	var slept time.Duration
+	in.sleep = func(d time.Duration) { slept += d }
+	in.Arm("d", Spec{Delay: 50 * time.Millisecond}) // delay only: no error
+	if err := in.Check("d"); err != nil {
+		t.Fatalf("delay-only site returned %v", err)
+	}
+	if slept != 50*time.Millisecond {
+		t.Fatalf("slept %v, want 50ms", slept)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm("s", Spec{Prob: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = in.Check("s") != nil
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fire sequences")
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d", fired, len(a))
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	in := New(1)
+	in.Arm("w", Spec{ShortWrite: 3, After: 1, Times: 1})
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	if n, err := w.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	n, err := w.Write([]byte("world"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = %d, %v; want 3 bytes and ErrInjected", n, err)
+	}
+	if buf.String() != "hellowor" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+	if n, err := w.Write([]byte("!")); n != 1 || err != nil {
+		t.Fatalf("post-budget write = %d, %v", n, err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	name, spec, err := ParseSpec("store.save.sync:delay=2s,times=1")
+	if err != nil || name != "store.save.sync" || spec.Delay != 2*time.Second || spec.Times != 1 {
+		t.Fatalf("parsed %q %+v, %v", name, spec, err)
+	}
+	name, spec, err = ParseSpec("server.resolve:panic,after=3")
+	if err != nil || name != "server.resolve" || !spec.Panic || spec.After != 3 {
+		t.Fatalf("parsed %q %+v, %v", name, spec, err)
+	}
+	name, spec, err = ParseSpec("bare.site")
+	if err != nil || name != "bare.site" || spec.Err == nil {
+		t.Fatalf("bare site parsed %q %+v, %v", name, spec, err)
+	}
+	if _, spec, err = ParseSpec("w:short=4"); err != nil || spec.ShortWrite != 4 || spec.Err == nil {
+		t.Fatalf("short spec %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", ":panic", "s:delay", "s:delay=x", "s:times=x", "s:nope", "s:prob=x", "s:short=x", "s:after=x"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -99,7 +99,32 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 	r.flags = append(r.flags, 0)
 	r.common = append(r.common, 0)
 
-	// Distinct tokens of the new profile, in first-appearance order.
+	keys := r.tokenKeys(p)
+	r.blocksOf = append(r.blocksOf, keys)
+
+	// Gather weighted candidates from the profile's blocks BEFORE adding
+	// it to them (candidates are strictly older profiles).
+	candidates := r.collect(keys)
+
+	for _, k := range keys {
+		r.blocks[k] = append(r.blocks[k], id)
+	}
+	return id, candidates
+}
+
+// Peek computes the pruned candidates the profile would receive from Add,
+// without mutating the index: no ID is assigned, no block gains a member.
+// It is the read-only resolve behind the serving layer's degraded mode,
+// which keeps answering from the last good index while the write path is
+// failing. Like Add it is not safe for concurrent use (it shares the
+// ScanCount scratch).
+func (r *Resolver) Peek(p entity.Profile) []Candidate {
+	return r.collect(r.tokenKeys(p))
+}
+
+// tokenKeys returns the distinct tokens of the profile, in
+// first-appearance order — its prospective block keys.
+func (r *Resolver) tokenKeys(p entity.Profile) []string {
 	seen := make(map[string]struct{})
 	var keys []string
 	for _, a := range p.Attributes {
@@ -114,21 +139,12 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 			keys = append(keys, tok)
 		}
 	}
-	r.blocksOf = append(r.blocksOf, keys)
-
-	// Gather weighted candidates from the profile's blocks BEFORE adding
-	// it to them (candidates are strictly older profiles).
-	candidates := r.collect(id, keys)
-
-	for _, k := range keys {
-		r.blocks[k] = append(r.blocks[k], id)
-	}
-	return id, candidates
+	return keys
 }
 
-// collect runs the ScanCount accumulation over the new profile's blocks
+// collect runs the ScanCount accumulation over the blocks named by keys
 // and applies the local pruning criterion.
-func (r *Resolver) collect(id entity.ID, keys []string) []Candidate {
+func (r *Resolver) collect(keys []string) []Candidate {
 	r.epoch++
 	var neighbors []entity.ID
 	for _, k := range keys {
@@ -158,7 +174,7 @@ func (r *Resolver) collect(id entity.ID, keys []string) []Candidate {
 
 	out := make([]Candidate, 0, len(neighbors))
 	for _, j := range neighbors {
-		out = append(out, Candidate{ID: j, Weight: r.weight(id, j)})
+		out = append(out, Candidate{ID: j, Weight: r.weight(len(keys), j)})
 	}
 	if r.cfg.K > 0 {
 		sortCandidates(out)
@@ -182,11 +198,12 @@ func (r *Resolver) collect(id entity.ID, keys []string) []Candidate {
 	return kept
 }
 
-// weight evaluates the configured scheme for the new profile i and an
-// older profile j, using the current (growing) block statistics.
-func (r *Resolver) weight(i, j entity.ID) float64 {
+// weight evaluates the configured scheme for a new profile with bi block
+// keys and an older profile j, using the current (growing) block
+// statistics.
+func (r *Resolver) weight(bi int, j entity.ID) float64 {
 	common := r.common[j]
-	bi, bj := len(r.blocksOf[i]), len(r.blocksOf[j])
+	bj := len(r.blocksOf[j])
 	switch r.cfg.Scheme {
 	case core.ARCS, core.CBS:
 		return common

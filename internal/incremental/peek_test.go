@@ -1,0 +1,39 @@
+package incremental
+
+import (
+	"reflect"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/paperexample"
+)
+
+// TestPeekMatchesAddWithoutMutation: Peek returns exactly the candidates
+// Add would, and leaves the index untouched — IDs, blocks, size.
+func TestPeekMatchesAddWithoutMutation(t *testing.T) {
+	for _, scheme := range []core.Scheme{core.ARCS, core.CBS, core.ECBS, core.JS} {
+		for _, k := range []int{0, 3} {
+			r, err := NewResolver(Config{Scheme: scheme, K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			profiles := paperexample.Collection().Profiles
+			r.AddBatch(profiles[:4])
+
+			sizeBefore := r.Size()
+			blocksBefore := len(r.blocks)
+			peeked := r.Peek(profiles[4])
+			if r.Size() != sizeBefore || len(r.blocks) != blocksBefore {
+				t.Fatalf("scheme %v: Peek mutated the index", scheme)
+			}
+			// Peek again: idempotent.
+			if again := r.Peek(profiles[4]); !reflect.DeepEqual(again, peeked) {
+				t.Fatalf("scheme %v: Peek not idempotent", scheme)
+			}
+			_, added := r.Add(profiles[4])
+			if !reflect.DeepEqual(peeked, added) {
+				t.Fatalf("scheme %v k=%d: Peek = %v, Add = %v", scheme, k, peeked, added)
+			}
+		}
+	}
+}

@@ -8,6 +8,11 @@
 // Shed load (HTTP 429 / server.ErrQueueFull mapped to ErrRejected by the
 // adapter) is tallied separately from hard errors, so tests can assert
 // "every accepted request completed" exactly.
+//
+// With Options.MaxAttempts > 1 the generator behaves like a well-behaved
+// client under backpressure: a shed request is retried with jittered
+// exponential backoff, honoring the server's Retry-After advisory as a
+// floor, up to a capped attempt budget.
 package loadgen
 
 import (
@@ -16,9 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metablocking/internal/dataio"
 	"metablocking/internal/entity"
@@ -29,6 +36,23 @@ import (
 // generator counts these as backpressure, not failures.
 var ErrRejected = errors.New("loadgen: request shed by target")
 
+// RejectedError is a shed request carrying the server's Retry-After
+// advisory. It unwraps to ErrRejected, so errors.Is(err, ErrRejected)
+// keeps working.
+type RejectedError struct {
+	// RetryAfter is the server's advisory back-off; zero when absent.
+	RetryAfter time.Duration
+}
+
+func (e *RejectedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("loadgen: request shed by target (Retry-After %s)", e.RetryAfter)
+	}
+	return ErrRejected.Error()
+}
+
+func (e *RejectedError) Unwrap() error { return ErrRejected }
+
 // Resolver is one resolve attempt against the target.
 type Resolver func(p entity.Profile) (incremental.BatchResult, error)
 
@@ -38,6 +62,21 @@ type Options struct {
 	Clients int
 	// Requests is the total number of resolve calls. Default 1000.
 	Requests int
+	// MaxAttempts is the per-request attempt budget: 1 (the default)
+	// never retries; n > 1 retries shed requests up to n-1 times with
+	// jittered exponential backoff. A request still shed after the budget
+	// counts as Rejected.
+	MaxAttempts int
+	// Backoff is the base back-off before the first retry; it doubles per
+	// attempt. Default 10ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 1s.
+	MaxBackoff time.Duration
+	// Seed drives the per-worker jitter RNGs, making a run's sleep
+	// sequence reproducible.
+	Seed int64
+	// Sleep replaces time.Sleep in tests; nil uses time.Sleep.
+	Sleep func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -47,7 +86,35 @@ func (o Options) withDefaults() Options {
 	if o.Requests <= 0 {
 		o.Requests = 1000
 	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 1
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
 	return o
+}
+
+// backoffFor computes the jittered sleep before retry number attempt
+// (1-based): an exponentially grown base, halved and re-filled with
+// uniform jitter, floored by the server's Retry-After advisory.
+func backoffFor(o Options, rng *rand.Rand, attempt int, retryAfter time.Duration) time.Duration {
+	d := o.Backoff << (attempt - 1)
+	if d > o.MaxBackoff || d <= 0 { // <= 0: shift overflow
+		d = o.MaxBackoff
+	}
+	half := d / 2
+	d = half + time.Duration(rng.Int63n(int64(half)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
 }
 
 // Response records one completed request: the profile that was sent and
@@ -63,15 +130,19 @@ type Report struct {
 	// Responses holds every accepted-and-answered request, in no
 	// particular order (sort by ID to recover arrival order).
 	Responses []Response
-	// Rejected counts requests the target shed (ErrRejected).
+	// Rejected counts requests still shed after the attempt budget.
 	Rejected int
+	// Retries counts re-attempts of shed requests (MaxAttempts > 1).
+	Retries int
 	// Errors holds every other failure.
 	Errors []error
 }
 
 // Run fans opts.Requests resolve calls over opts.Clients workers, cycling
 // through the profile set, and aggregates the outcomes. It returns once
-// every request has completed.
+// every request has completed. Shed requests are retried within
+// opts.MaxAttempts, sleeping a jittered exponential backoff (floored by
+// the target's Retry-After advisory) between attempts.
 func Run(resolve Resolver, profiles []entity.Profile, opts Options) *Report {
 	opts = opts.withDefaults()
 	var (
@@ -82,16 +153,33 @@ func Run(resolve Resolver, profiles []entity.Profile, opts Options) *Report {
 	)
 	for c := 0; c < opts.Clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(worker)))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= opts.Requests {
 					return
 				}
 				p := profiles[i%len(profiles)]
-				res, err := resolve(p)
+				var res incremental.BatchResult
+				var err error
+				retries := 0
+				for attempt := 1; ; attempt++ {
+					res, err = resolve(p)
+					if !errors.Is(err, ErrRejected) || attempt >= opts.MaxAttempts {
+						break
+					}
+					var retryAfter time.Duration
+					var rej *RejectedError
+					if errors.As(err, &rej) {
+						retryAfter = rej.RetryAfter
+					}
+					opts.Sleep(backoffFor(opts, rng, attempt, retryAfter))
+					retries++
+				}
 				mu.Lock()
+				rep.Retries += retries
 				switch {
 				case errors.Is(err, ErrRejected):
 					rep.Rejected++
@@ -106,7 +194,7 @@ func Run(resolve Resolver, profiles []entity.Profile, opts Options) *Report {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	return &rep
@@ -137,7 +225,13 @@ func HTTPResolver(baseURL string, client *http.Client) Resolver {
 		switch resp.StatusCode {
 		case http.StatusOK:
 		case http.StatusTooManyRequests:
-			return incremental.BatchResult{}, fmt.Errorf("%w (Retry-After %s)", ErrRejected, resp.Header.Get("Retry-After"))
+			var after time.Duration
+			if v := resp.Header.Get("Retry-After"); v != "" {
+				if secs, err := time.ParseDuration(v + "s"); err == nil {
+					after = secs
+				}
+			}
+			return incremental.BatchResult{}, &RejectedError{RetryAfter: after}
 		default:
 			return incremental.BatchResult{}, fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, payload)
 		}

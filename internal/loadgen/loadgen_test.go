@@ -3,10 +3,13 @@ package loadgen
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"metablocking/internal/entity"
 	"metablocking/internal/incremental"
@@ -71,5 +74,90 @@ func TestHTTPResolverMapsStatuses(t *testing.T) {
 	mode.Store(2)
 	if _, err := resolve(p); err == nil || errors.Is(err, ErrRejected) {
 		t.Fatalf("500 mapped to %v, want a hard error", err)
+	}
+}
+
+func TestRetriesRecoverFromShedding(t *testing.T) {
+	// The target sheds two attempts out of every three: with a 3-attempt
+	// budget and a single worker, every request recovers on its third try.
+	var attempts int
+	var mu sync.Mutex
+	var id atomic.Int64
+	resolve := func(entity.Profile) (incremental.BatchResult, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts%3 != 0 {
+			return incremental.BatchResult{}, &RejectedError{RetryAfter: time.Millisecond}
+		}
+		return incremental.BatchResult{ID: entity.ID(id.Add(1))}, nil
+	}
+
+	var slept []time.Duration
+	rep := Run(resolve, someProfiles(4), Options{
+		Clients:     1, // single worker: the shed/accept cycle is deterministic
+		Requests:    10,
+		MaxAttempts: 3,
+		Backoff:     8 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Seed:        42,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if len(rep.Errors) > 0 {
+		t.Fatalf("hard errors: %v", rep.Errors)
+	}
+	if len(rep.Responses) != 10 || rep.Rejected != 0 {
+		t.Fatalf("got %d responses, %d rejected; want all 10 recovered by retries", len(rep.Responses), rep.Rejected)
+	}
+	if rep.Retries != 20 {
+		t.Fatalf("retries = %d, want 20 (2 per request)", rep.Retries)
+	}
+	if len(slept) != rep.Retries {
+		t.Fatalf("slept %d times for %d retries", len(slept), rep.Retries)
+	}
+	for i, d := range slept {
+		if d <= 0 || d > 50*time.Millisecond {
+			t.Fatalf("sleep %d = %v outside (0, MaxBackoff]", i, d)
+		}
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	calls := 0
+	resolve := func(entity.Profile) (incremental.BatchResult, error) {
+		calls++
+		return incremental.BatchResult{}, ErrRejected // sheds forever
+	}
+	rep := Run(resolve, someProfiles(1), Options{
+		Clients:     1,
+		Requests:    2,
+		MaxAttempts: 4,
+		Sleep:       func(time.Duration) {},
+	})
+	if rep.Rejected != 2 || len(rep.Responses) != 0 {
+		t.Fatalf("rejected = %d, responses = %d; want 2 exhausted rejections", rep.Rejected, len(rep.Responses))
+	}
+	if calls != 8 {
+		t.Fatalf("target saw %d attempts, want 8 (4 per request)", calls)
+	}
+	if rep.Retries != 6 {
+		t.Fatalf("retries = %d, want 6", rep.Retries)
+	}
+}
+
+func TestBackoffHonorsRetryAfterFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	opts := Options{Backoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}.withDefaults()
+	// Server advisory dominates the small exponential backoff.
+	if d := backoffFor(opts, rng, 1, time.Second); d != time.Second {
+		t.Fatalf("backoff = %v, want the 1s Retry-After floor", d)
+	}
+	// Without an advisory the jittered exponential stays within bounds and
+	// caps at MaxBackoff for large attempt numbers (incl. shift overflow).
+	for attempt := 1; attempt <= 70; attempt++ {
+		d := backoffFor(opts, rng, attempt, 0)
+		if d <= 0 || d > opts.MaxBackoff {
+			t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, opts.MaxBackoff)
+		}
 	}
 }

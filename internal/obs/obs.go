@@ -131,13 +131,36 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Metrics is a registry of named counters and gauges, safe for concurrent
-// use. Stages look their instruments up once per stage (Counter/Gauge take
-// a lock) and then update them with lock-free atomics.
+// Text is an atomic last-value string — the registry's instrument for
+// things a number cannot carry, like the most recent error a failure path
+// observed. Like Counter and Gauge, all methods are safe on a nil *Text.
+type Text struct{ v atomic.Value }
+
+// Set records the latest value.
+func (t *Text) Set(s string) {
+	if t != nil {
+		t.v.Store(s)
+	}
+}
+
+// Value returns the latest value ("" for a nil or unset text).
+func (t *Text) Value() string {
+	if t == nil {
+		return ""
+	}
+	s, _ := t.v.Load().(string)
+	return s
+}
+
+// Metrics is a registry of named counters, gauges and texts, safe for
+// concurrent use. Stages look their instruments up once per stage
+// (Counter/Gauge/Text take a lock) and then update them with lock-free
+// atomics.
 type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	texts    map[string]*Text
 }
 
 // NewMetrics returns an empty registry.
@@ -145,6 +168,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		texts:    make(map[string]*Text),
 	}
 }
 
@@ -180,9 +204,28 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	return g
 }
 
+// Text returns the named text, creating it on first use. A nil registry
+// returns a nil text, whose methods are no-ops.
+func (m *Metrics) Text(name string) *Text {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.texts[name]
+	if t == nil {
+		t = &Text{}
+		if m.texts == nil {
+			m.texts = make(map[string]*Text)
+		}
+		m.texts[name] = t
+	}
+	return t
+}
+
 // Snapshot returns an immutable copy of every instrument's current value.
 func (m *Metrics) Snapshot() Snapshot {
-	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}, Texts: map[string]string{}}
 	if m == nil {
 		return s
 	}
@@ -194,6 +237,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	for name, g := range m.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	for name, t := range m.texts {
+		s.Texts[name] = t.Value()
+	}
 	return s
 }
 
@@ -203,6 +249,9 @@ type Snapshot struct {
 	Counters map[string]int64
 	// Gauges holds the informational gauges (resolved worker counts).
 	Gauges map[string]int64
+	// Texts holds the string instruments (e.g. last observed errors).
+	// Omitted from JSON when no text was ever set.
+	Texts map[string]string `json:",omitempty"`
 }
 
 // Counter returns a counter's value (0 when absent).
@@ -210,6 +259,9 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
 // Gauge returns a gauge's value (0 when absent).
 func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Text returns a text's value ("" when absent).
+func (s Snapshot) Text(name string) string { return s.Texts[name] }
 
 // Table formats the snapshot as an aligned two-column table, counters
 // first, then gauges, each sorted by name.
@@ -220,6 +272,9 @@ func (s Snapshot) Table() string {
 		width = max(width, len(name))
 	}
 	for name := range s.Gauges {
+		width = max(width, len(name))
+	}
+	for name := range s.Texts {
 		width = max(width, len(name))
 	}
 	section := func(title string, vals map[string]int64) {
@@ -238,6 +293,17 @@ func (s Snapshot) Table() string {
 	}
 	section("counters", s.Counters)
 	section("gauges", s.Gauges)
+	if len(s.Texts) > 0 {
+		names := make([]string, 0, len(s.Texts))
+		for name := range s.Texts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "texts\n")
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-*s %q\n", width, name, s.Texts[name])
+		}
+	}
 	return b.String()
 }
 

@@ -32,8 +32,34 @@ func TestNilSafety(t *testing.T) {
 	var m *Metrics
 	m.Counter("x").Inc()
 	m.Gauge("x").Set(1)
-	if s := m.Snapshot(); len(s.Counters) != 0 {
+	m.Text("x").Set("boom")
+	if v := m.Text("x").Value(); v != "" {
+		t.Errorf("nil text value = %q", v)
+	}
+	if s := m.Snapshot(); len(s.Counters) != 0 || len(s.Texts) != 0 {
 		t.Errorf("nil metrics snapshot not empty: %+v", s)
+	}
+}
+
+func TestTextInstrument(t *testing.T) {
+	m := NewMetrics()
+	if v := m.Text("server.last_error").Value(); v != "" {
+		t.Errorf("unset text = %q", v)
+	}
+	m.Text("server.last_error").Set("resolve: boom")
+	m.Text("server.last_error").Set("resolve: kapow") // last value wins
+	s := m.Snapshot()
+	if got := s.Text("server.last_error"); got != "resolve: kapow" {
+		t.Errorf("text = %q", got)
+	}
+	if got := s.Text("absent"); got != "" {
+		t.Errorf("absent text = %q", got)
+	}
+	table := s.Table()
+	for _, want := range []string{"texts", "server.last_error", "resolve: kapow"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
 	}
 }
 

@@ -1,14 +1,64 @@
 // Package par holds the small shared machinery of the parallel pipeline:
-// worker-count resolution and deterministic range fan-out. Every parallel
-// stage (blocking, filtering, Entity Index construction, graph traversal)
-// partitions its input into one contiguous range per worker, so results can
-// be merged back in worker order without any cross-worker coordination.
+// worker-count resolution, deterministic range fan-out, and panic
+// isolation. Every parallel stage (blocking, filtering, Entity Index
+// construction, graph traversal) partitions its input into one contiguous
+// range per worker, so results can be merged back in worker order without
+// any cross-worker coordination.
+//
+// A panic inside a worker goroutine would normally kill the whole process
+// — there is no recovering another goroutine's panic. Ranges and Do
+// therefore recover inside each worker, let every other worker drain, and
+// re-panic the first captured panic as a *PanicError (stack attached) on
+// the calling goroutine, where a top-level recover (Pipeline.RunContext,
+// the server's flush loop) can turn it into an ordinary error.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error: the recovered
+// value plus the stack of the panicking goroutine. It crosses goroutine
+// boundaries via re-panic on the caller, and API boundaries as an error
+// (errors.As(&pe)).
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panic: %v", e.Value)
+}
+
+// Recovered normalizes a recover() result into a *PanicError, capturing
+// the current stack unless r already is one. It returns nil for a nil r,
+// so it can be called unconditionally in a deferred recover block.
+func Recovered(r any) *PanicError {
+	if r == nil {
+		return nil
+	}
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// guard runs fn, converting a panic into the returned *PanicError.
+func guard(fn func()) (pe *PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = Recovered(r)
+		}
+	}()
+	fn()
+	return nil
+}
 
 // Resolve maps a Workers knob to a concrete worker count for an input of
 // size n, using the convention of core.Config.Workers: 0 or 1 keeps the
@@ -32,13 +82,22 @@ func Resolve(workers, n int) int {
 // (≥ 1); workers == 1 runs fn inline with the full range. Trailing workers
 // whose chunk is empty are not started, so fn may index per-worker result
 // buckets with its worker argument directly.
+//
+// A panic inside fn does not kill the process: every other worker drains,
+// then the first captured panic is re-raised on the calling goroutine as a
+// *PanicError carrying the worker's stack.
 func Ranges(workers, n int, fn func(worker, lo, hi int)) {
 	if workers <= 1 || n == 0 {
-		fn(0, 0, n)
+		if pe := guard(func() { fn(0, 0, n) }); pe != nil {
+			panic(pe)
+		}
 		return
 	}
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		first atomic.Pointer[PanicError]
+	)
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -51,27 +110,44 @@ func Ranges(workers, n int, fn func(worker, lo, hi int)) {
 		wg.Add(1)
 		go func(worker, lo, hi int) {
 			defer wg.Done()
-			fn(worker, lo, hi)
+			if pe := guard(func() { fn(worker, lo, hi) }); pe != nil {
+				first.CompareAndSwap(nil, pe)
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if pe := first.Load(); pe != nil {
+		panic(pe)
+	}
 }
 
 // Do runs the given thunks concurrently and waits for all of them — the
 // fork/join used for independent pipeline phases (e.g. sorting per-worker
-// result buckets).
+// result buckets). Panics are isolated the same way as in Ranges: all
+// thunks drain, then the first panic re-raises as a *PanicError on the
+// caller.
 func Do(fns ...func()) {
 	if len(fns) == 1 {
-		fns[0]()
+		if pe := guard(fns[0]); pe != nil {
+			panic(pe)
+		}
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg    sync.WaitGroup
+		first atomic.Pointer[PanicError]
+	)
 	wg.Add(len(fns))
 	for _, fn := range fns {
 		go func(f func()) {
 			defer wg.Done()
-			f()
+			if pe := guard(f); pe != nil {
+				first.CompareAndSwap(nil, pe)
+			}
 		}(fn)
 	}
 	wg.Wait()
+	if pe := first.Load(); pe != nil {
+		panic(pe)
+	}
 }

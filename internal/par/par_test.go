@@ -1,0 +1,129 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 10, 1}, // serial knob
+		{1, 10, 1}, // explicit serial
+		{4, 10, 4}, // plain
+		{8, 3, 3},  // clamped to n
+		{4, 0, 1},  // empty input
+		{-1, 1, 1}, // GOMAXPROCS clamped to n
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRangesCoversInput(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		var covered atomic.Int64
+		Ranges(workers, 100, func(_, lo, hi int) {
+			covered.Add(int64(hi - lo))
+		})
+		if covered.Load() != 100 {
+			t.Fatalf("workers=%d covered %d of 100", workers, covered.Load())
+		}
+	}
+}
+
+// TestRangesPanicIsolation: a panicking worker must not kill the process;
+// the remaining workers drain and the caller receives one *PanicError with
+// the worker's stack attached.
+func TestRangesPanicIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var pe *PanicError
+		var drained atomic.Int64
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					var ok bool
+					if pe, ok = r.(*PanicError); !ok {
+						t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+					}
+				}
+			}()
+			Ranges(workers, workers, func(w, lo, hi int) {
+				if w == 0 {
+					panic("boom")
+				}
+				drained.Add(1)
+			})
+			t.Fatalf("workers=%d: no panic propagated", workers)
+		}()
+		if pe == nil || pe.Value != "boom" {
+			t.Fatalf("workers=%d: PanicError = %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+		if want := int64(workers - 1); drained.Load() != want {
+			t.Fatalf("workers=%d: %d other workers drained, want %d", workers, drained.Load(), want)
+		}
+		if !strings.Contains(pe.Error(), "boom") {
+			t.Fatalf("Error() = %q", pe.Error())
+		}
+	}
+}
+
+// TestDoPanicIsolation mirrors the Ranges contract for the fork/join form.
+func TestDoPanicIsolation(t *testing.T) {
+	for _, thunks := range []int{1, 3} {
+		var pe *PanicError
+		var drained atomic.Int64
+		fns := make([]func(), thunks)
+		fns[0] = func() { panic(errors.New("kapow")) }
+		for i := 1; i < thunks; i++ {
+			fns[i] = func() { drained.Add(1) }
+		}
+		func() {
+			defer func() { pe = Recovered(recover()) }()
+			Do(fns...)
+			t.Fatalf("thunks=%d: no panic propagated", thunks)
+		}()
+		if pe == nil {
+			t.Fatalf("thunks=%d: nil PanicError", thunks)
+		}
+		if err, ok := pe.Value.(error); !ok || err.Error() != "kapow" {
+			t.Fatalf("thunks=%d: Value = %v", thunks, pe.Value)
+		}
+		if drained.Load() != int64(thunks-1) {
+			t.Fatalf("thunks=%d: %d drained", thunks, drained.Load())
+		}
+	}
+}
+
+// TestRecoveredIdempotent: re-panicked PanicErrors keep the original stack
+// instead of being wrapped again.
+func TestRecoveredIdempotent(t *testing.T) {
+	if Recovered(nil) != nil {
+		t.Fatal("Recovered(nil) != nil")
+	}
+	orig := &PanicError{Value: "x", Stack: []byte("original stack")}
+	if got := Recovered(orig); got != orig {
+		t.Fatal("Recovered rewrapped a PanicError")
+	}
+	// Nested fan-out: a panic crossing two Ranges layers surfaces once.
+	var pe *PanicError
+	func() {
+		defer func() { pe = Recovered(recover()) }()
+		Ranges(2, 2, func(w, lo, hi int) {
+			Ranges(2, 2, func(w2, lo2, hi2 int) {
+				if w == 0 && w2 == 0 {
+					panic("deep")
+				}
+			})
+		})
+	}()
+	if pe == nil || pe.Value != "deep" {
+		t.Fatalf("nested panic = %+v", pe)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the degraded-mode state machine:
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open
+//	half-open probe succeeds ──▶ closed
+//	half-open probe fails ──▶ open (cooldown restarts)
+//
+// While open (and while a half-open probe is outstanding) the serving
+// layer answers resolve requests read-only from the last good index
+// instead of running the failing write path.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the resolve-path circuit breaker. It is consulted by the
+// single-writer batcher, but guards its state with a mutex anyway so
+// tests and future callers need no external fencing.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the circuit; 0 disables
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+	onChange  func(degraded bool) // fired on closed↔open transitions
+
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onChange func(bool)) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if onChange == nil {
+		onChange = func(bool) {}
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onChange: onChange}
+}
+
+// allow reports whether the real resolve path may run this request
+// (proceed) and whether that run is the half-open probe (probe). A false
+// proceed means: serve degraded.
+func (b *breaker) allow() (proceed, probe bool) {
+	if b == nil || b.threshold <= 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	case breakerHalfOpen:
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// result records the outcome of a resolve the breaker allowed.
+func (b *breaker) result(probe, failed bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if failed {
+			// Probe failed: stay degraded, restart the cooldown.
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return
+		}
+		b.state = breakerClosed
+		b.consecutive = 0
+		b.onChange(false)
+		return
+	}
+	if !failed {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == breakerClosed && b.consecutive >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.onChange(true)
+	}
+}
+
+// reset force-closes the circuit — used after a successful snapshot swap
+// installs a known-good index.
+func (b *breaker) reset() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasOpen := b.state != breakerClosed
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+	if wasOpen {
+		b.onChange(false)
+	}
+}
+
+// degraded reports whether the circuit is currently answering read-only.
+func (b *breaker) degraded() bool {
+	if b == nil || b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}

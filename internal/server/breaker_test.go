@@ -1,0 +1,150 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source, safe for concurrent use —
+// the chaos tests advance it while the batcher goroutine reads it.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock, *[]bool) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	var changes []bool
+	b := newBreaker(threshold, cooldown, clk.now, func(degraded bool) {
+		changes = append(changes, degraded)
+	})
+	return b, clk, &changes
+}
+
+func mustAllow(t *testing.T, b *breaker, wantProceed, wantProbe bool) {
+	t.Helper()
+	proceed, probe := b.allow()
+	if proceed != wantProceed || probe != wantProbe {
+		t.Fatalf("allow() = (%v, %v), want (%v, %v)", proceed, probe, wantProceed, wantProbe)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _, changes := newTestBreaker(3, time.Second)
+
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b, true, false)
+		b.result(false, true)
+	}
+	if b.degraded() {
+		t.Fatal("degraded below threshold")
+	}
+	// A success resets the consecutive count.
+	mustAllow(t, b, true, false)
+	b.result(false, false)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b, true, false)
+		b.result(false, true)
+	}
+	if b.degraded() {
+		t.Fatal("failure streak survived an intervening success")
+	}
+	// Third consecutive failure opens the circuit.
+	mustAllow(t, b, true, false)
+	b.result(false, true)
+	if !b.degraded() {
+		t.Fatal("not degraded at threshold")
+	}
+	if len(*changes) != 1 || !(*changes)[0] {
+		t.Fatalf("onChange calls = %v, want [true]", *changes)
+	}
+	// While open and inside the cooldown: nothing proceeds.
+	mustAllow(t, b, false, false)
+	mustAllow(t, b, false, false)
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk, changes := newTestBreaker(1, time.Second)
+	mustAllow(t, b, true, false)
+	b.result(false, true) // threshold 1: open immediately
+
+	mustAllow(t, b, false, false) // inside cooldown
+	clk.advance(time.Second)
+
+	// Cooldown elapsed: exactly one probe proceeds; others stay degraded
+	// until the probe reports.
+	mustAllow(t, b, true, true)
+	mustAllow(t, b, false, false)
+
+	// Probe fails: back to open, cooldown restarts.
+	b.result(true, true)
+	mustAllow(t, b, false, false)
+	clk.advance(999 * time.Millisecond)
+	mustAllow(t, b, false, false)
+	clk.advance(time.Millisecond)
+
+	// Second probe succeeds: closed again.
+	mustAllow(t, b, true, true)
+	b.result(true, false)
+	if b.degraded() {
+		t.Fatal("still degraded after successful probe")
+	}
+	mustAllow(t, b, true, false)
+	if want := []bool{true, false}; len(*changes) != 2 || (*changes)[0] != want[0] || (*changes)[1] != want[1] {
+		t.Fatalf("onChange calls = %v, want %v", *changes, want)
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b, _, changes := newTestBreaker(1, time.Hour)
+	mustAllow(t, b, true, false)
+	b.result(false, true)
+	mustAllow(t, b, false, false)
+
+	b.reset() // e.g. a successful snapshot reload
+	if b.degraded() {
+		t.Fatal("degraded after reset")
+	}
+	mustAllow(t, b, true, false)
+	if want := []bool{true, false}; len(*changes) != 2 || (*changes)[1] != want[1] {
+		t.Fatalf("onChange calls = %v, want %v", *changes, want)
+	}
+	// Reset while already closed: no spurious transition.
+	b.reset()
+	if len(*changes) != 2 {
+		t.Fatalf("reset while closed fired onChange: %v", *changes)
+	}
+}
+
+func TestBreakerDisabledAndNil(t *testing.T) {
+	b, _, _ := newTestBreaker(0, time.Second)
+	for i := 0; i < 100; i++ {
+		mustAllow(t, b, true, false)
+		b.result(false, true)
+	}
+	if b.degraded() {
+		t.Fatal("disabled breaker went degraded")
+	}
+
+	var nb *breaker
+	mustAllow(t, nb, true, false)
+	nb.result(false, true)
+	nb.reset()
+	if nb.degraded() {
+		t.Fatal("nil breaker degraded")
+	}
+}

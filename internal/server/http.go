@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"metablocking/internal/dataio"
 	"metablocking/internal/obs"
+	"metablocking/internal/store"
 )
 
 // maxBodyBytes bounds a request body — matches the JSONL scanner buffer
@@ -19,10 +21,14 @@ const maxBodyBytes = 1 << 22
 
 // ResolveResponse is the JSON body of a successful /v1/resolve call.
 type ResolveResponse struct {
-	// ID is the arrival-order identifier the index assigned.
+	// ID is the arrival-order identifier the index assigned, or -1 for a
+	// degraded (read-only) answer.
 	ID int `json:"id"`
 	// Candidates lists the pruned comparison suggestions, heaviest first.
 	Candidates []CandidateJSON `json:"candidates"`
+	// Degraded marks an answer served read-only from the last good index
+	// while the write path's circuit breaker is open.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // CandidateJSON is one pruned candidate comparison.
@@ -72,10 +78,21 @@ type ErrorResponse struct {
 //	GET  /debug/vars      — the obs registry as expvar-style JSON
 //
 // Every endpoint is wrapped in obs.HTTPMetrics, so the registry carries
-// per-endpoint request/error/shed/latency counters.
+// per-endpoint request/error/shed/latency counters. When
+// Config.RequestTimeout is set, every request's context additionally
+// carries that deadline, so a stalled index pass turns into a bounded 408
+// instead of a hung connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, name string, h http.HandlerFunc) {
+		if d := s.cfg.RequestTimeout; d > 0 {
+			inner := h
+			h = func(w http.ResponseWriter, req *http.Request) {
+				ctx, cancel := context.WithTimeout(req.Context(), d)
+				defer cancel()
+				inner(w, req.WithContext(ctx))
+			}
+		}
 		mux.Handle(pattern, obs.HTTPMetrics(s.metrics, nil, name, h))
 	}
 	handle("POST /v1/resolve", "resolve", s.handleResolve)
@@ -131,11 +148,18 @@ func (s *Server) handleResolve(w http.ResponseWriter, req *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 		return
-	case err != nil: // client context canceled/timed out
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusRequestTimeout, ErrorResponse{Error: err.Error()})
 		return
+	case err != nil: // per-request failure: injected fault or recovered panic
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
 	}
-	out := ResolveResponse{ID: int(res.ID), Candidates: make([]CandidateJSON, len(res.Candidates))}
+	out := ResolveResponse{
+		ID:         int(res.ID),
+		Candidates: make([]CandidateJSON, len(res.Candidates)),
+		Degraded:   res.Degraded,
+	}
 	for i, c := range res.Candidates {
 		out.Candidates[i] = CandidateJSON{ID: int(c.ID), Weight: c.Weight}
 	}
@@ -156,6 +180,12 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, store.ErrCorruptArtifact) || errors.Is(err, store.ErrVersionMismatch):
+		// Verify-before-swap: the artifact failed verification, the live
+		// index was never touched. 422: the request was well-formed but
+		// names an unusable snapshot.
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
 		return
 	case err != nil:
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})

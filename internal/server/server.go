@@ -30,8 +30,10 @@ import (
 	"time"
 
 	"metablocking/internal/entity"
+	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
 	"metablocking/internal/obs"
+	"metablocking/internal/par"
 	"metablocking/internal/store"
 )
 
@@ -56,9 +58,20 @@ const (
 	CtrCandidates    = "server.candidates"
 	CtrReloads       = "server.reloads"
 	CtrSnapshots     = "server.snapshots"
+	CtrPanics        = "server.panics_recovered"
+	CtrResolveFailed = "server.resolve_failures"
+	CtrDegradedSrv   = "server.degraded_served"
+	CtrCorruptLoads  = "store.corrupt_loads"
 	GaugeProfiles    = "server.profiles"
 	GaugeQueueCap    = "server.queue_cap"
+	GaugeDegraded    = "server.degraded"
+	TextLastError    = "server.last_error"
 )
+
+// FaultResolve is the fault-injection site consulted once per admitted
+// profile inside the single-writer index pass. Chaos tests (and the
+// -fault flag of cmd/serve) arm errors, delays or panics here.
+const FaultResolve = "server.resolve"
 
 // Config tunes the serving façade. The zero value gets sensible defaults.
 type Config struct {
@@ -78,6 +91,22 @@ type Config struct {
 	// Metrics receives the server's counters; nil creates a private
 	// registry (exposed at /metrics either way).
 	Metrics *obs.Metrics
+	// Fault is consulted at the server's named fault sites (FaultResolve).
+	// Nil is a no-op: zero cost on the hot path.
+	Fault *fault.Injector
+	// RequestTimeout bounds each HTTP request handled by Handler with a
+	// per-request context deadline. Zero disables the deadline.
+	RequestTimeout time.Duration
+	// BreakerThreshold is the number of consecutive resolve failures that
+	// opens the degraded-mode circuit. Zero defaults to 5; negative
+	// disables the breaker entirely.
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before a single
+	// half-open probe is allowed through. Default 1s.
+	BreakerCooldown time.Duration
+
+	// breakerNow overrides the breaker's clock in tests.
+	breakerNow func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -96,14 +125,38 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // breaker disabled
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 	return c
+}
+
+// Resolution is one resolve answer: the assigned ID and candidates, plus
+// whether the request was served degraded — read-only against the last
+// good index, with no ID assigned (ID is -1).
+type Resolution struct {
+	incremental.BatchResult
+	Degraded bool
+}
+
+// jobResult is what the batcher sends back for one admitted job: either a
+// Resolution or the per-request failure (injected fault, recovered panic).
+type jobResult struct {
+	res Resolution
+	err error
 }
 
 // job is one admitted resolve request. reply is buffered so the batcher
 // never blocks on a client that gave up waiting.
 type job struct {
 	profile entity.Profile
-	reply   chan incremental.BatchResult
+	reply   chan jobResult
 }
 
 // Server is the concurrency-safe serving façade. One batcher goroutine is
@@ -118,6 +171,10 @@ type Server struct {
 	// read lock.
 	mu       sync.RWMutex
 	resolver *incremental.Resolver
+
+	// breaker gates the write path behind degraded mode; consulted only
+	// by the batcher, per job.
+	breaker *breaker
 
 	queue chan job
 
@@ -148,8 +205,16 @@ func New(cfg Config) (*Server, error) {
 		stopc:    make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.breakerNow, func(degraded bool) {
+		if degraded {
+			s.metrics.Gauge(GaugeDegraded).Set(1)
+		} else {
+			s.metrics.Gauge(GaugeDegraded).Set(0)
+		}
+	})
 	s.metrics.Gauge(GaugeQueueCap).Set(int64(cfg.QueueDepth))
 	s.metrics.Gauge(GaugeProfiles).Set(0)
+	s.metrics.Gauge(GaugeDegraded).Set(0)
 	go s.batcher()
 	return s, nil
 }
@@ -159,14 +224,18 @@ func New(cfg Config) (*Server, error) {
 // when the admission queue is at capacity, ErrDraining after Close has
 // begun, and ctx.Err() if the caller gives up first — in which case the
 // accepted request is still processed (its ID is consumed) and only the
-// reply is discarded.
-func (s *Server) Resolve(ctx context.Context, p entity.Profile) (incremental.BatchResult, error) {
-	j := job{profile: p, reply: make(chan incremental.BatchResult, 1)}
+// reply is discarded. A per-request failure on the index pass — an
+// injected fault or a recovered panic (*par.PanicError) — is returned as
+// that request's error; batch-mates are unaffected. While the circuit
+// breaker is open the answer is served degraded: read-only candidates
+// from the last good index, ID -1, Degraded true.
+func (s *Server) Resolve(ctx context.Context, p entity.Profile) (Resolution, error) {
+	j := job{profile: p, reply: make(chan jobResult, 1)}
 	s.submitMu.RLock()
 	if s.draining {
 		s.submitMu.RUnlock()
 		s.metrics.Counter(CtrRejectedDrain).Inc()
-		return incremental.BatchResult{}, ErrDraining
+		return Resolution{}, ErrDraining
 	}
 	select {
 	case s.queue <- j:
@@ -174,16 +243,20 @@ func (s *Server) Resolve(ctx context.Context, p entity.Profile) (incremental.Bat
 	default:
 		s.submitMu.RUnlock()
 		s.metrics.Counter(CtrRejectedFull).Inc()
-		return incremental.BatchResult{}, ErrQueueFull
+		return Resolution{}, ErrQueueFull
 	}
 	s.metrics.Counter(CtrAccepted).Inc()
 	select {
-	case res := <-j.reply:
-		return res, nil
+	case out := <-j.reply:
+		return out.res, out.err
 	case <-ctx.Done():
-		return incremental.BatchResult{}, ctx.Err()
+		return Resolution{}, ctx.Err()
 	}
 }
+
+// Degraded reports whether the circuit breaker currently has the server
+// answering read-only from the last good index.
+func (s *Server) Degraded() bool { return s.breaker.degraded() }
 
 // Reload atomically swaps the serving index for one rebuilt from the
 // snapshot and returns its profile count. The swap waits for the batch in
@@ -198,15 +271,25 @@ func (s *Server) Reload(snap *incremental.Snapshot) (int, error) {
 	s.resolver = r
 	n := r.Size()
 	s.mu.Unlock()
+	// A fresh known-good index closes the degraded-mode circuit: reload is
+	// the operator's recovery lever.
+	s.breaker.reset()
 	s.metrics.Counter(CtrReloads).Inc()
 	s.metrics.Gauge(GaugeProfiles).Set(int64(n))
 	return n, nil
 }
 
-// ReloadFile is Reload from a store resolver-snapshot file.
+// ReloadFile is Reload from a store resolver-snapshot file. The artifact
+// is fully loaded and verified BEFORE the swap: a corrupt or
+// version-mismatched file leaves the live index untouched (the HTTP layer
+// maps it to 422).
 func (s *Server) ReloadFile(path string) (int, error) {
 	snap, err := store.LoadResolverFile(path)
 	if err != nil {
+		if errors.Is(err, store.ErrCorruptArtifact) || errors.Is(err, store.ErrVersionMismatch) {
+			s.metrics.Counter(CtrCorruptLoads).Inc()
+			s.metrics.Text(TextLastError).Set(err.Error())
+		}
 		return 0, err
 	}
 	if snap.Config.Scheme != s.cfg.Resolver.Scheme {
@@ -331,24 +414,80 @@ func (s *Server) fillQueued(first job) []job {
 
 // flush runs one index pass over the batch and answers every job. The
 // write lock is taken once per batch — this is the micro-batching win —
-// and is the same lock Reload swaps under.
+// and is the same lock Reload swaps under. Within the pass each job is
+// processed by a guarded addOne (AddBatch is semantically that same
+// loop), so an injected fault or a panic fails only its own request:
+// batch-mates still resolve, the batcher survives, and the breaker counts
+// the failure toward degraded mode.
 func (s *Server) flush(batch []job) {
-	profiles := make([]entity.Profile, len(batch))
-	for i, j := range batch {
-		profiles[i] = j.profile
-	}
+	outcomes := make([]jobResult, len(batch))
 	s.mu.Lock()
-	results := s.resolver.AddBatch(profiles)
+	for i, j := range batch {
+		proceed, probe := s.breaker.allow()
+		if !proceed {
+			outcomes[i] = jobResult{res: s.peekOne(j.profile)}
+			continue
+		}
+		res, err := s.addOne(j.profile)
+		s.breaker.result(probe, err != nil)
+		outcomes[i] = jobResult{res: Resolution{BatchResult: res}, err: err}
+	}
 	size := s.resolver.Size()
 	s.mu.Unlock()
 
-	candidates := 0
+	candidates, degraded, failed := 0, 0, 0
 	for i, j := range batch {
-		candidates += len(results[i].Candidates)
-		j.reply <- results[i]
+		out := outcomes[i]
+		switch {
+		case out.err != nil:
+			failed++
+			s.metrics.Text(TextLastError).Set(out.err.Error())
+		case out.res.Degraded:
+			degraded++
+			candidates += len(out.res.Candidates)
+		default:
+			candidates += len(out.res.Candidates)
+		}
+		j.reply <- out
 	}
 	s.metrics.Counter(CtrBatches).Inc()
 	s.metrics.Counter(CtrBatchedProfs).Add(int64(len(batch)))
 	s.metrics.Counter(CtrCandidates).Add(int64(candidates))
+	s.metrics.Counter(CtrResolveFailed).Add(int64(failed))
+	s.metrics.Counter(CtrDegradedSrv).Add(int64(degraded))
 	s.metrics.Gauge(GaugeProfiles).Set(int64(size))
+}
+
+// addOne is one guarded index pass for a single admitted profile: the
+// fault site fires first, then the resolver's Add. A panic — injected or
+// genuine — is recovered into a *par.PanicError so one poisoned request
+// cannot kill the batcher or fail its batch-mates. Called with s.mu held.
+func (s *Server) addOne(p entity.Profile) (res incremental.BatchResult, err error) {
+	defer func() {
+		if pe := par.Recovered(recover()); pe != nil {
+			s.metrics.Counter(CtrPanics).Inc()
+			res, err = incremental.BatchResult{}, pe
+		}
+	}()
+	if err := s.cfg.Fault.Check(FaultResolve); err != nil {
+		return incremental.BatchResult{}, err
+	}
+	id, cands := s.resolver.Add(p)
+	return incremental.BatchResult{ID: id, Candidates: cands}, nil
+}
+
+// peekOne answers a request degraded: read-only candidates from the last
+// good index via Resolver.Peek, no ID assigned. Guarded like addOne —
+// even a broken index must not kill the batcher. Called with s.mu held.
+func (s *Server) peekOne(p entity.Profile) (res Resolution) {
+	defer func() {
+		if pe := par.Recovered(recover()); pe != nil {
+			s.metrics.Counter(CtrPanics).Inc()
+			res = Resolution{BatchResult: incremental.BatchResult{ID: -1}, Degraded: true}
+		}
+	}()
+	return Resolution{
+		BatchResult: incremental.BatchResult{ID: -1, Candidates: s.resolver.Peek(p)},
+		Degraded:    true,
+	}
 }

@@ -141,7 +141,7 @@ func TestQueueOverflowSheds(t *testing.T) {
 	s.mu.Lock() // stall the batcher's flush
 	const attempts = 20
 	type outcome struct {
-		res incremental.BatchResult
+		res Resolution
 		err error
 	}
 	results := make(chan outcome, attempts)
@@ -347,7 +347,7 @@ func TestGracefulCloseDrains(t *testing.T) {
 	profiles := testProfiles(t, 5)
 
 	type outcome struct {
-		res incremental.BatchResult
+		res Resolution
 		err error
 	}
 	results := make(chan outcome, len(profiles))

@@ -3,21 +3,76 @@
 // compact self-describing binary format (encoding/gob with a versioned
 // envelope). Blocking a large collection once and re-running meta-blocking
 // configurations against the saved blocks is the intended workflow.
+//
+// The file-level helpers (SaveResolverFile, SaveBlocksFile and their Load
+// counterparts) are crash-safe: artifacts are written to a temp file in
+// the destination directory, wrapped in a checksummed container (magic +
+// CRC32-C footer), fsynced, renamed into place, and the directory is
+// fsynced — so a crash at any instant leaves either the previous artifact
+// or the new one at the final path, never a torn file. Loads verify the
+// checksum before a single byte reaches the gob decoder and classify
+// failures with the ErrCorruptArtifact / ErrVersionMismatch sentinels.
+// Files written before the container format was introduced load as
+// legacy raw-gob artifacts.
 package store
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"metablocking/internal/block"
 	"metablocking/internal/core"
 	"metablocking/internal/entity"
+	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
 )
+
+// Typed load errors; classify with errors.Is. Every corruption mode — a
+// bad checksum, a truncated container, a gob payload that fails to decode,
+// an artifact of the wrong kind — wraps ErrCorruptArtifact, and artifacts
+// written by an incompatible format version wrap ErrVersionMismatch, so a
+// caller (the serving layer's verify-before-swap) never has to parse error
+// strings to refuse a snapshot.
+var (
+	// ErrCorruptArtifact marks an artifact whose framing, checksum or
+	// payload failed verification — a torn or bit-flipped file.
+	ErrCorruptArtifact = errors.New("store: corrupt artifact")
+	// ErrVersionMismatch marks an artifact written by an incompatible
+	// format version (container or per-kind envelope).
+	ErrVersionMismatch = errors.New("store: artifact version mismatch")
+)
+
+// Fault sites of the save/load paths, consulted when an injector is
+// installed with SetInjector. The chaos suite arms these to prove the
+// atomic write protocol: a failure (or kill) at any site must leave the
+// last good artifact at the final path.
+const (
+	FaultSaveCreate = "store.save.create"
+	FaultSaveWrite  = "store.save.write"
+	FaultSaveSync   = "store.save.sync"
+	FaultSaveRename = "store.save.rename"
+	FaultLoadRead   = "store.load.read"
+)
+
+// injector is the package's fault-injection hook; nil (the default) makes
+// every site a no-op.
+var injector atomic.Pointer[fault.Injector]
+
+// SetInjector installs a fault injector for the save/load sites; nil
+// removes it. Intended for chaos tests and the -fault flag of cmd/serve.
+func SetInjector(in *fault.Injector) { injector.Store(in) }
+
+func inj() *fault.Injector { return injector.Load() }
 
 // format versions, one per artifact kind. Bump on incompatible changes.
 const (
@@ -25,6 +80,22 @@ const (
 	blocksVersion     = 1
 	pairsVersion      = 1
 	resolverVersion   = 1
+)
+
+// Checksummed container framing: header magic + container version, then
+// the gob artifact, then a footer with the payload length, its CRC32-C
+// and a closing magic. The footer-last layout means a torn write is
+// detectable no matter where it tore.
+const (
+	containerVersion = 1
+	headerSize       = 8  // magic(4) + version(4)
+	footerSize       = 16 // length(8) + crc(4) + magic(4)
+)
+
+var (
+	headMagic = [4]byte{'M', 'B', 'A', 'F'}
+	footMagic = [4]byte{'M', 'B', 'A', 'E'}
+	crcPoly   = crc32.MakeTable(crc32.Castagnoli)
 )
 
 // envelope is the self-describing header of every stored artifact.
@@ -49,16 +120,16 @@ func readArtifact(r io.Reader, kind string, version int, payload any) error {
 	dec := gob.NewDecoder(bufio.NewReader(r))
 	var env envelope
 	if err := dec.Decode(&env); err != nil {
-		return fmt.Errorf("store: reading header: %w", err)
+		return fmt.Errorf("store: reading header: %v: %w", err, ErrCorruptArtifact)
 	}
 	if env.Kind != kind {
-		return fmt.Errorf("store: artifact is a %q, expected %q", env.Kind, kind)
+		return fmt.Errorf("store: artifact is a %q, expected %q: %w", env.Kind, kind, ErrCorruptArtifact)
 	}
 	if env.Version != version {
-		return fmt.Errorf("store: %s version %d unsupported (want %d)", kind, env.Version, version)
+		return fmt.Errorf("store: %s version %d unsupported (want %d): %w", kind, env.Version, version, ErrVersionMismatch)
 	}
 	if err := dec.Decode(payload); err != nil {
-		return fmt.Errorf("store: decoding %s: %w", kind, err)
+		return fmt.Errorf("store: decoding %s: %v: %w", kind, err, ErrCorruptArtifact)
 	}
 	return nil
 }
@@ -184,8 +255,8 @@ func ReadResolver(r io.Reader) (*incremental.Snapshot, error) {
 		return nil, err
 	}
 	if len(sr.BlockKeys) != len(sr.BlockMembers) {
-		return nil, fmt.Errorf("store: resolver snapshot has %d block keys but %d member lists",
-			len(sr.BlockKeys), len(sr.BlockMembers))
+		return nil, fmt.Errorf("store: resolver snapshot has %d block keys but %d member lists: %w",
+			len(sr.BlockKeys), len(sr.BlockMembers), ErrCorruptArtifact)
 	}
 	s := &incremental.Snapshot{
 		Config: incremental.Config{
@@ -204,48 +275,159 @@ func ReadResolver(r io.Reader) (*incremental.Snapshot, error) {
 	return s, nil
 }
 
-// SaveResolverFile persists a resolver snapshot to a file.
+// SaveResolverFile persists a resolver snapshot to a file with the atomic
+// checksummed write protocol.
 func SaveResolverFile(path string, s *incremental.Snapshot) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := WriteResolver(f, s); err != nil {
-		return err
-	}
-	return f.Close()
+	return saveFileAtomic(path, func(w io.Writer) error { return WriteResolver(w, s) })
 }
 
-// LoadResolverFile loads a resolver snapshot from a file.
+// LoadResolverFile loads a resolver snapshot from a file, verifying its
+// checksum first (ErrCorruptArtifact / ErrVersionMismatch on failure).
 func LoadResolverFile(path string) (*incremental.Snapshot, error) {
-	f, err := os.Open(path)
+	payload, err := readFileVerified(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadResolver(f)
+	return ReadResolver(bytes.NewReader(payload))
 }
 
-// SaveBlocksFile and LoadBlocksFile are path-based conveniences.
+// SaveBlocksFile persists a block collection with the same atomic
+// checksummed protocol.
 func SaveBlocksFile(path string, c *block.Collection) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := WriteBlocks(f, c); err != nil {
-		return err
-	}
-	return f.Close()
+	return saveFileAtomic(path, func(w io.Writer) error { return WriteBlocks(w, c) })
 }
 
-// LoadBlocksFile loads a block collection from a file.
+// LoadBlocksFile loads a block collection from a file, verifying its
+// checksum first.
 func LoadBlocksFile(path string) (*block.Collection, error) {
-	f, err := os.Open(path)
+	payload, err := readFileVerified(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadBlocks(f)
+	return ReadBlocks(bytes.NewReader(payload))
+}
+
+// saveFileAtomic writes one artifact crash-safely: the checksummed
+// container goes to a temp file in the destination directory, is fsynced,
+// renamed over the final path, and the directory entry is fsynced. The
+// final path therefore always holds a complete artifact — the previous
+// one until the rename commits, the new one after.
+func saveFileAtomic(path string, write func(io.Writer) error) (err error) {
+	in := inj()
+	if ferr := in.Check(FaultSaveCreate); ferr != nil {
+		return ferr
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriter(in.Writer(FaultSaveWrite, f))
+	var header [headerSize]byte
+	copy(header[:4], headMagic[:])
+	binary.LittleEndian.PutUint32(header[4:], containerVersion)
+	if _, err = bw.Write(header[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	if err = write(cw); err != nil {
+		return err
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[:8], uint64(cw.n))
+	binary.LittleEndian.PutUint32(footer[8:12], cw.crc)
+	copy(footer[12:], footMagic[:])
+	if _, err = bw.Write(footer[:]); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = in.Check(FaultSaveSync); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = in.Check(FaultSaveRename); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so the rename that committed an artifact is
+// durable. Filesystems that refuse directory fsync are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// crcWriter tracks the length and CRC32-C of everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.crc = crc32.Update(c.crc, crcPoly, p[:n])
+	return n, err
+}
+
+// readFileVerified reads an artifact file and returns its gob payload
+// after checksum verification. Container-framed files are verified
+// end-to-end; files without the header magic are legacy raw-gob artifacts
+// and are returned whole (their gob envelope still guards kind/version).
+func readFileVerified(path string) ([]byte, error) {
+	if err := inj().Check(FaultLoadRead); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 || !bytes.Equal(data[:4], headMagic[:]) {
+		return data, nil // legacy artifact: raw gob, no container
+	}
+	if len(data) < headerSize+footerSize {
+		return nil, fmt.Errorf("store: %s: container truncated to %d bytes: %w", path, len(data), ErrCorruptArtifact)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != containerVersion {
+		return nil, fmt.Errorf("store: %s: container version %d (want %d): %w", path, v, containerVersion, ErrVersionMismatch)
+	}
+	payload := data[headerSize : len(data)-footerSize]
+	footer := data[len(data)-footerSize:]
+	if !bytes.Equal(footer[12:], footMagic[:]) {
+		return nil, fmt.Errorf("store: %s: footer magic missing (torn write): %w", path, ErrCorruptArtifact)
+	}
+	if n := binary.LittleEndian.Uint64(footer[:8]); n != uint64(len(payload)) {
+		return nil, fmt.Errorf("store: %s: payload length %d, footer says %d: %w", path, len(payload), n, ErrCorruptArtifact)
+	}
+	if crc := crc32.Checksum(payload, crcPoly); crc != binary.LittleEndian.Uint32(footer[8:12]) {
+		return nil, fmt.Errorf("store: %s: checksum mismatch: %w", path, ErrCorruptArtifact)
+	}
+	return payload, nil
 }

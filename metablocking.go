@@ -35,6 +35,7 @@ import (
 	"metablocking/internal/incremental"
 	"metablocking/internal/matching"
 	"metablocking/internal/obs"
+	"metablocking/internal/par"
 	"metablocking/internal/progressive"
 	"metablocking/internal/store"
 	"metablocking/internal/supervised"
@@ -58,6 +59,25 @@ var (
 	// incremental setting cannot maintain. It aliases the shared
 	// internal sentinel, so errors.Is matches errors from every layer.
 	ErrUnsupportedScheme = core.ErrUnsupportedScheme
+)
+
+// PanicError is a worker panic converted into an error: RunContext
+// recovers panics raised anywhere in the pipeline — including inside
+// parallel worker goroutines, which drain before the panic propagates —
+// and returns one of these (retrieve with errors.As) instead of crashing
+// the process. Value holds the recovered panic value, Stack the panicking
+// goroutine's stack trace.
+type PanicError = par.PanicError
+
+// Crash-safe artifact errors of internal/store, re-exported so callers can
+// classify load failures without importing internal packages.
+var (
+	// ErrCorruptArtifact marks a stored artifact whose checksum, framing
+	// or payload failed verification — a torn or bit-flipped file.
+	ErrCorruptArtifact = store.ErrCorruptArtifact
+	// ErrVersionMismatch marks an artifact written by an incompatible
+	// format version.
+	ErrVersionMismatch = store.ErrVersionMismatch
 )
 
 // Entity model.
@@ -310,7 +330,16 @@ func (p Pipeline) Run(c *Collection) (*Result, error) {
 // progress, WithSpanHooks brackets each stage. All of it is optional and
 // the retained pairs and counter values are identical whether or not any
 // option is set, serial or parallel.
-func (p Pipeline) RunContext(ctx context.Context, c *Collection, opts ...RunOption) (*Result, error) {
+//
+// A panic anywhere in the run — including inside parallel worker
+// goroutines, which all drain first — is recovered and returned as a
+// *PanicError instead of crashing the caller.
+func (p Pipeline) RunContext(ctx context.Context, c *Collection, opts ...RunOption) (res *Result, err error) {
+	defer func() {
+		if pe := par.Recovered(recover()); pe != nil {
+			res, err = nil, pe
+		}
+	}()
 	if c == nil || c.Size() == 0 {
 		return nil, ErrEmptyCollection
 	}
@@ -337,7 +366,7 @@ func (p Pipeline) RunContext(ctx context.Context, c *Collection, opts ...RunOpti
 	o.Counter(obs.CtrBlockingComparisons).Add(blocks.Comparisons())
 
 	start := time.Now()
-	res := &Result{Stages: Stages{Blocking: start.Sub(blockStart)}}
+	res = &Result{Stages: Stages{Blocking: start.Sub(blockStart)}}
 	if !p.DisablePurging {
 		endSpan = o.StartSpan(obs.StagePurge)
 		blocks = blockproc.BlockPurging{}.Apply(blocks)

@@ -1,0 +1,96 @@
+#!/bin/sh
+# chaos_smoke.sh — crash-safety smoke test for cmd/serve, run by `make
+# chaos-smoke` (and CI): kill the real binary with SIGKILL in the middle
+# of a snapshot write (a -fault delay pins it inside the pre-rename
+# window), then prove the previously saved artifact is still loadable —
+# a restarted server goes green on /readyz and keeps resolving. Also
+# checks that reloading a deliberately corrupted snapshot yields 422 and
+# leaves the live index serving.
+set -eu
+
+workdir="$(mktemp -d)"
+log="$workdir/serve.log"
+snap="$workdir/chaos.snap"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "chaos-smoke: building cmd/serve"
+go build -o "$workdir/serve" ./cmd/serve
+
+# start_server <extra flags...> — boots the binary and sets $base/$pid.
+start_server() {
+    : >"$log"
+    "$workdir/serve" -addr 127.0.0.1:0 -scheme js -k 5 "$@" >"$log" 2>&1 &
+    pid=$!
+    base=""
+    for _ in $(seq 1 100); do
+        base="$(sed -n 's/^serve: listening on \(http:\/\/[0-9.:]*\)$/\1/p' "$log" | head -n 1)"
+        [ -n "$base" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "chaos-smoke: server died early:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$base" ] || { echo "chaos-smoke: server never announced its address:"; cat "$log"; exit 1; }
+}
+
+resolve() {
+    curl -fsS -X POST -d "$1" "$base/v1/resolve" >/dev/null
+}
+
+# Phase 1: build a known-good artifact.
+start_server
+resolve '{"attributes":{"name":["jack miller"],"job":["car seller"]}}'
+resolve '{"attributes":{"fullname":["jack q miller"],"work":["car vendor"]}}'
+saved="$(curl -fsS -X POST -d "{\"path\":\"$snap\"}" "$base/v1/admin/snapshot")"
+echo "$saved" | grep -q '"profiles":2' || { echo "chaos-smoke: snapshot: $saved"; exit 1; }
+kill -TERM "$pid"; wait "$pid" || true; pid=""
+sum_before="$(cksum "$snap")"
+echo "chaos-smoke: good artifact written ($sum_before)"
+
+# Phase 2: SIGKILL mid-snapshot. The armed delay pins the save between
+# writing the temp file and the fsync+rename, so the kill lands while the
+# overwrite of $snap is in flight — the atomic-save window under test.
+start_server -snapshot "$snap" -fault 'store.save.sync:delay=10s'
+resolve '{"attributes":{"name":["john smith"],"city":["berlin"]}}'
+curl -fsS -X POST -d "{\"path\":\"$snap\"}" "$base/v1/admin/snapshot" >/dev/null 2>&1 &
+curl_pid=$!
+sleep 1
+echo "chaos-smoke: SIGKILL mid-snapshot"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+wait "$curl_pid" 2>/dev/null || true
+
+sum_after="$(cksum "$snap")"
+[ "$sum_before" = "$sum_after" ] || { echo "chaos-smoke: artifact changed across a torn write ($sum_before -> $sum_after)"; exit 1; }
+
+# Phase 3: restart on the surviving artifact — readiness must go green.
+start_server -snapshot "$snap"
+curl -fsS "$base/readyz" | grep -q '^ready$' || { echo "chaos-smoke: /readyz not green after crash recovery"; cat "$log"; exit 1; }
+grep -q 'loaded snapshot .* (2 profiles)' "$log" || { echo "chaos-smoke: snapshot not restored:"; cat "$log"; exit 1; }
+resolve '{"attributes":{"name":["jack miller"],"job":["car seller"]}}'
+
+# Phase 4: a corrupted artifact is rejected with 422 and the index keeps
+# serving.
+corrupt="$workdir/corrupt.snap"
+cp "$snap" "$corrupt"
+# Flip one byte in the middle of the payload.
+size="$(wc -c <"$corrupt")"
+mid=$((size / 2))
+printf '\377' | dd of="$corrupt" bs=1 seek="$mid" count=1 conv=notrunc 2>/dev/null
+code="$(curl -sS -o "$workdir/reload.out" -w '%{http_code}' -X POST -d "{\"path\":\"$corrupt\"}" "$base/v1/admin/reload")"
+[ "$code" = "422" ] || { echo "chaos-smoke: corrupt reload returned $code, want 422:"; cat "$workdir/reload.out"; exit 1; }
+curl -fsS "$base/readyz" | grep -q '^ready$' || { echo "chaos-smoke: not ready after rejected reload"; exit 1; }
+resolve '{"attributes":{"name":["jane doe"]}}'
+curl -fsS "$base/metrics" | grep -q 'store\.corrupt_loads *1' || { echo "chaos-smoke: corrupt_loads counter missing"; curl -fsS "$base/metrics"; exit 1; }
+
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after SIGTERM:"; cat "$log"; exit 1; }
+
+echo "chaos-smoke: OK"
