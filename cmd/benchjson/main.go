@@ -1,0 +1,328 @@
+// Command benchjson emits the repository's headline benchmark numbers as
+// machine-readable JSON and gates a fresh run against a committed
+// trajectory file (BENCH_PR6.json), failing on regressions.
+//
+// Two modes:
+//
+//	benchjson emit [-o out.json]
+//	    runs the headline benchmarks in-process (testing.Benchmark) and
+//	    writes {"schema":1,"benchmarks":{...}}: ns/op, B/op, allocs/op
+//	    for the serial pipeline and the batched server resolve path,
+//	    plus p50/p99 request latency under concurrent load.
+//
+//	benchjson gate -baseline BENCH_PR6.json [-current fresh.json] [-ns]
+//	    compares a current emit against the baseline's benchmarks
+//	    section and exits non-zero when a gated metric regressed beyond
+//	    its tolerance. allocs/op is always gated — it is
+//	    hardware-independent, so it is the CI-safe signal. ns/op and the
+//	    latency percentiles are gated only with -ns (same-machine runs);
+//	    on shared CI hosts wall-clock is noise, allocation count is not.
+//	    Per-benchmark tolerances embedded in the baseline file
+//	    (alloc_tolerance, ns_tolerance) override the -threshold default.
+//
+// With no -current, gate runs emit itself and compares the live numbers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"metablocking"
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+	"metablocking/internal/server"
+)
+
+// Bench is one benchmark's recorded metrics plus its optional gate
+// tolerances (fractions: 0.10 = fail beyond +10%).
+type Bench struct {
+	NsPerOp          float64 `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	P50Ns            int64   `json:"p50_ns,omitempty"`
+	P99Ns            int64   `json:"p99_ns,omitempty"`
+	ProfilesPerBatch float64 `json:"profiles_per_batch,omitempty"`
+	AllocTolerance   float64 `json:"alloc_tolerance,omitempty"`
+	NsTolerance      float64 `json:"ns_tolerance,omitempty"`
+}
+
+// File is the trajectory artifact: the current numbers, and for the
+// committed BENCH_PR6.json also the pre-PR baseline they improved on.
+type File struct {
+	Schema     int              `json:"schema"`
+	PR         int              `json:"pr,omitempty"`
+	Note       string           `json:"note,omitempty"`
+	Go         string           `json:"go,omitempty"`
+	Baseline   map[string]Bench `json:"baseline,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson emit|gate [flags]")
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "emit":
+		fs := flag.NewFlagSet("emit", flag.ExitOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		fs.Parse(os.Args[2:])
+		f := File{Schema: 1, Go: runtime.Version(), Benchmarks: runAll()}
+		writeJSON(*out, f)
+	case "gate":
+		fs := flag.NewFlagSet("gate", flag.ExitOnError)
+		basePath := fs.String("baseline", "BENCH_PR6.json", "committed trajectory file")
+		curPath := fs.String("current", "", "fresh emit to compare (default: run emit now)")
+		threshold := fs.String("threshold", "0.10", "default regression tolerance (fraction)")
+		gateNs := fs.Bool("ns", false, "also gate ns/op and latency percentiles (same-machine runs only)")
+		fs.Parse(os.Args[2:])
+		var thr float64
+		if _, err := fmt.Sscanf(*threshold, "%f", &thr); err != nil || thr <= 0 {
+			fatalf("bad -threshold %q", *threshold)
+		}
+		base := readJSON(*basePath)
+		var cur File
+		if *curPath != "" {
+			cur = readJSON(*curPath)
+		} else {
+			cur = File{Schema: 1, Benchmarks: runAll()}
+		}
+		if !gate(base, cur, thr, *gateNs) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown mode %q\n", os.Args[1])
+		os.Exit(2)
+	}
+}
+
+func runAll() map[string]Bench {
+	out := make(map[string]Bench)
+	fmt.Fprintln(os.Stderr, "benchjson: running pipeline_workers1 ...")
+	out["pipeline_workers1"] = benchPipeline()
+	fmt.Fprintln(os.Stderr, "benchjson: running server_resolve ...")
+	out["server_resolve"] = benchServerResolve()
+	fmt.Fprintln(os.Stderr, "benchjson: running server_latency ...")
+	out["server_latency"] = benchServerLatency()
+	return out
+}
+
+// benchPipeline mirrors BenchmarkParallelPipeline/workers=1: the full
+// serial pipeline (Token Blocking → purging → filtering r=0.8 → JS +
+// ReciprocalWNP pruning) on the D2D dataset at scale 0.5.
+func benchPipeline() Bench {
+	ds := datagen.D2D(0.5)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := metablocking.Pipeline{
+				FilterRatio: 0.8,
+				Scheme:      metablocking.JS,
+				Algorithm:   metablocking.ReciprocalWNP,
+				Workers:     1,
+			}.Run(ds.Collection)
+			if err != nil {
+				fatalf("pipeline: %v", err)
+			}
+			if len(res.Pairs) == 0 {
+				fatalf("pipeline retained nothing")
+			}
+		}
+	})
+	return fromResult(r)
+}
+
+// benchServerResolve mirrors BenchmarkServerResolve: the batched resolve
+// path end to end with concurrent submitters so micro-batches coalesce.
+func benchServerResolve() Bench {
+	profiles := benchProfiles(1000)
+	s, err := server.New(server.Config{
+		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		BatchWindow: 200 * time.Microsecond,
+		MaxBatch:    64,
+		QueueDepth:  8192,
+	})
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	defer s.Close()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := s.Resolve(context.Background(), profiles[i%len(profiles)]); err != nil {
+					fatalf("resolve: %v", err)
+				}
+				i++
+			}
+		})
+	})
+	out := fromResult(r)
+	if batches := s.Metrics().Counter(server.CtrBatches).Value(); batches > 0 {
+		out.ProfilesPerBatch = float64(s.Metrics().Counter(server.CtrBatchedProfs).Value()) / float64(batches)
+	}
+	return out
+}
+
+// benchServerLatency measures per-request wall-clock latency under
+// concurrent load (8 clients, fresh server) and reports p50/p99.
+func benchServerLatency() Bench {
+	const clients, perClient = 8, 500
+	profiles := benchProfiles(1000)
+	s, err := server.New(server.Config{
+		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		BatchWindow: 200 * time.Microsecond,
+		MaxBatch:    64,
+		QueueDepth:  8192,
+	})
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	defer s.Close()
+
+	durs := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ds := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				p := profiles[(c*perClient+i)%len(profiles)]
+				start := time.Now()
+				if _, err := s.Resolve(context.Background(), p); err != nil {
+					fatalf("resolve: %v", err)
+				}
+				ds = append(ds, time.Since(start))
+			}
+			durs[c] = ds
+		}(c)
+	}
+	wg.Wait()
+	var all []time.Duration
+	for _, ds := range durs {
+		all = append(all, ds...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(all)-1))
+		return all[i].Nanoseconds()
+	}
+	return Bench{P50Ns: pct(0.50), P99Ns: pct(0.99)}
+}
+
+func benchProfiles(n int) []entity.Profile {
+	ds := datagen.D1D(0.1)
+	if len(ds.Collection.Profiles) < n {
+		fatalf("dataset has %d profiles, need %d", len(ds.Collection.Profiles), n)
+	}
+	return ds.Collection.Profiles[:n]
+}
+
+func fromResult(r testing.BenchmarkResult) Bench {
+	return Bench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// gate compares current against baseline and reports every gated metric.
+// It returns false when any metric regressed beyond its tolerance.
+func gate(base, cur File, defThr float64, gateNs bool) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	check := func(name, metric string, baseV, curV, tol float64, gated bool) {
+		if baseV <= 0 {
+			return
+		}
+		delta := (curV - baseV) / baseV
+		status := "info"
+		if gated {
+			status = "ok"
+			if delta > tol {
+				status = "FAIL"
+				ok = false
+			}
+		}
+		fmt.Printf("%-22s %-18s base=%.0f cur=%.0f delta=%+.1f%% tol=%.0f%% [%s]\n",
+			name, metric, baseV, curV, 100*delta, 100*tol, status)
+	}
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, present := cur.Benchmarks[name]
+		if !present {
+			fmt.Printf("%-22s MISSING from current run [FAIL]\n", name)
+			ok = false
+			continue
+		}
+		allocTol, nsTol := b.AllocTolerance, b.NsTolerance
+		if allocTol == 0 {
+			allocTol = defThr
+		}
+		if nsTol == 0 {
+			nsTol = defThr
+		}
+		check(name, "allocs/op", float64(b.AllocsPerOp), float64(c.AllocsPerOp), allocTol, true)
+		check(name, "ns/op", b.NsPerOp, c.NsPerOp, nsTol, gateNs)
+		check(name, "p50_ns", float64(b.P50Ns), float64(c.P50Ns), nsTol, gateNs)
+		check(name, "p99_ns", float64(b.P99Ns), float64(c.P99Ns), nsTol, gateNs)
+	}
+	if !ok {
+		fmt.Println("benchjson: REGRESSION detected")
+	} else {
+		fmt.Println("benchjson: gate passed")
+	}
+	return ok
+}
+
+func writeJSON(path string, f File) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if path == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+}
+
+func readJSON(path string) File {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	if f.Schema != 1 {
+		fatalf("%s: unsupported schema %d", path, f.Schema)
+	}
+	return f
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestGateLogic(t *testing.T) {
+	base := File{Schema: 1, Benchmarks: map[string]Bench{
+		"a":   {NsPerOp: 1000, AllocsPerOp: 100},
+		"b":   {NsPerOp: 500, AllocsPerOp: 10, AllocTolerance: 0.5, NsTolerance: 0.5},
+		"lat": {P50Ns: 100, P99Ns: 200},
+	}}
+	pass := File{Schema: 1, Benchmarks: map[string]Bench{
+		"a":   {NsPerOp: 5000, AllocsPerOp: 105}, // ns not gated without -ns
+		"b":   {NsPerOp: 700, AllocsPerOp: 14},   // within the 50% override
+		"lat": {P50Ns: 1000, P99Ns: 2000},
+	}}
+	if !gate(base, pass, 0.10, false) {
+		t.Error("within-tolerance run must pass without -ns")
+	}
+	if gate(base, pass, 0.10, true) {
+		t.Error("5x ns regression must fail with -ns")
+	}
+	allocFail := File{Schema: 1, Benchmarks: map[string]Bench{
+		"a":   {NsPerOp: 1000, AllocsPerOp: 120}, // +20% > 10% default
+		"b":   {NsPerOp: 500, AllocsPerOp: 10},
+		"lat": {},
+	}}
+	if gate(base, allocFail, 0.10, false) {
+		t.Error("allocs/op beyond tolerance must fail even without -ns")
+	}
+	missing := File{Schema: 1, Benchmarks: map[string]Bench{"a": {NsPerOp: 1, AllocsPerOp: 1}}}
+	if gate(base, missing, 10.0, false) {
+		t.Error("a benchmark missing from the current run must fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := File{Schema: 1, PR: 6, Go: "go-test", Benchmarks: map[string]Bench{
+		"x": {NsPerOp: 1.5, BytesPerOp: 2, AllocsPerOp: 3, P50Ns: 4, P99Ns: 5,
+			ProfilesPerBatch: 6.5, AllocTolerance: 0.1, NsTolerance: 0.2},
+	}}
+	writeJSON(path, want)
+	got := readJSON(path)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEmitGateLive runs the real headline benchmarks once (testing.Benchmark
+// self-scales, a few seconds total) and gates the result against itself —
+// the always-green self-consistency case that also smoke-tests the bench
+// harness end to end.
+func TestEmitGateLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live benchmarks take a few seconds")
+	}
+	cur := File{Schema: 1, Benchmarks: runAll()}
+	for name, b := range cur.Benchmarks {
+		if name != "server_latency" && b.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %v, want > 0", name, b.NsPerOp)
+		}
+	}
+	if lat := cur.Benchmarks["server_latency"]; lat.P50Ns <= 0 || lat.P99Ns < lat.P50Ns {
+		t.Errorf("latency percentiles implausible: %+v", lat)
+	}
+	if !gate(cur, cur, 0.10, true) {
+		t.Error("a run gated against itself must pass")
+	}
+}

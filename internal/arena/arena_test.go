@@ -1,0 +1,131 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaAlloc(t *testing.T) {
+	var a Arena[int32]
+	s1 := a.Alloc(10)
+	if len(s1) != 10 {
+		t.Fatalf("len = %d, want 10", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != 0 {
+			t.Fatal("Alloc must return zeroed memory")
+		}
+		s1[i] = int32(i)
+	}
+	s2 := a.Alloc(10)
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatal("second Alloc must not see first slice's writes")
+		}
+	}
+	// Full-capacity slices must not alias: appending to s1 can't grow into s2.
+	if &s1[:cap(s1)][cap(s1)-1] == &s2[:cap(s2)][cap(s2)-1] {
+		t.Fatal("alloc slices alias")
+	}
+	for i := range s1 {
+		if s1[i] != int32(i) {
+			t.Fatal("first slice clobbered by second Alloc")
+		}
+	}
+}
+
+func TestArenaOversized(t *testing.T) {
+	var a Arena[byte]
+	big := a.Alloc(3 * slabSize)
+	if len(big) != 3*slabSize {
+		t.Fatalf("oversized alloc len = %d", len(big))
+	}
+	small := a.Alloc(8)
+	if len(small) != 8 {
+		t.Fatal("small alloc after oversized failed")
+	}
+}
+
+func TestArenaResetReuses(t *testing.T) {
+	var a Arena[int64]
+	s := a.Alloc(100)
+	for i := range s {
+		s[i] = 7
+	}
+	a.Reset()
+	s2 := a.Alloc(100)
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatal("Reset must zero the reused slab")
+		}
+	}
+	// After warm-up, Alloc within one slab should not allocate.
+	a.Reset()
+	allocs := testing.AllocsPerRun(50, func() {
+		a.Reset()
+		for i := 0; i < 16; i++ {
+			a.Alloc(64)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm arena allocated %v times per pass", allocs)
+	}
+}
+
+func TestArenaManySlabs(t *testing.T) {
+	var a Arena[int32]
+	total := 0
+	for i := 0; i < 100; i++ {
+		total += len(a.Alloc(slabSize / 3))
+	}
+	if total != 100*(slabSize/3) {
+		t.Fatalf("total = %d", total)
+	}
+	a.Reset()
+	if len(a.Alloc(5)) != 5 {
+		t.Fatal("alloc after multi-slab reset failed")
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool[int32]
+	b := p.GetCap(256)
+	if cap(b.S) < 256 || len(b.S) != 0 {
+		t.Fatalf("GetCap: len=%d cap=%d", len(b.S), cap(b.S))
+	}
+	b.S = append(b.S, 1, 2, 3)
+	p.Put(b)
+	b2 := p.Get()
+	if len(b2.S) != 0 {
+		t.Fatal("Get must reset length")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b := p.GetCap(256)
+		b.S = append(b.S, 42)
+		p.Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm pool allocated %v times per cycle", allocs)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	var p Pool[byte]
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b := p.GetCap(64)
+				b.S = append(b.S, seed)
+				if b.S[0] != seed {
+					t.Error("pool buffer raced")
+					return
+				}
+				p.Put(b)
+			}
+		}(byte(w))
+	}
+	wg.Wait()
+}

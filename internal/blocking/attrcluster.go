@@ -37,13 +37,15 @@ func (a AttributeClusteringBlocking) Build(c *entity.Collection) *block.Collecti
 	clusterOf := clusterAttributes(c, threshold)
 
 	idx := newKeyIndex(c)
-	forEachProfileKeys(c, func(p *entity.Profile, emit func(string)) {
+	forEachProfileKeys(c, func(p *entity.Profile, toks []string, emit func(string)) []string {
 		for _, attr := range p.Attributes {
 			cluster := clusterOf[attr.Name]
-			for _, tok := range entity.Tokenize(attr.Value) {
+			toks = entity.AppendTokens(toks[:0], attr.Value)
+			for _, tok := range toks {
 				emit(fmt.Sprintf("%d#%s", cluster, tok))
 			}
 		}
+		return toks
 	}, func(id entity.ID, keys []string) {
 		for _, k := range keys {
 			idx.add(k, id)

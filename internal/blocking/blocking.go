@@ -58,26 +58,49 @@ func BuildObserved(m Method, c *entity.Collection, o *obs.Observer) *block.Colle
 type keyIndex struct {
 	task  entity.Task
 	split int
-	keys  map[string]*keyEntry
+	keys  *keyStore
 }
 
 type keyEntry struct {
 	e1, e2 []entity.ID
 }
 
+// keyStore maps blocking keys to postings entries kept in one growing
+// slab, so accumulating n distinct keys costs O(log n) slab growths
+// instead of one heap allocation per key.
+type keyStore struct {
+	idx     map[string]int32
+	entries []keyEntry
+}
+
+func newKeyStore() *keyStore {
+	return &keyStore{idx: make(map[string]int32)}
+}
+
+// entry returns the postings entry for key, creating it on first use. The
+// returned pointer is invalidated by the next entry call (the slab may
+// move); use it immediately.
+func (s *keyStore) entry(key string) *keyEntry {
+	if i, ok := s.idx[key]; ok {
+		return &s.entries[i]
+	}
+	s.idx[key] = int32(len(s.entries))
+	s.entries = append(s.entries, keyEntry{})
+	return &s.entries[len(s.entries)-1]
+}
+
+// get returns the entry of a key known to be present.
+func (s *keyStore) get(key string) *keyEntry { return &s.entries[s.idx[key]] }
+
 func newKeyIndex(c *entity.Collection) *keyIndex {
-	return &keyIndex{task: c.Task, split: c.Split, keys: make(map[string]*keyEntry)}
+	return &keyIndex{task: c.Task, split: c.Split, keys: newKeyStore()}
 }
 
 // add assigns a profile to a blocking key. Repeated assignments of the same
 // profile to the same key are deduplicated by the caller supplying distinct
 // keys per profile (use a per-profile set).
 func (k *keyIndex) add(key string, id entity.ID) {
-	e := k.keys[key]
-	if e == nil {
-		e = &keyEntry{}
-		k.keys[key] = e
-	}
+	e := k.keys.entry(key)
 	if k.task == entity.CleanClean && int(id) >= k.split {
 		e.e2 = append(e.e2, id)
 	} else {
@@ -88,7 +111,7 @@ func (k *keyIndex) add(key string, id entity.ID) {
 // build converts the accumulated keys into a block collection; see
 // buildBlocks for the retention rules.
 func (k *keyIndex) build(c *entity.Collection) *block.Collection {
-	return buildBlocks(c, []map[string]*keyEntry{k.keys}, nil, 1)
+	return buildBlocks(c, []*keyStore{k.keys}, nil, 1)
 }
 
 // eligible reports whether a key's postings entail at least one
@@ -117,11 +140,12 @@ func keyShard(key string, n int) int {
 // must be partitioned by keyShard(·, len(maps)) — a single map (shard
 // count 1) covers the serial case. Blocks are ordered by key for
 // determinism, regardless of how the keys were sharded.
-func buildBlocks(c *entity.Collection, maps []map[string]*keyEntry, drop func(e *keyEntry) bool, workers int) *block.Collection {
+func buildBlocks(c *entity.Collection, maps []*keyStore, drop func(e *keyEntry) bool, workers int) *block.Collection {
 	task := c.Task
 	var keys []string
 	for _, m := range maps {
-		for key, e := range m {
+		for key, i := range m.idx {
+			e := &m.entries[i]
 			if drop != nil && drop(e) {
 				continue
 			}
@@ -139,7 +163,7 @@ func buildBlocks(c *entity.Collection, maps []map[string]*keyEntry, drop func(e 
 	par.Ranges(workers, len(keys), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			key := keys[i]
-			e := maps[keyShard(key, shards)][key]
+			e := maps[keyShard(key, shards)].get(key)
 			b := block.Block{Key: key, E1: e.e1}
 			if task == entity.CleanClean {
 				b.E2 = e.e2
@@ -163,7 +187,7 @@ func buildBlocks(c *entity.Collection, maps []map[string]*keyEntry, drop func(e 
 // cancellation once per stride of profiles: once o's context is canceled
 // the remaining phases are skipped and an empty collection is returned —
 // callers must check o.Err before using the result.
-func buildKeyed(c *entity.Collection, workers int, o *obs.Observer, keysOf func(p *entity.Profile, emit func(string)), drop func(e *keyEntry) bool) *block.Collection {
+func buildKeyed(c *entity.Collection, workers int, o *obs.Observer, keysOf keysFunc, drop func(e *keyEntry) bool) *block.Collection {
 	workers = par.Resolve(workers, len(c.Profiles))
 	o.Gauge(obs.GaugeWorkersBlocking).Set(int64(workers))
 	meter := o.NewMeter(obs.StageBlocking, int64(len(c.Profiles)))
@@ -177,27 +201,22 @@ func buildKeyed(c *entity.Collection, workers int, o *obs.Observer, keysOf func(
 		if o.Canceled() {
 			return &block.Collection{Task: c.Task, NumEntities: c.Size(), Split: c.Split}
 		}
-		return buildBlocks(c, []map[string]*keyEntry{idx.keys}, drop, 1)
+		return buildBlocks(c, []*keyStore{idx.keys}, drop, 1)
 	}
 
 	// Map phase: per-worker key indexes over disjoint profile ranges,
 	// pre-partitioned into merge shards so the merge phase touches only
 	// its own shard of every worker map.
-	sharded := make([][]map[string]*keyEntry, workers)
+	sharded := make([][]*keyStore, workers)
 	task, split := c.Task, c.Split
 	par.Ranges(workers, len(c.Profiles), func(w, lo, hi int) {
-		local := make([]map[string]*keyEntry, workers)
+		local := make([]*keyStore, workers)
 		for s := range local {
-			local[s] = make(map[string]*keyEntry)
+			local[s] = newKeyStore()
 		}
 		forEachProfileKeysRange(c, lo, hi, o, meter, keysOf, func(id entity.ID, keys []string) {
 			for _, key := range keys {
-				m := local[keyShard(key, workers)]
-				e := m[key]
-				if e == nil {
-					e = &keyEntry{}
-					m[key] = e
-				}
+				e := local[keyShard(key, workers)].entry(key)
 				if task == entity.CleanClean && int(id) >= split {
 					e.e2 = append(e.e2, id)
 				} else {
@@ -213,23 +232,20 @@ func buildKeyed(c *entity.Collection, workers int, o *obs.Observer, keysOf func(
 
 	// Merge phase: shard s collects every worker's shard-s postings in
 	// worker order.
-	merged := make([]map[string]*keyEntry, workers)
+	merged := make([]*keyStore, workers)
 	par.Ranges(workers, workers, func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
 			if o.Canceled() {
 				break
 			}
-			m := make(map[string]*keyEntry)
+			m := newKeyStore()
 			for _, local := range sharded {
 				if local == nil {
 					continue
 				}
-				for key, e := range local[s] {
-					t := m[key]
-					if t == nil {
-						t = &keyEntry{}
-						m[key] = t
-					}
+				for key, i := range local[s].idx {
+					e := &local[s].entries[i]
+					t := m.entry(key)
 					t.e1 = append(t.e1, e.e1...)
 					t.e2 = append(t.e2, e.e2...)
 				}
@@ -243,19 +259,39 @@ func buildKeyed(c *entity.Collection, workers int, o *obs.Observer, keysOf func(
 	return buildBlocks(c, merged, drop, workers)
 }
 
+// keysFunc extracts a profile's blocking keys, calling emit once per key
+// (duplicates are fine; the caller deduplicates). toks is a reusable
+// token scratch buffer owned by the iteration loop: implementations that
+// tokenize values should fill it with entity.AppendTokens(toks[:0], …)
+// per value and return the (possibly grown) buffer, so one buffer serves
+// every profile of a worker's range instead of allocating per attribute.
+type keysFunc func(p *entity.Profile, toks []string, emit func(string)) []string
+
 // forEachProfileKeys runs fn once per profile with that profile's distinct
 // blocking keys, reusing a scratch set between profiles.
-func forEachProfileKeys(c *entity.Collection, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
+func forEachProfileKeys(c *entity.Collection, keysOf keysFunc, fn func(id entity.ID, keys []string)) {
 	forEachProfileKeysRange(c, 0, len(c.Profiles), nil, nil, keysOf, fn)
 }
 
 // forEachProfileKeysRange is forEachProfileKeys restricted to profiles
 // [lo, hi) — the per-worker slice of the sharded build. It ticks m and
 // polls o for cancellation once per stride of profiles, aborting the
-// range early when the run is canceled.
-func forEachProfileKeysRange(c *entity.Collection, lo, hi int, o *obs.Observer, m *obs.Meter, keysOf func(p *entity.Profile, emit func(string)), fn func(id entity.ID, keys []string)) {
+// range early when the run is canceled. All scratch (the dedup set, the
+// key and token buffers, the emit closure) is hoisted out of the profile
+// loop, so a warm pass over a range allocates only when a buffer grows.
+func forEachProfileKeysRange(c *entity.Collection, lo, hi int, o *obs.Observer, m *obs.Meter, keysOf keysFunc, fn func(id entity.ID, keys []string)) {
 	seen := make(map[string]struct{})
-	var buf []string
+	var buf, toks []string
+	emit := func(key string) {
+		if key == "" {
+			return
+		}
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		buf = append(buf, key)
+	}
 	for i := lo; i < hi; i++ {
 		if (i-lo)&obs.StrideMask == obs.StrideMask {
 			m.Add(obs.Stride)
@@ -266,16 +302,7 @@ func forEachProfileKeysRange(c *entity.Collection, lo, hi int, o *obs.Observer, 
 		p := &c.Profiles[i]
 		buf = buf[:0]
 		clear(seen)
-		keysOf(p, func(key string) {
-			if key == "" {
-				return
-			}
-			if _, ok := seen[key]; ok {
-				return
-			}
-			seen[key] = struct{}{}
-			buf = append(buf, key)
-		})
+		toks = keysOf(p, toks, emit)
 		fn(p.ID, buf)
 	}
 	m.Add(int64(hi-lo) & obs.StrideMask)

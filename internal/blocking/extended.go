@@ -58,14 +58,16 @@ func (x ExtendedQGramsBlocking) BuildObserved(c *entity.Collection, o *obs.Obser
 	if threshold <= 0 || threshold > 1 {
 		threshold = 0.9
 	}
-	return buildKeyed(c, x.Workers, o, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, x.Workers, o, func(p *entity.Profile, toks []string, emit func(string)) []string {
 		for _, a := range p.Attributes {
-			for _, tok := range entity.Tokenize(a.Value) {
+			toks = entity.AppendTokens(toks[:0], a.Value)
+			for _, tok := range toks {
 				for _, key := range extendedQGramKeys(tok, q, threshold) {
 					emit(key)
 				}
 			}
 		}
+		return toks
 	}, nil)
 }
 

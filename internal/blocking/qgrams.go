@@ -49,9 +49,10 @@ func (q QGramsBlocking) Build(c *entity.Collection) *block.Collection {
 // BuildObserved implements ObservedMethod.
 func (q QGramsBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection {
 	n := q.size()
-	return buildKeyed(c, q.Workers, o, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, q.Workers, o, func(p *entity.Profile, toks []string, emit func(string)) []string {
 		for _, a := range p.Attributes {
-			for _, tok := range entity.Tokenize(a.Value) {
+			toks = entity.AppendTokens(toks[:0], a.Value)
+			for _, tok := range toks {
 				if len(tok) <= n {
 					emit(tok)
 					continue
@@ -61,6 +62,7 @@ func (q QGramsBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *bl
 				}
 			}
 		}
+		return toks
 	}, nil)
 }
 
@@ -113,9 +115,10 @@ func (s SuffixArrayBlocking) BuildObserved(c *entity.Collection, o *obs.Observer
 	// Oversized suffix blocks are dropped at materialization time, after
 	// the sharded postings have been merged (the per-worker partial counts
 	// say nothing about a key's global size).
-	return buildKeyed(c, s.Workers, o, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, s.Workers, o, func(p *entity.Profile, toks []string, emit func(string)) []string {
 		for _, a := range p.Attributes {
-			for _, tok := range entity.Tokenize(a.Value) {
+			toks = entity.AppendTokens(toks[:0], a.Value)
+			for _, tok := range toks {
 				if len(tok) < minLen {
 					continue
 				}
@@ -124,6 +127,7 @@ func (s SuffixArrayBlocking) BuildObserved(c *entity.Collection, o *obs.Observer
 				}
 			}
 		}
+		return toks
 	}, func(e *keyEntry) bool {
 		return len(e.e1)+len(e.e2) > maxSize
 	})

@@ -43,13 +43,15 @@ func (t TokenBlocking) Build(c *entity.Collection) *block.Collection {
 
 // BuildObserved implements ObservedMethod.
 func (t TokenBlocking) BuildObserved(c *entity.Collection, o *obs.Observer) *block.Collection {
-	return buildKeyed(c, t.Workers, o, func(p *entity.Profile, emit func(string)) {
+	return buildKeyed(c, t.Workers, o, func(p *entity.Profile, toks []string, emit func(string)) []string {
 		for _, a := range p.Attributes {
-			for _, tok := range entity.Tokenize(a.Value) {
+			toks = entity.AppendTokens(toks[:0], a.Value)
+			for _, tok := range toks {
 				if len(tok) >= t.MinTokenLength {
 					emit(tok)
 				}
 			}
 		}
+		return toks
 	}, nil)
 }

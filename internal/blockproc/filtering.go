@@ -1,6 +1,7 @@
 package blockproc
 
 import (
+	"metablocking/internal/arena"
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
 	"metablocking/internal/obs"
@@ -77,6 +78,10 @@ func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
 
 	meter := o.NewMeter(obs.StageFilter, int64(len(sorted.Blocks)))
 	counters := make([]int32, c.NumEntities)
+	// All retained member lists are carved from one slab arena: they share
+	// the output collection's lifetime, so the retain loop does a handful
+	// of slab allocations instead of two per block.
+	var members arena.Arena[entity.ID]
 	for i := range sorted.Blocks {
 		if i&obs.StrideMask == obs.StrideMask {
 			meter.Add(obs.Stride)
@@ -85,10 +90,10 @@ func (f BlockFiltering) Apply(c *block.Collection) *block.Collection {
 			}
 		}
 		b := &sorted.Blocks[i]
-		e1 := filterMembers(b.E1, counters, limits)
+		e1 := filterMembers(b.E1, counters, limits, &members)
 		var e2 []entity.ID
 		if b.E2 != nil {
-			e2 = filterMembers(b.E2, counters, limits)
+			e2 = filterMembers(b.E2, counters, limits, &members)
 		}
 		if !retainBlock(c.Task, e1, e2) {
 			continue
@@ -144,14 +149,23 @@ func countRange(c *block.Collection, lo, hi int, counts []int32) {
 	}
 }
 
-func filterMembers(ids []entity.ID, counters, limits []int32) []entity.ID {
-	var kept []entity.ID
+// filterMembers keeps the members still under their assignment limit,
+// writing the result into a slice carved from the members arena (capacity
+// len(ids), so the appends never reallocate).
+func filterMembers(ids []entity.ID, counters, limits []int32, members *arena.Arena[entity.ID]) []entity.ID {
+	if len(ids) == 0 {
+		return nil
+	}
+	kept := members.Alloc(len(ids))[:0]
 	for _, id := range ids {
 		if counters[id] >= limits[id] {
 			continue // remove profile from this (less important) block
 		}
 		counters[id]++
 		kept = append(kept, id)
+	}
+	if len(kept) == 0 {
+		return nil
 	}
 	return kept
 }

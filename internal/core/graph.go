@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sync"
+
 	"metablocking/internal/block"
 	"metablocking/internal/entity"
+	"metablocking/internal/floatsum"
 	"metablocking/internal/obs"
 	"metablocking/internal/par"
 )
@@ -29,20 +32,45 @@ type Graph struct {
 	// degrees caches |vi| (distinct neighbors per node) for EJS.
 	degrees []int32
 
-	// ScanCount scratch (Alg. 3): flags[j] holds the epoch of the last
-	// scan that touched j, so commonBlocks[j] is valid only when
-	// flags[j] equals the current epoch — no reallocation per node, and
-	// no stale state across repeated traversals of the same graph.
-	flags        []int64
-	epoch        int64
-	commonBlocks []float64
-	neighbors    []entity.ID
+	// sc is this graph's private traversal scratch; shards get their own.
+	sc *scanScratch
+	// scratchPool recycles shard scratch across parallel passes — a
+	// multi-pass algorithm (WEP, Redefined WNP) reuses the same per-worker
+	// cell arrays instead of reallocating |E| cells every pass.
+	scratchPool *sync.Pool
 
 	// obs carries the run's observability handle (cancellation polls and
 	// the edges-weighted counter); meter is the current stage's progress
 	// meter. Both are nil on un-observed graphs and shared across shards.
 	obs   *obs.Observer
 	meter *obs.Meter
+}
+
+// scanCell is one entity's ScanCount accumulator slot: the epoch of the
+// last scan that touched it and the accumulated co-occurrence statistic.
+// Interleaving the two (instead of parallel []int64/[]float64 arrays) makes
+// each random access in the hot accumulate loop touch one cache line, not
+// two.
+type scanCell struct {
+	epoch  int64
+	common float64
+}
+
+// scanScratch is the reusable per-traversal state of one Graph (or one
+// shard). Cells are epoch-stamped, so clearing between scans is O(1): a
+// cell is valid only when its epoch matches the scratch's current epoch.
+// The epoch counter travels with the scratch through the pool, keeping
+// stamps monotonic across reuse.
+type scanScratch struct {
+	cells     []scanCell
+	epoch     int64
+	neighbors []entity.ID
+	weights   []float64
+	meanAcc   floatsum.Acc
+	// blist/blistB are decode buffers for the compressed Entity Index;
+	// unused (nil) while the index serves flat views.
+	blist  []int32
+	blistB []int32
 }
 
 // obsTick batches progress ticks and cancellation polls for the hot
@@ -94,11 +122,11 @@ func NewGraphObserved(c *block.Collection, scheme Scheme, workers int, o *obs.Ob
 	workers = par.Resolve(workers, c.NumEntities)
 	o.Gauge(obs.GaugeWorkersGraph).Set(int64(workers))
 	g := &Graph{
-		blocks:       c,
-		index:        block.NewEntityIndexObserved(c, workers, o),
-		obs:          o,
-		flags:        make([]int64, c.NumEntities),
-		commonBlocks: make([]float64, c.NumEntities),
+		blocks:      c,
+		index:       block.NewEntityIndexObserved(c, workers, o),
+		obs:         o,
+		sc:          &scanScratch{cells: make([]scanCell, c.NumEntities)},
+		scratchPool: &sync.Pool{},
 	}
 	if o.Canceled() {
 		return g
@@ -124,6 +152,37 @@ func NewGraphObserved(c *block.Collection, scheme Scheme, workers int, o *obs.Ob
 		g.meter = nil
 	}
 	return g
+}
+
+// CompressIndex converts the graph's Entity Index to delta+varint posting
+// lists (with a dense-bitmap fallback per list). Traversals then decode
+// block lists into per-shard scratch; every weight, threshold and pruned
+// set is bit-identical to the flat path — the decoded lists are the same
+// []int32 values. Call it once, before any traversal; it is not safe
+// concurrently with them.
+func (g *Graph) CompressIndex() { g.index.Compress() }
+
+// blockList returns entity i's ascending block IDs: a zero-copy view on the
+// flat index, a decode into this graph's scratch on the compressed one.
+// Valid until the next blockList/blockLists call on the same graph.
+func (g *Graph) blockList(i entity.ID) []int32 {
+	if !g.index.Compressed() {
+		return g.index.BlockList(i)
+	}
+	g.sc.blist = g.index.AppendBlockList(g.sc.blist[:0], i)
+	return g.sc.blist
+}
+
+// blockLists returns the block lists of both entities for a pairwise
+// intersection, using the two decode buffers in compressed mode.
+func (g *Graph) blockLists(a, b entity.ID) ([]int32, []int32) {
+	if !g.index.Compressed() {
+		return g.index.BlockList(a), g.index.BlockList(b)
+	}
+	sc := g.sc
+	sc.blist = g.index.AppendBlockList(sc.blist[:0], a)
+	sc.blistB = g.index.AppendBlockList(sc.blistB[:0], b)
+	return sc.blist, sc.blistB
 }
 
 // Blocks returns the underlying block collection.
@@ -153,11 +212,12 @@ func (g *Graph) NumEdges() int64 {
 // neighbor, the number of shared blocks (or Σ 1/‖b‖ for ARCS). The
 // returned slices are scratch, valid until the next scan.
 func (g *Graph) scanNeighborhood(i entity.ID) []entity.ID {
-	g.neighbors = g.neighbors[:0]
-	g.epoch++
+	sc := g.sc
+	sc.neighbors = sc.neighbors[:0]
+	sc.epoch++
 	clean := g.blocks.Task == entity.CleanClean
 	iFirst := g.blocks.InFirst(i)
-	for _, bid := range g.index.BlockList(i) {
+	for _, bid := range g.blockList(i) {
 		b := &g.blocks.Blocks[bid]
 		inc := 1.0
 		if g.invCard != nil {
@@ -174,23 +234,28 @@ func (g *Graph) scanNeighborhood(i entity.ID) []entity.ID {
 			g.accumulate(i, b.E1, inc, true)
 		}
 	}
-	return g.neighbors
+	return sc.neighbors
 }
 
 // accumulate records co-occurrences of i with the given profiles. When
 // skipSelf is set, the profile i itself is skipped (Dirty ER blocks list
 // every member on one side).
 func (g *Graph) accumulate(i entity.ID, others []entity.ID, inc float64, skipSelf bool) {
+	sc := g.sc
+	epoch := sc.epoch
+	cells := sc.cells
 	for _, j := range others {
 		if skipSelf && j == i {
 			continue
 		}
-		if g.flags[j] != g.epoch {
-			g.flags[j] = g.epoch
-			g.commonBlocks[j] = 0
-			g.neighbors = append(g.neighbors, j)
+		c := &cells[j]
+		if c.epoch != epoch {
+			c.epoch = epoch
+			c.common = inc
+			sc.neighbors = append(sc.neighbors, j)
+		} else {
+			c.common += inc
 		}
-		g.commonBlocks[j] += inc
 	}
 }
 
@@ -223,7 +288,29 @@ func (g *Graph) weightOf(i, j entity.ID) float64 {
 	if g.degrees != nil {
 		di, dj = g.degrees[i], g.degrees[j]
 	}
-	return g.ctx.weight(g.commonBlocks[j], g.index.NumBlocks(i), g.index.NumBlocks(j), di, dj)
+	return g.ctx.weight(g.sc.cells[j].common, g.index.NumBlocks(i), g.index.NumBlocks(j), di, dj)
+}
+
+// fillWeights computes the weights of i's freshly scanned neighbors into
+// the scratch weights buffer, hoisting the per-i operands (|Bi|, degree)
+// out of the inner loop.
+func (g *Graph) fillWeights(i entity.ID, neighbors []entity.ID) []float64 {
+	sc := g.sc
+	w := sc.weights[:0]
+	bi := g.index.NumBlocks(i)
+	cells := sc.cells
+	if g.degrees == nil {
+		for _, j := range neighbors {
+			w = append(w, g.ctx.weight(cells[j].common, bi, g.index.NumBlocks(j), 0, 0))
+		}
+	} else {
+		di := g.degrees[i]
+		for _, j := range neighbors {
+			w = append(w, g.ctx.weight(cells[j].common, bi, g.index.NumBlocks(j), di, g.degrees[j]))
+		}
+	}
+	sc.weights = w
+	return w
 }
 
 // ForEachNode invokes fn once per node that has at least one incident
@@ -231,59 +318,12 @@ func (g *Graph) weightOf(i, j entity.ID) float64 {
 // Edge Weighting, Alg. 3). The slices passed to fn are scratch buffers,
 // only valid for the duration of the call.
 func (g *Graph) ForEachNode(fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
-	tick := obsTick{o: g.obs, m: g.meter}
-	var weights []float64
-	var weighed int64
-	for id := 0; id < g.blocks.NumEntities; id++ {
-		if tick.step() {
-			break
-		}
-		i := entity.ID(id)
-		if g.index.NumBlocks(i) == 0 {
-			continue
-		}
-		neighbors := g.scanNeighborhood(i)
-		if len(neighbors) == 0 {
-			continue
-		}
-		weights = weights[:0]
-		for _, j := range neighbors {
-			weights = append(weights, g.weightOf(i, j))
-		}
-		weighed += int64(len(neighbors))
-		fn(i, neighbors, weights)
-	}
-	tick.flush()
-	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
+	g.forEachNodeRange(0, g.blocks.NumEntities, fn)
 }
 
 // ForEachEdge invokes fn once per edge of the blocking graph with its
 // weight, using the optimized per-node scan and emitting each pair from its
 // smaller endpoint only.
 func (g *Graph) ForEachEdge(fn func(i, j entity.ID, w float64)) {
-	tick := obsTick{o: g.obs, m: g.meter}
-	clean := g.blocks.Task == entity.CleanClean
-	limit := g.blocks.NumEntities
-	if clean {
-		limit = g.blocks.Split // E2 nodes' edges are all emitted from the E1 side
-	}
-	var weighed int64
-	for id := 0; id < limit; id++ {
-		if tick.step() {
-			break
-		}
-		i := entity.ID(id)
-		if g.index.NumBlocks(i) == 0 {
-			continue
-		}
-		for _, j := range g.scanNeighborhood(i) {
-			if !clean && j < i {
-				continue // emitted when scanning j
-			}
-			weighed++
-			fn(i, j, g.weightOf(i, j))
-		}
-	}
-	tick.flush()
-	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
+	g.forEachEdgeRange(0, g.blocks.NumEntities, fn)
 }

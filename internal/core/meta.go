@@ -24,6 +24,11 @@ type Config struct {
 	// canonical order; OriginalWeighting takes precedence when both are
 	// set.
 	Workers int
+	// CompressedIndex stores the Entity Index as delta+varint posting
+	// lists (dense-bitmap fallback) instead of flat []int32 views, trading
+	// a decode per neighborhood scan for a fraction of the memory.
+	// Outputs are bit-identical to the flat path.
+	CompressedIndex bool
 	// Obs is the run's observability handle: graph/prune stage spans,
 	// progress, the graph.nodes / prune.* counters and cooperative
 	// cancellation. Nil disables all of it. When Obs's context is
@@ -61,6 +66,9 @@ func Run(c *block.Collection, cfg Config) Result {
 	}
 	g := NewGraphObserved(c, cfg.Scheme, graphWorkers, o)
 	g.OriginalWeighting = cfg.OriginalWeighting
+	if cfg.CompressedIndex && !o.Canceled() {
+		g.CompressIndex()
+	}
 	endSpan()
 	graphDone := time.Now()
 	if o.Canceled() {

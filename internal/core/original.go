@@ -3,15 +3,16 @@ package core
 import (
 	"metablocking/internal/entity"
 	"metablocking/internal/obs"
+	"metablocking/internal/postings"
 )
 
 // ForEachEdgeOriginal invokes fn once per edge with its weight using the
 // Original Edge Weighting of Algorithm 2: it iterates over every
-// comparison of every block, intersects the two sorted block lists in
-// parallel, aborts early on redundant comparisons (the first common block
-// ID violating the LeCoBI condition), and otherwise derives the weight
-// from the full intersection. Its average cost is O(2·BPE·‖B‖), which the
-// optimized ForEachEdge reduces to O(‖B‖ + |v̄|·|E|) (paper §4.3).
+// comparison of every block, intersects the two sorted block lists, aborts
+// early on redundant comparisons (the first common block ID violating the
+// LeCoBI condition), and otherwise derives the weight from the full
+// intersection. Its average cost is O(2·BPE·‖B‖), which the optimized
+// ForEachEdge reduces to O(‖B‖ + |v̄|·|E|) (paper §4.3).
 func (g *Graph) ForEachEdgeOriginal(fn func(i, j entity.ID, w float64)) {
 	var seen, weighed int64
 	g.blocks.ForEachComparison(func(blockID int, a, b entity.ID) bool {
@@ -34,34 +35,28 @@ func (g *Graph) ForEachEdgeOriginal(fn func(i, j entity.ID, w float64)) {
 	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
 }
 
-// intersect walks the two block lists in parallel (Alg. 2, lines 7-15),
-// accumulating the co-occurrence statistic (|Bij|, or Σ 1/‖b‖ for ARCS).
-// It reports ok=false as soon as the first common block ID differs from
-// blockID, which marks the comparison as redundant.
+// intersect derives the co-occurrence statistic of a and b (Alg. 2, lines
+// 7-15): the least common block decides redundancy (LeCoBI) with an early
+// exit, and only non-redundant comparisons pay for the full intersection.
+// Both steps use the galloping merge, which skips through skewed list
+// pairs in logarithmic hops. It reports ok=false when the first common
+// block ID differs from blockID, which marks the comparison as redundant.
 func (g *Graph) intersect(blockID int32, a, b entity.ID) (common float64, ok bool) {
-	la, lb := g.index.BlockList(a), g.index.BlockList(b)
-	i, j, found := 0, 0, 0
-	for i < len(la) && j < len(lb) {
-		switch {
-		case la[i] < lb[j]:
-			i++
-		case la[i] > lb[j]:
-			j++
-		default:
-			if found == 0 && la[i] != blockID {
-				return 0, false // violates LeCoBI: redundant
-			}
-			found++
-			if g.invCard != nil {
-				common += g.invCard[la[i]]
-			} else {
-				common++
-			}
-			i++
-			j++
-		}
+	la, lb := g.blockLists(a, b)
+	first := postings.First(la, lb)
+	if first < 0 || first != blockID {
+		return 0, false
 	}
-	return common, found > 0
+	if g.invCard != nil {
+		// ARCS accumulates in ascending block order, exactly like the
+		// two-pointer walk it replaces, so the float sum is bit-identical.
+		postings.ForEachCommon(la, lb, func(bid int32) {
+			common += g.invCard[bid]
+		})
+	} else {
+		common = float64(postings.IntersectCount(la, lb))
+	}
+	return common, true
 }
 
 // ForEachNodeOriginal mirrors ForEachNode but derives every edge weight
@@ -71,7 +66,6 @@ func (g *Graph) intersect(blockID int32, a, b entity.ID) (common float64, ok boo
 // Table 5).
 func (g *Graph) ForEachNodeOriginal(fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
 	tick := obsTick{o: g.obs}
-	var weights []float64
 	var weighed int64
 	for id := 0; id < g.blocks.NumEntities; id++ {
 		if tick.step() {
@@ -85,7 +79,7 @@ func (g *Graph) ForEachNodeOriginal(fn func(i entity.ID, neighbors []entity.ID, 
 		if len(neighbors) == 0 {
 			continue
 		}
-		weights = weights[:0]
+		weights := g.sc.weights[:0]
 		var di, dj int32
 		for _, j := range neighbors {
 			common, _ := g.intersectAll(i, j)
@@ -94,6 +88,7 @@ func (g *Graph) ForEachNodeOriginal(fn func(i entity.ID, neighbors []entity.ID, 
 			}
 			weights = append(weights, g.ctx.weight(common, g.index.NumBlocks(i), g.index.NumBlocks(j), di, dj))
 		}
+		g.sc.weights = weights
 		weighed += int64(len(neighbors))
 		fn(i, neighbors, weights)
 	}
@@ -103,11 +98,14 @@ func (g *Graph) ForEachNodeOriginal(fn func(i entity.ID, neighbors []entity.ID, 
 // distinctNeighbors enumerates the distinct co-occurring profiles of i
 // without computing weights (flags-only ScanCount).
 func (g *Graph) distinctNeighbors(i entity.ID) []entity.ID {
-	g.neighbors = g.neighbors[:0]
-	g.epoch++
+	sc := g.sc
+	sc.neighbors = sc.neighbors[:0]
+	sc.epoch++
+	epoch := sc.epoch
+	cells := sc.cells
 	clean := g.blocks.Task == entity.CleanClean
 	iFirst := g.blocks.InFirst(i)
-	for _, bid := range g.index.BlockList(i) {
+	for _, bid := range g.blockList(i) {
 		b := &g.blocks.Blocks[bid]
 		var others []entity.ID
 		switch {
@@ -122,37 +120,28 @@ func (g *Graph) distinctNeighbors(i entity.ID) []entity.ID {
 			if j == i {
 				continue
 			}
-			if g.flags[j] != g.epoch {
-				g.flags[j] = g.epoch
-				g.neighbors = append(g.neighbors, j)
+			if cells[j].epoch != epoch {
+				cells[j].epoch = epoch
+				sc.neighbors = append(sc.neighbors, j)
 			}
 		}
 	}
-	return g.neighbors
+	return sc.neighbors
 }
 
 // intersectAll counts the full block-list intersection without a LeCoBI
 // early exit (used by the node-centric original traversal, where the
-// neighbor set is already distinct).
+// neighbor set is already distinct), with the same galloping merge as
+// intersect.
 func (g *Graph) intersectAll(a, b entity.ID) (common float64, blocks int) {
-	la, lb := g.index.BlockList(a), g.index.BlockList(b)
-	i, j := 0, 0
-	for i < len(la) && j < len(lb) {
-		switch {
-		case la[i] < lb[j]:
-			i++
-		case la[i] > lb[j]:
-			j++
-		default:
+	la, lb := g.blockLists(a, b)
+	if g.invCard != nil {
+		postings.ForEachCommon(la, lb, func(bid int32) {
 			blocks++
-			if g.invCard != nil {
-				common += g.invCard[la[i]]
-			} else {
-				common++
-			}
-			i++
-			j++
-		}
+			common += g.invCard[bid]
+		})
+		return common, blocks
 	}
-	return common, blocks
+	blocks = postings.IntersectCount(la, lb)
+	return float64(blocks), blocks
 }

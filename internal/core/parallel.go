@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync"
 
+	"metablocking/internal/arena"
 	"metablocking/internal/entity"
 	"metablocking/internal/floatsum"
 	"metablocking/internal/obs"
@@ -12,26 +13,25 @@ import (
 
 // shard returns a Graph view sharing the immutable state (blocks, Entity
 // Index, per-block cardinalities, degrees) but with private ScanCount
-// scratch, so multiple shards can traverse concurrently.
+// scratch, so multiple shards can traverse concurrently. Scratch comes
+// from the graph's pool; parallelRanges recycles it when the shard's work
+// is done.
 func (g *Graph) shard() *Graph {
-	return &Graph{
-		OriginalWeighting: g.OriginalWeighting,
-		blocks:            g.blocks,
-		index:             g.index,
-		ctx:               g.ctx,
-		invCard:           g.invCard,
-		degrees:           g.degrees,
-		obs:               g.obs,
-		meter:             g.meter,
-		flags:             make([]int64, g.blocks.NumEntities),
-		commonBlocks:      make([]float64, g.blocks.NumEntities),
+	ng := *g
+	ng.sc = g.getScratch()
+	return &ng
+}
+
+func (g *Graph) getScratch() *scanScratch {
+	if v := g.scratchPool.Get(); v != nil {
+		return v.(*scanScratch)
 	}
+	return &scanScratch{cells: make([]scanCell, g.blocks.NumEntities)}
 }
 
 // forEachNodeRange is ForEachNode restricted to node IDs in [lo, hi).
 func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []entity.ID, weights []float64)) {
 	tick := obsTick{o: g.obs, m: g.meter}
-	var weights []float64
 	var weighed int64
 	for id := lo; id < hi; id++ {
 		if tick.step() {
@@ -45,10 +45,7 @@ func (g *Graph) forEachNodeRange(lo, hi int, fn func(i entity.ID, neighbors []en
 		if len(neighbors) == 0 {
 			continue
 		}
-		weights = weights[:0]
-		for _, j := range neighbors {
-			weights = append(weights, g.weightOf(i, j))
-		}
+		weights := g.fillWeights(i, neighbors)
 		weighed += int64(len(neighbors))
 		fn(i, neighbors, weights)
 	}
@@ -72,19 +69,49 @@ func (g *Graph) forEachEdgeRange(lo, hi int, fn func(i, j entity.ID, w float64))
 			break
 		}
 		i := entity.ID(id)
-		if g.index.NumBlocks(i) == 0 {
+		bi := g.index.NumBlocks(i)
+		if bi == 0 {
 			continue
 		}
+		var di int32
+		if g.degrees != nil {
+			di = g.degrees[i]
+		}
+		cells := g.sc.cells
 		for _, j := range g.scanNeighborhood(i) {
 			if !clean && j < i {
 				continue
 			}
+			var dj int32
+			if g.degrees != nil {
+				dj = g.degrees[j]
+			}
 			weighed++
-			fn(i, j, g.weightOf(i, j))
+			fn(i, j, g.ctx.weight(cells[j].common, bi, g.index.NumBlocks(j), di, dj))
 		}
 	}
 	tick.flush()
 	g.obs.Counter(obs.CtrEdgesWeighted).Add(weighed)
+}
+
+// meanOf is the exact neighborhood mean (see internal/floatsum), computed
+// with this graph's persistent accumulator so the partials buffer is
+// reused across every node of a traversal — floatsum.Mean's stack buffer
+// escapes once per call. Identical Add sequence and rounding, so the
+// threshold is bit-identical.
+func (g *Graph) meanOf(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	a := &g.sc.meanAcc
+	a.Reset()
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Sum() / float64(len(xs))
 }
 
 // parallelRanges splits [0, n) into roughly equal chunks, one per worker,
@@ -112,7 +139,9 @@ func (g *Graph) parallelRanges(workers int, fn func(w *Graph, worker, lo, hi int
 		wg.Add(1)
 		go func(worker, lo, hi int) {
 			defer wg.Done()
-			fn(g.shard(), worker, lo, hi)
+			s := g.shard()
+			fn(s, worker, lo, hi)
+			g.scratchPool.Put(s.sc)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -175,11 +204,32 @@ func comparePairs(p, q entity.Pair) int {
 	return 0
 }
 
+// pairKeys pools the packed-key buffers of concurrent sortPairs calls
+// (sortBucketsConcurrently sorts every worker bucket at once).
+var pairKeys arena.Pool[uint64]
+
 // sortPairs orders pairs canonically by (A, B). Exact duplicates (the
 // redundant comparisons of CNP/WNP) are indistinguishable, so the unstable
-// sort is deterministic.
+// sort is deterministic. Large slices are sorted through packed uint64
+// keys — IDs are non-negative, so (A, B) lexicographic order equals the
+// numeric order of A<<32|B — because the specialized slices.Sort beats the
+// comparison-function sort by a wide margin on the pair-assembly path.
 func sortPairs(pairs []entity.Pair) {
-	slices.SortFunc(pairs, comparePairs)
+	if len(pairs) < 64 {
+		slices.SortFunc(pairs, comparePairs)
+		return
+	}
+	b := pairKeys.GetCap(len(pairs))
+	keys := b.S[:len(pairs)]
+	for i, p := range pairs {
+		keys[i] = uint64(uint32(p.A))<<32 | uint64(uint32(p.B))
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		pairs[i] = entity.Pair{A: int32(k >> 32), B: int32(uint32(k))}
+	}
+	b.S = keys
+	pairKeys.Put(b)
 }
 
 // assembleRangeBuckets turns per-worker buckets produced from disjoint
@@ -378,7 +428,7 @@ func (g *Graph) wnpParallel(workers int) []entity.Pair {
 	g.parallelRanges(workers, func(w *Graph, worker, lo, hi int) {
 		var local []entity.Pair
 		w.forEachNodeRange(lo, hi, func(i entity.ID, neighbors []entity.ID, weights []float64) {
-			threshold := mean(weights)
+			threshold := w.meanOf(weights)
 			for n, j := range neighbors {
 				if weights[n] >= threshold {
 					local = append(local, entity.MakePair(i, j))
@@ -485,7 +535,7 @@ func (g *Graph) redefinedWNPParallel(reciprocal bool, workers int) []entity.Pair
 	thresholds := make([]float64, g.blocks.NumEntities)
 	g.parallelRanges(workers, func(w *Graph, _, lo, hi int) {
 		w.forEachNodeRange(lo, hi, func(i entity.ID, _ []entity.ID, weights []float64) {
-			thresholds[i] = mean(weights) // disjoint index ranges: no race
+			thresholds[i] = w.meanOf(weights) // disjoint index ranges: no race
 		})
 	})
 	buckets := make([][]entity.Pair, workers)

@@ -94,7 +94,7 @@ func TestShardSharesImmutableState(t *testing.T) {
 	if s.index != g.index || s.blocks != g.blocks {
 		t.Fatal("shard must share index and blocks")
 	}
-	if &s.flags[0] == &g.flags[0] {
+	if &s.sc.cells[0] == &g.sc.cells[0] {
 		t.Fatal("shard must not share scratch arrays")
 	}
 	if s.ctx != g.ctx {

@@ -195,7 +195,7 @@ func (g *Graph) cnp() []entity.Pair {
 func (g *Graph) wnp() []entity.Pair {
 	var out []entity.Pair
 	g.nodes(func(i entity.ID, neighbors []entity.ID, weights []float64) {
-		threshold := mean(weights)
+		threshold := g.meanOf(weights)
 		for n, j := range neighbors {
 			if weights[n] >= threshold {
 				out = append(out, entity.MakePair(i, j))
@@ -238,7 +238,7 @@ func (g *Graph) redefinedCNP(reciprocal bool) []entity.Pair {
 func (g *Graph) redefinedWNP(reciprocal bool) []entity.Pair {
 	thresholds := make([]float64, g.blocks.NumEntities)
 	g.nodes(func(i entity.ID, _ []entity.ID, weights []float64) {
-		thresholds[i] = mean(weights)
+		thresholds[i] = g.meanOf(weights)
 	})
 	var out []entity.Pair
 	g.edges(func(i, j entity.ID, w float64) {
@@ -261,12 +261,3 @@ func collectMarks(marks map[entity.Pair]uint8, reciprocal bool) []entity.Pair {
 	return out
 }
 
-// mean computes the average weight of a neighborhood with exact summation,
-// so the result depends only on the multiset of weights — float addition
-// is not associative, and an order-sensitive mean would make threshold
-// decisions on boundary edges nondeterministic across traversal strategies
-// (serial, parallel, MapReduce). Unlike the previous sort-based mean it
-// neither copies nor sorts the weights.
-func mean(xs []float64) float64 {
-	return floatsum.Mean(xs)
-}

@@ -517,7 +517,7 @@ func TestRedefinedWNPSerialSemantics(t *testing.T) {
 				g := NewGraph(blocks, scheme)
 				thresholds := make(map[entity.ID]float64)
 				g.ForEachNode(func(i entity.ID, _ []entity.ID, weights []float64) {
-					thresholds[i] = mean(weights)
+					thresholds[i] = g.meanOf(weights)
 				})
 				var wantRedef, wantRecip []entity.Pair
 				g.ForEachEdge(func(i, j entity.ID, w float64) {

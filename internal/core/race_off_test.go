@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active; the allocation
+// regression tests skip under it (instrumentation inflates alloc counts).
+const raceEnabled = false

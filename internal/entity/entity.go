@@ -82,10 +82,22 @@ func Tokenize(value string) []string {
 	return appendTokens(nil, value)
 }
 
+// AppendTokens appends the value's tokens (same splitting and lowering as
+// Tokenize) to dst and returns the extended slice, letting hot callers
+// reuse one token buffer across values instead of allocating per call.
+func AppendTokens(dst []string, value string) []string {
+	return appendTokens(dst, value)
+}
+
 func appendTokens(dst []string, value string) []string {
 	// Fast path: pure ASCII values (the overwhelming majority in the
-	// synthetic benchmarks) avoid rune decoding.
+	// synthetic benchmarks) avoid rune decoding, and the value is
+	// lower-cased at most once — every token is then a zero-copy substring
+	// instead of a per-token ToLower allocation.
 	if isASCII(value) {
+		if hasUpperASCII(value) {
+			value = strings.ToLower(value)
+		}
 		start := -1
 		for i := 0; i < len(value); i++ {
 			if isASCIITokenByte(value[i]) {
@@ -95,12 +107,12 @@ func appendTokens(dst []string, value string) []string {
 				continue
 			}
 			if start >= 0 {
-				dst = append(dst, strings.ToLower(value[start:i]))
+				dst = append(dst, value[start:i])
 				start = -1
 			}
 		}
 		if start >= 0 {
-			dst = append(dst, strings.ToLower(value[start:]))
+			dst = append(dst, value[start:])
 		}
 		return dst
 	}
@@ -121,6 +133,15 @@ func appendTokens(dst []string, value string) []string {
 		dst = append(dst, strings.ToLower(value[start:]))
 	}
 	return dst
+}
+
+func hasUpperASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			return true
+		}
+	}
+	return false
 }
 
 func isASCII(s string) bool {

@@ -12,8 +12,6 @@
 // thresholds, without materializing or sorting the weights.
 package floatsum
 
-import "math"
-
 // Acc accumulates an exact float64 sum as a list of non-overlapping
 // partials. The zero value is an empty sum. Acc is not safe for concurrent
 // use; give each worker its own and combine with Merge. Like math.fsum,
@@ -27,16 +25,20 @@ type Acc struct {
 
 // Add folds x into the accumulator, maintaining the non-overlapping
 // partials invariant (each partial is smaller in magnitude than the next's
-// unit in the last place).
+// unit in the last place). Each step is Knuth's branchless TwoSum (6 flops,
+// exact for any operand order) rather than the compare-and-swap Fast2Sum:
+// the magnitude comparison is a data-dependent branch the CPU cannot
+// predict, and Shewchuk's grow-expansion theorem guarantees TwoSum yields
+// the same non-overlapping, increasing-magnitude expansion — so Sum()
+// rounds to the identical float.
 func (a *Acc) Add(x float64) {
 	a.n++
 	ps := a.partials[:0]
 	for _, y := range a.partials {
-		if math.Abs(x) < math.Abs(y) {
-			x, y = y, x
-		}
 		hi := x + y
-		lo := y - (hi - x)
+		yv := hi - x
+		xv := hi - yv
+		lo := (y - yv) + (x - xv)
 		if lo != 0 {
 			ps = append(ps, lo)
 		}

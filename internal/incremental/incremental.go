@@ -10,6 +10,12 @@
 // (cardinality pruning, CNP-style) or the ones at or above the mean weight
 // (weight pruning, WNP-style). Oversized blocks are ignored while
 // gathering candidates, mirroring Block Purging.
+//
+// The index stores every block's member list as a delta+varint posting
+// list (IDs arrive in ascending order, so the deltas are small), decoded
+// into a reused scratch buffer during candidate collection; together with
+// the epoch-stamped ScanCount cells and the bounded top-K heap this keeps
+// the per-arrival work allocation-free apart from the returned candidates.
 package incremental
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"metablocking/internal/core"
 	"metablocking/internal/entity"
+	"metablocking/internal/postings"
 )
 
 // ErrUnsupportedScheme is returned by NewResolver for weighting schemes the
@@ -52,6 +59,13 @@ type Candidate struct {
 	Weight float64
 }
 
+// scanCell interleaves one entity's ScanCount epoch stamp and accumulator
+// so a block scan touches one cache line per member instead of two.
+type scanCell struct {
+	epoch  int64
+	common float64
+}
+
 // Resolver incrementally blocks profiles and emits pruned candidate
 // comparisons. It is not safe for concurrent use: callers that serve
 // concurrent traffic must serialize Add/AddBatch behind a single writer
@@ -61,15 +75,24 @@ type Resolver struct {
 	cfg Config
 
 	profiles []entity.Profile
-	// blocks maps token → member profile IDs, in arrival order.
-	blocks map[string][]entity.ID
+	// blocks maps token → the delta+varint posting list of member profile
+	// IDs; arrival order is ascending ID order, so every list encodes.
+	blocks map[string]*postings.Builder
 	// blocksOf[i] lists the tokens (block keys) of profile i.
 	blocksOf [][]string
 
 	// ScanCount scratch, grown on demand.
-	flags  []int64
-	epoch  int64
-	common []float64
+	cells []scanCell
+	epoch int64
+
+	// Per-call scratch, reused across arrivals; never retained in results.
+	neighbors []entity.ID
+	members   []entity.ID
+	cands     []Candidate
+	keyBuf    []string
+	tokBuf    []string
+	seenTok   map[string]struct{}
+	topk      candHeap
 }
 
 // NewResolver validates the configuration and returns an empty resolver.
@@ -80,7 +103,11 @@ func NewResolver(cfg Config) (*Resolver, error) {
 	if cfg.MaxBlockSize == 0 {
 		cfg.MaxBlockSize = 1000
 	}
-	return &Resolver{cfg: cfg, blocks: make(map[string][]entity.ID)}, nil
+	return &Resolver{
+		cfg:     cfg,
+		blocks:  make(map[string]*postings.Builder),
+		seenTok: make(map[string]struct{}),
+	}, nil
 }
 
 // Size returns the number of profiles resolved so far.
@@ -96,10 +123,14 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 	id := entity.ID(len(r.profiles))
 	p.ID = id
 	r.profiles = append(r.profiles, p)
-	r.flags = append(r.flags, 0)
-	r.common = append(r.common, 0)
+	r.cells = append(r.cells, scanCell{})
 
-	keys := r.tokenKeys(p)
+	scratch := r.tokenKeys(p)
+	var keys []string
+	if len(scratch) > 0 {
+		keys = make([]string, len(scratch))
+		copy(keys, scratch)
+	}
 	r.blocksOf = append(r.blocksOf, keys)
 
 	// Gather weighted candidates from the profile's blocks BEFORE adding
@@ -107,7 +138,12 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 	candidates := r.collect(keys)
 
 	for _, k := range keys {
-		r.blocks[k] = append(r.blocks[k], id)
+		b := r.blocks[k]
+		if b == nil {
+			b = new(postings.Builder)
+			r.blocks[k] = b
+		}
+		b.Append(id)
 	}
 	return id, candidates
 }
@@ -123,22 +159,28 @@ func (r *Resolver) Peek(p entity.Profile) []Candidate {
 }
 
 // tokenKeys returns the distinct tokens of the profile, in
-// first-appearance order — its prospective block keys.
+// first-appearance order — its prospective block keys. The returned slice
+// is scratch, overwritten by the next tokenKeys call.
 func (r *Resolver) tokenKeys(p entity.Profile) []string {
-	seen := make(map[string]struct{})
-	var keys []string
+	if r.seenTok == nil {
+		r.seenTok = make(map[string]struct{})
+	}
+	clear(r.seenTok)
+	keys := r.keyBuf[:0]
 	for _, a := range p.Attributes {
-		for _, tok := range entity.Tokenize(a.Value) {
+		r.tokBuf = entity.AppendTokens(r.tokBuf[:0], a.Value)
+		for _, tok := range r.tokBuf {
 			if len(tok) < r.cfg.MinTokenLength {
 				continue
 			}
-			if _, ok := seen[tok]; ok {
+			if _, ok := r.seenTok[tok]; ok {
 				continue
 			}
-			seen[tok] = struct{}{}
+			r.seenTok[tok] = struct{}{}
 			keys = append(keys, tok)
 		}
 	}
+	r.keyBuf = keys
 	return keys
 }
 
@@ -146,63 +188,98 @@ func (r *Resolver) tokenKeys(p entity.Profile) []string {
 // and applies the local pruning criterion.
 func (r *Resolver) collect(keys []string) []Candidate {
 	r.epoch++
-	var neighbors []entity.ID
+	epoch := r.epoch
+	cells := r.cells
+	neighbors := r.neighbors[:0]
 	for _, k := range keys {
-		members := r.blocks[k]
-		if len(members) == 0 || len(members) > r.cfg.MaxBlockSize {
+		b := r.blocks[k]
+		if b == nil {
+			continue
+		}
+		n := b.Len()
+		if n == 0 || n > r.cfg.MaxBlockSize {
 			continue
 		}
 		inc := 1.0
 		if r.cfg.Scheme == core.ARCS {
 			// The block is about to gain the new profile; its
 			// cardinality for this comparison counts the new member.
-			n := int64(len(members)+1) * int64(len(members)) / 2
-			inc = 1 / float64(n)
+			nc := int64(n+1) * int64(n) / 2
+			inc = 1 / float64(nc)
 		}
-		for _, j := range members {
-			if r.flags[j] != r.epoch {
-				r.flags[j] = r.epoch
-				r.common[j] = 0
+		r.members = b.AppendTo(r.members[:0])
+		for _, j := range r.members {
+			c := &cells[j]
+			if c.epoch != epoch {
+				c.epoch = epoch
+				c.common = inc
 				neighbors = append(neighbors, j)
+			} else {
+				c.common += inc
 			}
-			r.common[j] += inc
 		}
 	}
+	r.neighbors = neighbors
 	if len(neighbors) == 0 {
 		return nil
 	}
-
-	out := make([]Candidate, 0, len(neighbors))
-	for _, j := range neighbors {
-		out = append(out, Candidate{ID: j, Weight: r.weight(len(keys), j)})
-	}
 	if r.cfg.K > 0 {
-		sortCandidates(out)
-		if len(out) > r.cfg.K {
-			out = out[:r.cfg.K]
-		}
-		return out
+		return r.topK(len(keys), neighbors)
 	}
+	return r.aboveMean(len(keys), neighbors)
+}
+
+// topK keeps the K heaviest candidates with a bounded min-heap ordered by
+// the same total order sortCandidates sorts by (weight descending, ID
+// ascending). The order is strict — neighbor IDs are distinct — so the
+// selected set, and after the final sort the returned slice, is identical
+// to sorting all candidates and truncating.
+func (r *Resolver) topK(bi int, neighbors []entity.ID) []Candidate {
+	r.topk.reset(r.cfg.K)
+	for _, j := range neighbors {
+		r.topk.offer(Candidate{ID: j, Weight: r.weight(bi, j)})
+	}
+	out := make([]Candidate, len(r.topk.cs))
+	copy(out, r.topk.cs)
+	sortCandidates(out)
+	return out
+}
+
+// aboveMean keeps the candidates at or above the mean neighborhood weight.
+// The mean is a single left-to-right sum over the neighbors in discovery
+// order — the same accumulation order as weighting each candidate in turn,
+// so thresholds are bit-stable across scratch reuse.
+func (r *Resolver) aboveMean(bi int, neighbors []entity.ID) []Candidate {
+	cands := r.cands[:0]
 	var sum float64
-	for _, c := range out {
+	for _, j := range neighbors {
+		c := Candidate{ID: j, Weight: r.weight(bi, j)}
+		cands = append(cands, c)
 		sum += c.Weight
 	}
-	mean := sum / float64(len(out))
-	kept := out[:0]
-	for _, c := range out {
+	r.cands = cands
+	mean := sum / float64(len(cands))
+	kept := 0
+	for _, c := range cands {
 		if c.Weight >= mean {
-			kept = append(kept, c)
+			kept++
 		}
 	}
-	sortCandidates(kept)
-	return kept
+	out := make([]Candidate, 0, kept)
+	for _, c := range cands {
+		if c.Weight >= mean {
+			out = append(out, c)
+		}
+	}
+	sortCandidates(out)
+	return out
 }
 
 // weight evaluates the configured scheme for a new profile with bi block
 // keys and an older profile j, using the current (growing) block
 // statistics.
 func (r *Resolver) weight(bi int, j entity.ID) float64 {
-	common := r.common[j]
+	common := r.cells[j].common
 	bj := len(r.blocksOf[j])
 	switch r.cfg.Scheme {
 	case core.ARCS, core.CBS:
@@ -246,7 +323,8 @@ func (r *Resolver) AddBatch(ps []entity.Profile) []BatchResult {
 // configuration, the profiles in arrival order, and the token index so a
 // restore does not re-tokenize. internal/store persists it as the
 // "resolver" artifact; the serving layer hot-swaps resolvers built from
-// one.
+// one. Block member lists are plain ID slices regardless of the resolver's
+// internal compressed representation, so the artifact format is stable.
 type Snapshot struct {
 	Config   Config
 	Profiles []entity.Profile
@@ -256,8 +334,9 @@ type Snapshot struct {
 	BlocksOf [][]string
 }
 
-// Snapshot deep-copies the resolver's state. The caller may persist or
-// mutate the copy while the resolver keeps resolving.
+// Snapshot deep-copies the resolver's state, decoding the compressed
+// posting lists into plain ID slices. The caller may persist or mutate the
+// copy while the resolver keeps resolving.
 func (r *Resolver) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Config:   r.cfg,
@@ -265,8 +344,8 @@ func (r *Resolver) Snapshot() *Snapshot {
 		Blocks:   make(map[string][]entity.ID, len(r.blocks)),
 		BlocksOf: make([][]string, len(r.blocksOf)),
 	}
-	for k, members := range r.blocks {
-		s.Blocks[k] = append([]entity.ID(nil), members...)
+	for k, b := range r.blocks {
+		s.Blocks[k] = b.AppendTo(make([]entity.ID, 0, b.Len()))
 	}
 	for i, keys := range r.blocksOf {
 		s.BlocksOf[i] = append([]string(nil), keys...)
@@ -275,9 +354,11 @@ func (r *Resolver) Snapshot() *Snapshot {
 }
 
 // FromSnapshot rebuilds a resolver from a snapshot, validating the
-// configuration and the index shape. The snapshot's slices are deep-copied,
-// so the caller may reuse it. Restoring n profiles costs O(index size)
-// copying but no re-tokenization.
+// configuration and the index shape: every block member must be a known
+// profile ID and every member list must be in arrival (strictly ascending
+// ID) order, the invariant the compressed posting lists encode. The
+// snapshot's data is copied out, so the caller may reuse it. Restoring n
+// profiles costs O(index size) re-encoding but no re-tokenization.
 func FromSnapshot(s *Snapshot) (*Resolver, error) {
 	if s == nil {
 		return nil, fmt.Errorf("incremental: nil snapshot")
@@ -297,15 +378,19 @@ func FromSnapshot(s *Snapshot) (*Resolver, error) {
 		r.blocksOf[i] = append([]string(nil), keys...)
 	}
 	for k, members := range s.Blocks {
+		b := new(postings.Builder)
 		for _, id := range members {
 			if int(id) < 0 || int(id) >= n {
 				return nil, fmt.Errorf("incremental: snapshot block %q references profile %d of %d", k, id, n)
 			}
+			if id <= b.Last() {
+				return nil, fmt.Errorf("incremental: snapshot block %q member %d out of arrival order", k, id)
+			}
+			b.Append(id)
 		}
-		r.blocks[k] = append([]entity.ID(nil), members...)
+		r.blocks[k] = b
 	}
-	r.flags = make([]int64, n)
-	r.common = make([]float64, n)
+	r.cells = make([]scanCell, n)
 	return r, nil
 }
 
@@ -316,4 +401,69 @@ func sortCandidates(cs []Candidate) {
 		}
 		return cs[a].ID < cs[b].ID
 	})
+}
+
+// candHeap is a bounded min-heap under the candidate ranking (weight
+// descending, ID ascending): the root is the weakest retained candidate,
+// evicted when a stronger one arrives.
+type candHeap struct {
+	cs []Candidate
+	k  int
+}
+
+func (h *candHeap) reset(k int) {
+	h.cs = h.cs[:0]
+	h.k = k
+}
+
+// outranks reports whether a is retained in preference to b — the exact
+// total order sortCandidates sorts by.
+func outranks(a, b Candidate) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	return a.ID < b.ID
+}
+
+func (h *candHeap) offer(c Candidate) {
+	if len(h.cs) < h.k {
+		h.cs = append(h.cs, c)
+		h.up(len(h.cs) - 1)
+		return
+	}
+	if !outranks(c, h.cs[0]) {
+		return
+	}
+	h.cs[0] = c
+	h.down(0)
+}
+
+func (h *candHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !outranks(h.cs[p], h.cs[i]) {
+			break
+		}
+		h.cs[p], h.cs[i] = h.cs[i], h.cs[p]
+		i = p
+	}
+}
+
+func (h *candHeap) down(i int) {
+	n := len(h.cs)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if rt := l + 1; rt < n && outranks(h.cs[m], h.cs[rt]) {
+			m = rt
+		}
+		if !outranks(h.cs[i], h.cs[m]) {
+			return
+		}
+		h.cs[i], h.cs[m] = h.cs[m], h.cs[i]
+		i = m
+	}
 }

@@ -1,0 +1,265 @@
+package postings
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randAscending builds a strictly ascending list of n values drawn from
+// [0, span) using rng.
+func randAscending(rng *rand.Rand, n, span int) []int32 {
+	if n > span {
+		n = span
+	}
+	seen := make(map[int32]struct{}, n)
+	out := make([]int32, 0, n)
+	for len(out) < n {
+		v := int32(rng.Intn(span))
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func TestRoundTripForms(t *testing.T) {
+	cases := [][]int32{
+		nil,
+		{},
+		{0},
+		{5},
+		{0, 1, 2, 3, 4, 5, 6, 7},            // dense from zero → bitmap
+		{100, 101, 102, 103, 104, 105, 106}, // dense with anchor → bitmap
+		{0, 1000000},                        // sparse extremes → varint
+		{7, 63, 64, 65, 127, 128, 129, 1 << 20},
+		{2147483600, 2147483640, 2147483647}, // near int32 max
+	}
+	for _, ids := range cases {
+		enc, form := Append(nil, ids)
+		got := AppendDecoded(nil, form, enc, len(ids))
+		if len(ids) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty list decoded to %v", got)
+			}
+			continue
+		}
+		if !slices.Equal(got, ids) {
+			t.Fatalf("round trip form=%d: got %v want %v", form, got, ids)
+		}
+	}
+}
+
+func TestFormSelection(t *testing.T) {
+	dense := make([]int32, 512)
+	for i := range dense {
+		dense[i] = int32(i)
+	}
+	if _, form := Append(nil, dense); form != Bitmap {
+		t.Fatalf("dense run should pick bitmap, got %d", form)
+	}
+	sparse := []int32{0, 1 << 10, 1 << 20, 1 << 29}
+	if _, form := Append(nil, sparse); form != Varint {
+		t.Fatalf("sparse list should pick varint, got %d", form)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		span := 1 + rng.Intn(4000)
+		ids := randAscending(rng, n, span)
+		enc, form := Append(nil, ids)
+		got := AppendDecoded(nil, form, enc, len(ids))
+		if !slices.Equal(got, ids) && !(len(got) == 0 && len(ids) == 0) {
+			t.Fatalf("trial %d form=%d: got %v want %v", trial, form, got, ids)
+		}
+	}
+}
+
+func TestPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lists := make([][]int32, 100)
+	for i := range lists {
+		switch i % 4 {
+		case 0:
+			lists[i] = nil
+		case 1:
+			lists[i] = randAscending(rng, 1+rng.Intn(5), 10000) // sparse
+		default:
+			base := int32(rng.Intn(1000))
+			n := 1 + rng.Intn(300)
+			run := make([]int32, n)
+			for j := range run {
+				run[j] = base + int32(j) // dense
+			}
+			lists[i] = run
+		}
+	}
+	p := Pack(lists)
+	if p.Lists() != len(lists) {
+		t.Fatalf("Lists() = %d, want %d", p.Lists(), len(lists))
+	}
+	var scratch []int32
+	for i, want := range lists {
+		if p.Count(i) != len(want) {
+			t.Fatalf("Count(%d) = %d, want %d", i, p.Count(i), len(want))
+		}
+		scratch = p.AppendList(scratch[:0], i)
+		if !slices.Equal(scratch, want) && !(len(scratch) == 0 && len(want) == 0) {
+			t.Fatalf("list %d: got %v want %v", i, scratch, want)
+		}
+	}
+	if p.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes should be positive")
+	}
+}
+
+func TestPackedDecodeAllocFree(t *testing.T) {
+	lists := [][]int32{{1, 2, 3, 900}, {5, 6, 7, 8, 9, 10}, {42}}
+	p := Pack(lists)
+	scratch := make([]int32, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < p.Lists(); i++ {
+			scratch = p.AppendList(scratch[:0], i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decode into scratch allocated %v times per run", allocs)
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	var b Builder
+	if b.Len() != 0 || b.Last() != -1 {
+		t.Fatal("zero Builder should be empty")
+	}
+	ids := []int32{0, 1, 7, 8, 9, 1000, 1 << 20}
+	for _, id := range ids {
+		b.Append(id)
+	}
+	if b.Len() != len(ids) || b.Last() != ids[len(ids)-1] {
+		t.Fatalf("Len/Last = %d/%d", b.Len(), b.Last())
+	}
+	if got := b.AppendTo(nil); !slices.Equal(got, ids) {
+		t.Fatalf("AppendTo = %v, want %v", got, ids)
+	}
+	c := b.Clone()
+	c.Append(1 << 21)
+	if b.Len() != len(ids) {
+		t.Fatal("Clone must not share state")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("non-ascending Append should panic")
+			}
+		}()
+		b.Append(5)
+	}()
+}
+
+func TestAdvance(t *testing.T) {
+	xs := []int32{2, 4, 8, 16, 32, 64, 128}
+	for lo := 0; lo <= len(xs); lo++ {
+		for v := int32(0); v <= 130; v++ {
+			got := advance(xs, lo, v)
+			want := lo
+			for want < len(xs) && xs[want] < v {
+				want++
+			}
+			if got != want {
+				t.Fatalf("advance(lo=%d, v=%d) = %d, want %d", lo, v, got, want)
+			}
+		}
+	}
+}
+
+// naiveIntersect is the reference for all intersection variants.
+func naiveIntersect(a, b []int32) []int32 {
+	in := make(map[int32]struct{}, len(a))
+	for _, v := range a {
+		in[v] = struct{}{}
+	}
+	var out []int32
+	for _, v := range b {
+		if _, ok := in[v]; ok {
+			out = append(out, v)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func TestIntersectionsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		// Mix skewed and balanced shapes so both regimes run.
+		na, nb := rng.Intn(40), rng.Intn(40)
+		if trial%3 == 0 {
+			nb = rng.Intn(2000) // force galloping
+		}
+		span := 1 + rng.Intn(3000)
+		a := randAscending(rng, na, span)
+		b := randAscending(rng, nb, span)
+		want := naiveIntersect(a, b)
+
+		if got := IntersectCount(a, b); got != len(want) {
+			t.Fatalf("trial %d: IntersectCount = %d, want %d", trial, got, len(want))
+		}
+		wantFirst := int32(-1)
+		if len(want) > 0 {
+			wantFirst = want[0]
+		}
+		if got := First(a, b); got != wantFirst {
+			t.Fatalf("trial %d: First = %d, want %d", trial, got, wantFirst)
+		}
+		var seen []int32
+		ForEachCommon(a, b, func(v int32) { seen = append(seen, v) })
+		if !slices.Equal(seen, want) && !(len(seen) == 0 && len(want) == 0) {
+			t.Fatalf("trial %d: ForEachCommon = %v, want %v", trial, seen, want)
+		}
+		for _, min := range []int{0, 1, 2, len(want), len(want) + 1} {
+			got := IntersectCountMin(a, b, min)
+			if len(want) >= min {
+				if got != len(want) {
+					t.Fatalf("trial %d: IntersectCountMin(min=%d) = %d, want %d", trial, min, got, len(want))
+				}
+			} else if got != -1 {
+				t.Fatalf("trial %d: IntersectCountMin(min=%d) = %d, want -1", trial, min, got)
+			}
+		}
+	}
+}
+
+func TestPackedFormAndBuilderSize(t *testing.T) {
+	// A short sparse list encodes as varint; a long dense run crosses the
+	// size break-even and encodes as a bitmap.
+	sparse := []int32{3, 900, 40000}
+	dense := make([]int32, 300)
+	for i := range dense {
+		dense[i] = int32(i)
+	}
+	p := Pack([][]int32{sparse, dense})
+	if got := p.Form(0); got != Varint {
+		t.Errorf("sparse list Form = %v, want Varint", got)
+	}
+	if got := p.Form(1); got != Bitmap {
+		t.Errorf("dense list Form = %v, want Bitmap", got)
+	}
+
+	var b Builder
+	if b.SizeBytes() != 0 {
+		t.Errorf("empty Builder SizeBytes = %d, want 0", b.SizeBytes())
+	}
+	for _, id := range sparse {
+		b.Append(id)
+	}
+	if got := b.SizeBytes(); got <= 0 || got >= 4*len(sparse) {
+		t.Errorf("Builder SizeBytes = %d, want in (0, %d)", got, 4*len(sparse))
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/incremental"
+)
+
+// TestResolveBatchPassAllocBudget pins the steady-state allocation budget
+// of one admitted request through the whole batch pass: pooled reply
+// channel, reused batch/outcome buffers, the resolver's reused token and
+// ScanCount scratch, and the compressed posting-list appends. What remains
+// is the per-request output (the candidate slice and the retained keys
+// and profile bookkeeping) plus amortized index growth.
+func TestResolveBatchPassAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are inflated under the race detector")
+	}
+	profiles := testProfiles(t, 600)
+	s, err := New(Config{
+		Resolver: incremental.Config{Scheme: core.JS, K: 10},
+		MaxBatch: 1, // no batch timer: the pass itself is what's measured
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	for _, p := range profiles[:500] { // warm every pool and scratch buffer
+		if _, err := s.Resolve(ctx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 500
+	avg := testing.AllocsPerRun(80, func() {
+		if _, err := s.Resolve(ctx, profiles[i]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// The pre-pooling baseline sat around 26 allocs per request; the
+	// budget leaves headroom for output-size variance while catching any
+	// reintroduced per-request channel, batch-buffer or scratch churn.
+	const budget = 20
+	if avg > budget {
+		t.Errorf("resolve batch pass allocated %.1f times per request, budget %d", avg, budget)
+	}
+}

@@ -178,6 +178,19 @@ type Server struct {
 
 	queue chan job
 
+	// replyPool recycles the buffered reply channels of completed
+	// requests. A channel abandoned by a caller that gave up (ctx.Done)
+	// is never returned to the pool — the batcher's late answer lands in
+	// its buffer and the channel is garbage — so a pooled channel is
+	// always empty and can never deliver a stale result.
+	replyPool sync.Pool
+
+	// batchBuf and outcomeBuf are the batcher goroutine's reusable batch
+	// scratch: one micro-batch pass allocates nothing in steady state.
+	// Only the batcher touches them.
+	batchBuf   []job
+	outcomeBuf []jobResult
+
 	// submitMu serializes admission against the start of a drain: once
 	// Close sets draining under the write lock, no submitter can still
 	// be inside the enqueue critical section, so the batcher's final
@@ -202,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 		metrics:  cfg.Metrics,
 		resolver: r,
 		queue:    make(chan job, cfg.QueueDepth),
+		batchBuf: make([]job, 0, cfg.MaxBatch),
 		stopc:    make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -230,10 +244,15 @@ func New(cfg Config) (*Server, error) {
 // breaker is open the answer is served degraded: read-only candidates
 // from the last good index, ID -1, Degraded true.
 func (s *Server) Resolve(ctx context.Context, p entity.Profile) (Resolution, error) {
-	j := job{profile: p, reply: make(chan jobResult, 1)}
+	reply, _ := s.replyPool.Get().(chan jobResult)
+	if reply == nil {
+		reply = make(chan jobResult, 1)
+	}
+	j := job{profile: p, reply: reply}
 	s.submitMu.RLock()
 	if s.draining {
 		s.submitMu.RUnlock()
+		s.replyPool.Put(reply)
 		s.metrics.Counter(CtrRejectedDrain).Inc()
 		return Resolution{}, ErrDraining
 	}
@@ -242,14 +261,18 @@ func (s *Server) Resolve(ctx context.Context, p entity.Profile) (Resolution, err
 		s.submitMu.RUnlock()
 	default:
 		s.submitMu.RUnlock()
+		s.replyPool.Put(reply)
 		s.metrics.Counter(CtrRejectedFull).Inc()
 		return Resolution{}, ErrQueueFull
 	}
 	s.metrics.Counter(CtrAccepted).Inc()
 	select {
 	case out := <-j.reply:
+		s.replyPool.Put(reply)
 		return out.res, out.err
 	case <-ctx.Done():
+		// The batcher's answer still lands in the abandoned channel's
+		// buffer; the channel is dropped, not pooled.
 		return Resolution{}, ctx.Err()
 	}
 }
@@ -374,9 +397,10 @@ func (s *Server) batcher() {
 }
 
 // fill gathers a micro-batch: the first job plus whatever else arrives
-// within BatchWindow, capped at MaxBatch.
+// within BatchWindow, capped at MaxBatch. The batch is built in the
+// batcher-owned scratch buffer; flush returns it after answering.
 func (s *Server) fill(first job) []job {
-	batch := append(make([]job, 0, s.cfg.MaxBatch), first)
+	batch := append(s.batchBuf[:0], first)
 	if s.cfg.MaxBatch == 1 {
 		return batch
 	}
@@ -400,7 +424,7 @@ func (s *Server) fill(first job) []job {
 // fillQueued gathers a batch without waiting — used by the drain loop,
 // when no new arrivals are possible.
 func (s *Server) fillQueued(first job) []job {
-	batch := append(make([]job, 0, s.cfg.MaxBatch), first)
+	batch := append(s.batchBuf[:0], first)
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case j := <-s.queue:
@@ -420,7 +444,12 @@ func (s *Server) fillQueued(first job) []job {
 // batch-mates still resolve, the batcher survives, and the breaker counts
 // the failure toward degraded mode.
 func (s *Server) flush(batch []job) {
-	outcomes := make([]jobResult, len(batch))
+	outcomes := s.outcomeBuf
+	if cap(outcomes) < len(batch) {
+		outcomes = make([]jobResult, len(batch))
+	} else {
+		outcomes = outcomes[:len(batch)]
+	}
 	s.mu.Lock()
 	for i, j := range batch {
 		proceed, probe := s.breaker.allow()
@@ -456,6 +485,13 @@ func (s *Server) flush(batch []job) {
 	s.metrics.Counter(CtrResolveFailed).Add(int64(failed))
 	s.metrics.Counter(CtrDegradedSrv).Add(int64(degraded))
 	s.metrics.Gauge(GaugeProfiles).Set(int64(size))
+
+	// Return the scratch with its references dropped, so completed
+	// profiles and candidate slices are collectable before the next batch.
+	clear(batch)
+	clear(outcomes)
+	s.batchBuf = batch[:0]
+	s.outcomeBuf = outcomes[:0]
 }
 
 // addOne is one guarded index pass for a single admitted profile: the

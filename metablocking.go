@@ -235,6 +235,12 @@ type Pipeline struct {
 	Algorithm Algorithm
 	// OriginalWeighting switches to Algorithm 2 edge weighting.
 	OriginalWeighting bool
+	// CompressedIndex stores the blocking graph's Entity Index as
+	// delta+varint posting lists (with a dense-bitmap fallback) instead of
+	// flat int32 views, trading a decode per neighborhood scan for a
+	// fraction of the memory. Retained pairs are bit-identical to the
+	// flat index for every scheme and algorithm.
+	CompressedIndex bool
 	// Workers parallelizes every stage of the pipeline — blocking (for the
 	// sharded methods: Token, Q-grams, Suffix Arrays, Extended Q-grams),
 	// Block Filtering, graph construction and pruning: 0 = serial,
@@ -407,6 +413,7 @@ func (p Pipeline) RunContext(ctx context.Context, c *Collection, opts ...RunOpti
 		Algorithm:         p.Algorithm,
 		OriginalWeighting: p.OriginalWeighting,
 		Workers:           p.Workers,
+		CompressedIndex:   p.CompressedIndex,
 		Obs:               o,
 	})
 	if err := o.Err(); err != nil {
