@@ -17,7 +17,7 @@ check:
 ## race: run the packages with concurrency — including the root package's
 ## observability/cancellation tests — under the race detector.
 race:
-	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/... ./internal/server/... ./internal/loadgen/... ./internal/fault/... ./internal/par/... ./internal/store/... ./cmd/serve
+	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/... ./internal/server/... ./internal/shard/... ./internal/incremental/... ./internal/loadgen/... ./internal/fault/... ./internal/par/... ./internal/store/... ./cmd/serve
 
 ## cover: fail if total statement coverage drops below COVER_BASELINE.
 cover:
@@ -40,7 +40,8 @@ serve-smoke:
 
 ## chaos-smoke: SIGKILL the real binary mid-snapshot (fault-injected
 ## delay), restart on the surviving artifact, assert /readyz green and
-## that a corrupted snapshot reload yields 422.
+## that a corrupted snapshot reload yields 422. Runs the same crash
+## window against the sharded (-shards 4) manifest+segments layout.
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
@@ -62,13 +63,13 @@ bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServerResolve' ./internal/server
 
 ## bench-json: emit the headline benchmark trajectory as JSON
-## (BENCH_PR6.json format: ns/op, B/op, allocs/op, p50/p99 latency).
+## (BENCH_PR7.json format: ns/op, B/op, allocs/op, p50/p99 latency).
 bench-json:
 	sh scripts/bench_json.sh
 
 ## bench-gate: re-run the headline benchmarks and fail if a gated metric
-## regressed beyond its tolerance vs the committed BENCH_PR6.json.
+## regressed beyond its tolerance vs the committed BENCH_PR7.json.
 ## allocs/op is always gated (hardware-independent); add -ns via
 ## BENCH_GATE_FLAGS for same-machine wall-clock gating.
 bench-gate:
-	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR6.json $(BENCH_GATE_FLAGS)
+	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR7.json $(BENCH_GATE_FLAGS)

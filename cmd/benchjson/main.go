@@ -1,6 +1,6 @@
 // Command benchjson emits the repository's headline benchmark numbers as
 // machine-readable JSON and gates a fresh run against a committed
-// trajectory file (BENCH_PR6.json), failing on regressions.
+// trajectory file (BENCH_PR7.json), failing on regressions.
 //
 // Two modes:
 //
@@ -10,7 +10,7 @@
 //	    for the serial pipeline and the batched server resolve path,
 //	    plus p50/p99 request latency under concurrent load.
 //
-//	benchjson gate -baseline BENCH_PR6.json [-current fresh.json] [-ns]
+//	benchjson gate -baseline BENCH_PR7.json [-current fresh.json] [-ns]
 //	    compares a current emit against the baseline's benchmarks
 //	    section and exits non-zero when a gated metric regressed beyond
 //	    its tolerance. allocs/op is always gated — it is
@@ -57,7 +57,7 @@ type Bench struct {
 }
 
 // File is the trajectory artifact: the current numbers, and for the
-// committed BENCH_PR6.json also the pre-PR baseline they improved on.
+// committed BENCH_PR7.json also the pre-PR baseline they improved on.
 type File struct {
 	Schema     int              `json:"schema"`
 	PR         int              `json:"pr,omitempty"`
@@ -81,7 +81,7 @@ func main() {
 		writeJSON(*out, f)
 	case "gate":
 		fs := flag.NewFlagSet("gate", flag.ExitOnError)
-		basePath := fs.String("baseline", "BENCH_PR6.json", "committed trajectory file")
+		basePath := fs.String("baseline", "BENCH_PR7.json", "committed trajectory file")
 		curPath := fs.String("current", "", "fresh emit to compare (default: run emit now)")
 		threshold := fs.String("threshold", "0.10", "default regression tolerance (fraction)")
 		gateNs := fs.Bool("ns", false, "also gate ns/op and latency percentiles (same-machine runs only)")
@@ -111,7 +111,12 @@ func runAll() map[string]Bench {
 	fmt.Fprintln(os.Stderr, "benchjson: running pipeline_workers1 ...")
 	out["pipeline_workers1"] = benchPipeline()
 	fmt.Fprintln(os.Stderr, "benchjson: running server_resolve ...")
-	out["server_resolve"] = benchServerResolve()
+	out["server_resolve"] = benchServerResolve(1)
+	for _, shards := range []int{4, 16} {
+		name := fmt.Sprintf("server_resolve_shards%d", shards)
+		fmt.Fprintln(os.Stderr, "benchjson: running "+name+" ...")
+		out[name] = benchServerResolve(shards)
+	}
 	fmt.Fprintln(os.Stderr, "benchjson: running server_latency ...")
 	out["server_latency"] = benchServerLatency()
 	return out
@@ -142,12 +147,15 @@ func benchPipeline() Bench {
 	return fromResult(r)
 }
 
-// benchServerResolve mirrors BenchmarkServerResolve: the batched resolve
-// path end to end with concurrent submitters so micro-batches coalesce.
-func benchServerResolve() Bench {
+// benchServerResolve mirrors BenchmarkServerResolve(Shards): the batched
+// resolve path end to end with concurrent submitters so micro-batches
+// coalesce, serving either the monolithic index (shards == 1) or the
+// scatter-gather coordinator.
+func benchServerResolve(shards int) Bench {
 	profiles := benchProfiles(1000)
 	s, err := server.New(server.Config{
 		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		Shards:      shards,
 		BatchWindow: 200 * time.Microsecond,
 		MaxBatch:    64,
 		QueueDepth:  8192,

@@ -5,8 +5,14 @@
 // hot-swaps pre-blocked snapshots (written by internal/store) via
 // /v1/admin/reload without failing in-flight requests.
 //
-// Endpoints: POST /v1/resolve, POST /v1/admin/reload, GET /healthz,
-// GET /readyz, GET /metrics, GET /debug/vars.
+// With -shards N (N > 1) the index is partitioned into N single-writer
+// shards behind a scatter-gather coordinator; answers stay bit-identical
+// to the single-index configuration at every shard count.
+//
+// Endpoints: POST /v1/resolve, POST /v1/admin/reload,
+// POST /v1/admin/snapshot, GET /v1/admin/status, GET /healthz,
+// GET /readyz, GET /metrics, GET /debug/vars. Every non-2xx response
+// carries a structured {"error":{"code":...}} envelope.
 //
 // Example:
 //
@@ -54,6 +60,8 @@ type options struct {
 	k           int
 	maxBlock    int
 	minToken    int
+	shards      int
+	shardQueue  int
 	batchWindow time.Duration
 	batchMax    int
 	queueDepth  int
@@ -76,6 +84,8 @@ func main() {
 	flag.IntVar(&opts.k, "k", 10, "max candidates per arrival (0 = mean-weight pruning)")
 	flag.IntVar(&opts.maxBlock, "maxblock", 1000, "ignore blocks larger than this")
 	flag.IntVar(&opts.minToken, "min-token", 0, "drop tokens shorter than this at blocking time")
+	flag.IntVar(&opts.shards, "shards", 1, "index partitions behind the scatter-gather coordinator (answers are identical at every count)")
+	flag.IntVar(&opts.shardQueue, "shard-queue", 2, "per-shard admission queue bound when -shards > 1")
 	flag.DurationVar(&opts.batchWindow, "batch-window", 2*time.Millisecond, "max wait for more arrivals before flushing a micro-batch")
 	flag.IntVar(&opts.batchMax, "batch-max", 64, "max arrivals per index pass")
 	flag.IntVar(&opts.queueDepth, "queue", 1024, "admission queue bound; overflow sheds with 429")
@@ -131,15 +141,16 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 			MaxBlockSize:   opts.maxBlock,
 			MinTokenLength: opts.minToken,
 		},
+		Shards:           opts.shards,
+		ShardQueueDepth:  opts.shardQueue,
 		BatchWindow:      opts.batchWindow,
 		MaxBatch:         opts.batchMax,
 		QueueDepth:       opts.queueDepth,
 		RetryAfter:       opts.retryAfter,
-		Fault:            inj,
 		RequestTimeout:   opts.requestTimeout,
 		BreakerThreshold: opts.breakerFailures,
 		BreakerCooldown:  opts.breakerCooldown,
-	})
+	}, server.WithFault(inj))
 	if err != nil {
 		return err
 	}

@@ -185,3 +185,74 @@ func TestServeFaultFlag(t *testing.T) {
 		t.Fatal("bad fault spec accepted")
 	}
 }
+
+// TestServeSharded boots the service with -shards 4 and checks the
+// sharded wiring end to end: resolves work identically, the admin status
+// endpoint reports the partition layout, and a malformed request gets the
+// structured error envelope.
+func TestServeSharded(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, options{
+			addr:        "127.0.0.1:0",
+			scheme:      "js",
+			k:           10,
+			maxBlock:    1000,
+			shards:      4,
+			shardQueue:  2,
+			batchWindow: time.Millisecond,
+			batchMax:    16,
+			queueDepth:  64,
+			retryAfter:  time.Second,
+		}, io.Discard, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	post := func(payload string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/resolve", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := post(`{"attributes":{"name":["jack miller"],"job":["car seller"]}}`); code != 200 || !strings.Contains(body, `"id":0`) {
+		t.Fatalf("first resolve = %d %s", code, body)
+	}
+	if code, body := post(`{"attributes":{"fullname":["jack q miller"],"work":["car vendor"]}}`); code != 200 || !strings.Contains(body, `"candidates":[{"id":0,`) {
+		t.Fatalf("second resolve = %d %s", code, body)
+	}
+	if code, body := post(`not json`); code != 422 || !strings.Contains(body, `"code":"invalid_profile"`) {
+		t.Fatalf("garbage resolve = %d %s, want 422 with envelope", code, body)
+	}
+
+	resp, err := http.Get(base + "/v1/admin/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	status, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{`"shards":4`, `"shard_queue_depth":2`, `"profiles":2`} {
+		if !strings.Contains(string(status), want) {
+			t.Fatalf("status missing %s: %s", want, status)
+		}
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("drain returned %v", err)
+	}
+}

@@ -89,10 +89,47 @@ type Resolver struct {
 	neighbors []entity.ID
 	members   []entity.ID
 	cands     []Candidate
-	keyBuf    []string
-	tokBuf    []string
-	seenTok   map[string]struct{}
+	keyer     Keyer
 	topk      candHeap
+}
+
+// Keyer extracts a profile's distinct tokens in first-appearance order —
+// its prospective block keys — behind reusable scratch. The coordinator
+// of a sharded index (internal/shard) uses its own Keyer so the keys it
+// scatters are byte-identical to the ones a single-index Resolver would
+// derive. The zero value is ready to use; not safe for concurrent use.
+type Keyer struct {
+	// MinTokenLength drops shorter tokens, like Config.MinTokenLength.
+	MinTokenLength int
+
+	seen   map[string]struct{}
+	keyBuf []string
+	tokBuf []string
+}
+
+// Keys returns the profile's distinct block keys in first-appearance
+// order. The returned slice is scratch, overwritten by the next call.
+func (ky *Keyer) Keys(p entity.Profile) []string {
+	if ky.seen == nil {
+		ky.seen = make(map[string]struct{})
+	}
+	clear(ky.seen)
+	keys := ky.keyBuf[:0]
+	for _, a := range p.Attributes {
+		ky.tokBuf = entity.AppendTokens(ky.tokBuf[:0], a.Value)
+		for _, tok := range ky.tokBuf {
+			if len(tok) < ky.MinTokenLength {
+				continue
+			}
+			if _, ok := ky.seen[tok]; ok {
+				continue
+			}
+			ky.seen[tok] = struct{}{}
+			keys = append(keys, tok)
+		}
+	}
+	ky.keyBuf = keys
+	return keys
 }
 
 // NewResolver validates the configuration and returns an empty resolver.
@@ -104,9 +141,9 @@ func NewResolver(cfg Config) (*Resolver, error) {
 		cfg.MaxBlockSize = 1000
 	}
 	return &Resolver{
-		cfg:     cfg,
-		blocks:  make(map[string]*postings.Builder),
-		seenTok: make(map[string]struct{}),
+		cfg:    cfg,
+		blocks: make(map[string]*postings.Builder),
+		keyer:  Keyer{MinTokenLength: cfg.MinTokenLength},
 	}, nil
 }
 
@@ -153,35 +190,17 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 // It is the read-only resolve behind the serving layer's degraded mode,
 // which keeps answering from the last good index while the write path is
 // failing. Like Add it is not safe for concurrent use (it shares the
-// ScanCount scratch).
-func (r *Resolver) Peek(p entity.Profile) []Candidate {
-	return r.collect(r.tokenKeys(p))
+// ScanCount scratch). The error is always nil; the signature is the
+// Index contract's, where sharded implementations can fail.
+func (r *Resolver) Peek(p entity.Profile) ([]Candidate, error) {
+	return r.collect(r.tokenKeys(p)), nil
 }
 
 // tokenKeys returns the distinct tokens of the profile, in
 // first-appearance order — its prospective block keys. The returned slice
 // is scratch, overwritten by the next tokenKeys call.
 func (r *Resolver) tokenKeys(p entity.Profile) []string {
-	if r.seenTok == nil {
-		r.seenTok = make(map[string]struct{})
-	}
-	clear(r.seenTok)
-	keys := r.keyBuf[:0]
-	for _, a := range p.Attributes {
-		r.tokBuf = entity.AppendTokens(r.tokBuf[:0], a.Value)
-		for _, tok := range r.tokBuf {
-			if len(tok) < r.cfg.MinTokenLength {
-				continue
-			}
-			if _, ok := r.seenTok[tok]; ok {
-				continue
-			}
-			r.seenTok[tok] = struct{}{}
-			keys = append(keys, tok)
-		}
-	}
-	r.keyBuf = keys
-	return keys
+	return r.keyer.Keys(p)
 }
 
 // collect runs the ScanCount accumulation over the blocks named by keys

@@ -1,0 +1,465 @@
+// Sharded building blocks of the incremental index.
+//
+// A Partition is one hash-shard of a Resolver: it holds the profiles whose
+// IDs hash to it (ShardOf), the shard's slice of every block's posting
+// list, and its own ScanCount scratch. Partitions know nothing about each
+// other — the global statistics every weighting scheme needs (block
+// cardinalities for ARCS and Block Purging, the distinct-block count for
+// ECBS, the arriving profile's key count) are computed once by a
+// coordinator (internal/shard.Group) and passed into Gather, so a
+// candidate's weight comes out bit-identical to the single-index Resolver:
+// the per-candidate accumulation order, the float operations and the
+// operand values are all the same.
+//
+// The coordinator reconstructs the serial resolver's global behavior from
+// the per-partition results with the merge kernels below:
+//
+//   - MergeTopK folds per-shard bounded top-K heaps into the global top-K.
+//     The candidate ranking (weight descending, ID ascending) is a strict
+//     total order — IDs are distinct — so local-then-global selection
+//     picks exactly the set a single global heap would.
+//   - MergeAboveMean re-sorts the union of all shards' neighbors into the
+//     serial resolver's discovery order (first-key index, then ID) before
+//     summing the mean, so the float threshold is bit-identical too.
+package incremental
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/postings"
+)
+
+// Index is the shardable serving-index contract: what internal/server
+// binds to, implemented by the single-writer *Resolver and by the
+// scatter-gather shard.Group. Implementations are not safe for concurrent
+// use — the serving layer serializes every call behind its writer lock.
+type Index interface {
+	// Resolve assigns the next ID and returns the pruned candidates —
+	// Add with an error channel for implementations whose index pass can
+	// fail partway (a downed shard).
+	Resolve(p entity.Profile) (BatchResult, error)
+	// Peek computes the candidates Resolve would return without mutating
+	// the index — the degraded-mode read path.
+	Peek(p entity.Profile) ([]Candidate, error)
+	// Size returns the number of profiles resolved so far.
+	Size() int
+	// Snapshot deep-copies the index state in the canonical (global,
+	// shard-count-independent) snapshot form.
+	Snapshot() *Snapshot
+	// Close releases any goroutines or buffers the index owns.
+	Close() error
+}
+
+// Resolve implements Index: Add, which cannot fail on a single index.
+func (r *Resolver) Resolve(p entity.Profile) (BatchResult, error) {
+	id, cands := r.Add(p)
+	return BatchResult{ID: id, Candidates: cands}, nil
+}
+
+// Close implements Index; a Resolver owns no goroutines.
+func (r *Resolver) Close() error { return nil }
+
+// ShardOf maps an entity ID to its home shard. IDs are dense arrival
+// indexes, so modular placement is a perfect hash: shards stay within one
+// profile of each other and the local slot of an ID is id/shards.
+func ShardOf(id entity.ID, shards int) int { return int(id) % shards }
+
+// SkipKey marks a block key the coordinator has ruled out of a gather —
+// no block exists yet, or Block Purging dropped it — in the per-key
+// increment slice passed to Gather.
+const SkipKey = float64(-1)
+
+// KeyIncrements fills incs with the per-key ScanCount increment of one
+// arrival, exactly as the serial resolver derives it from its own index:
+// SkipKey for keys with no block or with more than maxBlockSize members
+// (global cardinality), 1/‖b‖ for ARCS (the cardinality counting the
+// arriving profile), 1 otherwise. blockSize must report global sizes.
+func KeyIncrements(incs []float64, keys []string, blockSize func(string) int, scheme core.Scheme, maxBlockSize int) []float64 {
+	incs = incs[:0]
+	for _, k := range keys {
+		n := blockSize(k)
+		if n == 0 || n > maxBlockSize {
+			incs = append(incs, SkipKey)
+			continue
+		}
+		inc := 1.0
+		if scheme == core.ARCS {
+			nc := int64(n+1) * int64(n) / 2
+			inc = 1 / float64(nc)
+		}
+		incs = append(incs, inc)
+	}
+	return incs
+}
+
+// ShardCand is one weighted neighbor reported by a partition: the
+// candidate plus the index of the first gather key whose block contains
+// it, which is what lets the coordinator reconstruct the serial
+// resolver's discovery order across shards.
+type ShardCand struct {
+	Candidate
+	FirstKey int32
+}
+
+// shardCell is a scanCell that additionally remembers the index of the
+// gather key whose block first discovered this slot's entity.
+type shardCell struct {
+	epoch    int64
+	common   float64
+	firstKey int32
+}
+
+// Partition is one hash-shard of the incremental index: profiles with
+// ShardOf(id) == index live here, stored at local slot id/shards. It is a
+// single-writer structure like Resolver — internal/shard gives each
+// partition its own actor goroutine.
+type Partition struct {
+	scheme core.Scheme
+	shards int // total shard count (for slot arithmetic)
+	index  int // this partition's shard number
+
+	// profiles[slot] is the profile with global ID slot*shards+index.
+	profiles []entity.Profile
+	// blocks maps token → the posting list of member GLOBAL IDs owned by
+	// this shard. Commits arrive in ascending global-ID order, so every
+	// list still delta-encodes.
+	blocks map[string]*postings.Builder
+	// blocksOf[slot] lists the block keys of the profile at slot — the
+	// |B_j| term of ECBS and JS, local by construction.
+	blocksOf [][]string
+
+	// ScanCount scratch, slot-indexed, grown by Commit. Unlike the
+	// single-index scanCell it also records the first gather key that
+	// discovered the slot, for the cross-shard discovery-order merge.
+	cells []shardCell
+	epoch int64
+
+	// Per-call scratch, reused across gathers.
+	neighbors []entity.ID
+	members   []entity.ID
+	out       []ShardCand
+	topk      candHeap
+}
+
+// NewPartition returns shard index of shards for the given scheme.
+func NewPartition(scheme core.Scheme, shards, index int) *Partition {
+	return &Partition{
+		scheme: scheme,
+		shards: shards,
+		index:  index,
+		blocks: make(map[string]*postings.Builder),
+	}
+}
+
+// Len returns the number of profiles homed on this partition.
+func (t *Partition) Len() int { return len(t.profiles) }
+
+// Blocks returns the number of distinct block keys with at least one
+// member on this partition.
+func (t *Partition) Blocks() int { return len(t.blocks) }
+
+// Profile returns the partition-homed profile with the given global ID.
+func (t *Partition) Profile(id entity.ID) *entity.Profile {
+	return &t.profiles[int(id)/t.shards]
+}
+
+// Gather runs the ScanCount accumulation for one arrival over this
+// shard's slices of the keyed blocks and returns every local neighbor
+// with its weight and first-key discovery index, appended to dst (which
+// may be a reused buffer; the result aliases it). incs carries the
+// coordinator-computed per-key increment (SkipKey to skip), bi the
+// arrival's distinct-key count and nb the ECBS block-count term — the
+// global quantities a shard cannot know. maxWeighted, when positive,
+// prunes the result to the local top-K under the candidate ranking; the
+// FirstKey fields of a pruned result are meaningless (top-K selection
+// never needs discovery order).
+func (t *Partition) Gather(keys []string, incs []float64, bi int, nb float64, maxWeighted int, dst []ShardCand) []ShardCand {
+	t.epoch++
+	epoch := t.epoch
+	cells := t.cells
+	neighbors := t.neighbors[:0]
+	for ki, k := range keys {
+		inc := incs[ki]
+		if inc == SkipKey {
+			continue
+		}
+		b := t.blocks[k]
+		if b == nil {
+			continue
+		}
+		t.members = b.AppendTo(t.members[:0])
+		for _, j := range t.members {
+			c := &cells[int(j)/t.shards]
+			if c.epoch != epoch {
+				c.epoch = epoch
+				c.common = inc
+				c.firstKey = int32(ki)
+				neighbors = append(neighbors, j)
+			} else {
+				c.common += inc
+			}
+		}
+	}
+	t.neighbors = neighbors
+	if len(neighbors) == 0 {
+		return dst[:0]
+	}
+	if maxWeighted > 0 {
+		t.topk.reset(maxWeighted)
+		for _, j := range neighbors {
+			t.topk.offer(Candidate{ID: j, Weight: t.weight(bi, nb, j)})
+		}
+		dst = dst[:0]
+		for _, c := range t.topk.cs {
+			dst = append(dst, ShardCand{Candidate: c})
+		}
+		return dst
+	}
+	dst = dst[:0]
+	for _, j := range neighbors {
+		dst = append(dst, ShardCand{
+			Candidate: Candidate{ID: j, Weight: t.weight(bi, nb, j)},
+			FirstKey:  t.cells[int(j)/t.shards].firstKey,
+		})
+	}
+	return dst
+}
+
+// weight evaluates the scheme for the arriving profile (bi keys, nb the
+// ECBS block-count term) against local neighbor j — the same expressions,
+// in the same order, as Resolver.weight.
+func (t *Partition) weight(bi int, nb float64, j entity.ID) float64 {
+	c := &t.cells[int(j)/t.shards]
+	common := c.common
+	bj := len(t.blocksOf[int(j)/t.shards])
+	switch t.scheme {
+	case core.ARCS, core.CBS:
+		return common
+	case core.ECBS:
+		return common * math.Log(nb/float64(bi)) * math.Log(nb/float64(bj))
+	case core.JS:
+		return common / (float64(bi) + float64(bj) - common)
+	default:
+		return common
+	}
+}
+
+// Commit homes a newly assigned profile on this partition: the profile and
+// its block keys are appended, and its global ID joins the shard's slice
+// of each keyed posting list. The caller (the coordinator's second phase)
+// guarantees IDs arrive in ascending order and ShardOf(id) == index; keys
+// are copied, so the caller may reuse its buffer.
+func (t *Partition) Commit(id entity.ID, p entity.Profile, keys []string) error {
+	if ShardOf(id, t.shards) != t.index {
+		return fmt.Errorf("incremental: profile %d committed to shard %d of %d, belongs on %d",
+			id, t.index, t.shards, ShardOf(id, t.shards))
+	}
+	if slot := int(id) / t.shards; slot != len(t.profiles) {
+		return fmt.Errorf("incremental: profile %d arrives at shard %d slot %d, expected slot %d",
+			id, t.index, slot, len(t.profiles))
+	}
+	p.ID = id
+	t.profiles = append(t.profiles, p)
+	t.cells = append(t.cells, shardCell{})
+	var kept []string
+	if len(keys) > 0 {
+		kept = make([]string, len(keys))
+		copy(kept, keys)
+	}
+	t.blocksOf = append(t.blocksOf, kept)
+	for _, k := range keys {
+		b := t.blocks[k]
+		if b == nil {
+			b = new(postings.Builder)
+			t.blocks[k] = b
+		}
+		b.Append(id)
+	}
+	return nil
+}
+
+// PartitionSnapshot is one shard's slice of a resolver snapshot — what
+// internal/store persists as a per-shard segment.
+type PartitionSnapshot struct {
+	Shard    int
+	Shards   int
+	Profiles []entity.Profile
+	// Blocks maps token → this shard's ascending global member IDs.
+	Blocks   map[string][]entity.ID
+	BlocksOf [][]string
+}
+
+// Snapshot deep-copies the partition's state.
+func (t *Partition) Snapshot() *PartitionSnapshot {
+	s := &PartitionSnapshot{
+		Shard:    t.index,
+		Shards:   t.shards,
+		Profiles: append([]entity.Profile(nil), t.profiles...),
+		Blocks:   make(map[string][]entity.ID, len(t.blocks)),
+		BlocksOf: make([][]string, len(t.blocksOf)),
+	}
+	for k, b := range t.blocks {
+		s.Blocks[k] = b.AppendTo(make([]entity.ID, 0, b.Len()))
+	}
+	for i, keys := range t.blocksOf {
+		s.BlocksOf[i] = append([]string(nil), keys...)
+	}
+	return s
+}
+
+// MergeSnapshots folds per-shard segments into the canonical global
+// snapshot: profiles re-interleaved into arrival order, each block's
+// member list the ascending union of the shards' disjoint slices. The
+// result is byte-identical to the snapshot a single-index Resolver over
+// the same arrivals would produce — shard count does not leak into the
+// artifact, which is what lets internal/store load either layout into
+// either serving shape.
+func MergeSnapshots(cfg Config, segs []*PartitionSnapshot) *Snapshot {
+	if cfg.MaxBlockSize == 0 {
+		cfg.MaxBlockSize = 1000
+	}
+	shards := len(segs)
+	n := 0
+	for _, seg := range segs {
+		n += len(seg.Profiles)
+	}
+	snap := &Snapshot{
+		Config: cfg,
+		Blocks: make(map[string][]entity.ID),
+		// Matching Resolver.Snapshot's shapes (nil Profiles on an empty
+		// index, non-nil BlocksOf) keeps reflect.DeepEqual equivalence.
+		BlocksOf: make([][]string, n),
+	}
+	if n > 0 {
+		snap.Profiles = make([]entity.Profile, n)
+	}
+	for _, seg := range segs {
+		for slot, p := range seg.Profiles {
+			id := slot*shards + seg.Shard
+			snap.Profiles[id] = p
+			snap.BlocksOf[id] = seg.BlocksOf[slot]
+		}
+		for k, members := range seg.Blocks {
+			snap.Blocks[k] = append(snap.Blocks[k], members...)
+		}
+	}
+	for k := range snap.Blocks {
+		ms := snap.Blocks[k]
+		sort.Slice(ms, func(a, b int) bool { return ms[a] < ms[b] })
+	}
+	return snap
+}
+
+// PartitionSnapshotsOf splits a canonical snapshot into per-shard
+// segments — the inverse of MergeSnapshots, used to persist or serve an
+// existing artifact at a different shard count. The segments share the
+// snapshot's profile and member slices; treat both as immutable.
+func PartitionSnapshotsOf(s *Snapshot, shards int) ([]*PartitionSnapshot, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("incremental: %d shards", shards)
+	}
+	if len(s.BlocksOf) != len(s.Profiles) {
+		return nil, fmt.Errorf("incremental: snapshot has %d profiles but %d block-key lists",
+			len(s.Profiles), len(s.BlocksOf))
+	}
+	segs := make([]*PartitionSnapshot, shards)
+	for i := range segs {
+		segs[i] = &PartitionSnapshot{
+			Shard:    i,
+			Shards:   shards,
+			Blocks:   make(map[string][]entity.ID),
+			BlocksOf: make([][]string, 0),
+		}
+	}
+	for id, p := range s.Profiles {
+		seg := segs[ShardOf(entity.ID(id), shards)]
+		seg.Profiles = append(seg.Profiles, p)
+		seg.BlocksOf = append(seg.BlocksOf, s.BlocksOf[id])
+	}
+	for key, members := range s.Blocks {
+		for _, id := range members {
+			seg := segs[ShardOf(id, shards)]
+			seg.Blocks[key] = append(seg.Blocks[key], id)
+		}
+	}
+	return segs, nil
+}
+
+// Merger holds the coordinator-side scratch of the cross-shard merge
+// kernels, reused across arrivals. The zero value is ready to use; not
+// safe for concurrent use.
+type Merger struct {
+	heap  candHeap
+	union []ShardCand
+}
+
+// TopK folds per-shard gather results into the global top-K under the
+// candidate ranking, returning a freshly allocated slice sorted
+// heaviest-first. Each input list need only contain its shard's top K —
+// any candidate in the global top-K outranks at least as many candidates
+// globally as within its own shard, so it survives local pruning. The
+// ranking is strict (IDs are distinct), which makes the merge independent
+// of input order: ties in weight break deterministically by ascending ID.
+func (m *Merger) TopK(k int, lists [][]ShardCand) []Candidate {
+	m.heap.reset(k)
+	for _, list := range lists {
+		for _, c := range list {
+			m.heap.offer(c.Candidate)
+		}
+	}
+	if len(m.heap.cs) == 0 {
+		return nil
+	}
+	out := make([]Candidate, len(m.heap.cs))
+	copy(out, m.heap.cs)
+	sortCandidates(out)
+	return out
+}
+
+// AboveMean applies the serial resolver's mean-weight pruning to the
+// union of per-shard gather results. The inputs are re-sorted into the
+// serial discovery order — ascending (FirstKey, ID): every neighbor first
+// discovered at key ki precedes every neighbor first discovered later,
+// and neighbors sharing a first key were appended in ascending-ID order
+// because posting lists are ascending — and the mean is a single
+// left-to-right sum over that order, so the threshold is bit-identical to
+// the single-index computation.
+func (m *Merger) AboveMean(lists [][]ShardCand) []Candidate {
+	all := m.union[:0]
+	for _, list := range lists {
+		all = append(all, list...)
+	}
+	m.union = all
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].FirstKey != all[b].FirstKey {
+			return all[a].FirstKey < all[b].FirstKey
+		}
+		return all[a].ID < all[b].ID
+	})
+	var sum float64
+	for _, c := range all {
+		sum += c.Weight
+	}
+	mean := sum / float64(len(all))
+	kept := 0
+	for _, c := range all {
+		if c.Weight >= mean {
+			kept++
+		}
+	}
+	out := make([]Candidate, 0, kept)
+	for _, c := range all {
+		if c.Weight >= mean {
+			out = append(out, c.Candidate)
+		}
+	}
+	sortCandidates(out)
+	return out
+}

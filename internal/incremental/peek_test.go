@@ -22,12 +22,15 @@ func TestPeekMatchesAddWithoutMutation(t *testing.T) {
 
 			sizeBefore := r.Size()
 			blocksBefore := len(r.blocks)
-			peeked := r.Peek(profiles[4])
+			peeked, err := r.Peek(profiles[4])
+			if err != nil {
+				t.Fatal(err)
+			}
 			if r.Size() != sizeBefore || len(r.blocks) != blocksBefore {
 				t.Fatalf("scheme %v: Peek mutated the index", scheme)
 			}
 			// Peek again: idempotent.
-			if again := r.Peek(profiles[4]); !reflect.DeepEqual(again, peeked) {
+			if again, _ := r.Peek(profiles[4]); !reflect.DeepEqual(again, peeked) {
 				t.Fatalf("scheme %v: Peek not idempotent", scheme)
 			}
 			_, added := r.Add(profiles[4])

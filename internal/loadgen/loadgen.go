@@ -36,19 +36,28 @@ import (
 // generator counts these as backpressure, not failures.
 var ErrRejected = errors.New("loadgen: request shed by target")
 
-// RejectedError is a shed request carrying the server's Retry-After
-// advisory. It unwraps to ErrRejected, so errors.Is(err, ErrRejected)
-// keeps working.
+// RejectedError is a shed request carrying the server's stable error
+// code and back-off advisory. It unwraps to ErrRejected, so
+// errors.Is(err, ErrRejected) keeps working.
 type RejectedError struct {
+	// Code is the machine-readable code from the error envelope
+	// ("queue_full", "shard_busy"); empty for pre-envelope targets.
+	Code string
 	// RetryAfter is the server's advisory back-off; zero when absent.
+	// Filled from the envelope's retry_after_ms, falling back to the
+	// legacy Retry-After header.
 	RetryAfter time.Duration
 }
 
 func (e *RejectedError) Error() string {
-	if e.RetryAfter > 0 {
-		return fmt.Sprintf("loadgen: request shed by target (Retry-After %s)", e.RetryAfter)
+	code := e.Code
+	if code == "" {
+		code = "429"
 	}
-	return ErrRejected.Error()
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("loadgen: request shed by target (%s, retry after %s)", code, e.RetryAfter)
+	}
+	return fmt.Sprintf("loadgen: request shed by target (%s)", code)
 }
 
 func (e *RejectedError) Unwrap() error { return ErrRejected }
@@ -200,9 +209,23 @@ func Run(resolve Resolver, profiles []entity.Profile, opts Options) *Report {
 	return &rep
 }
 
+// errorEnvelope mirrors the server's structured non-2xx body:
+//
+//	{"error":{"code":"queue_full","message":"...","retry_after_ms":1000}}
+type errorEnvelope struct {
+	Error struct {
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
+	} `json:"error"`
+}
+
 // HTTPResolver adapts a server's base URL ("http://host:port") to a
-// Resolver posting JSONL records to /v1/resolve. A 429 maps to
-// ErrRejected; any other non-200 status is a hard error. A nil client
+// Resolver posting JSONL records to /v1/resolve. Non-2xx responses are
+// classified by the stable code in the error envelope — "queue_full" and
+// "shard_busy" map to ErrRejected with the envelope's retry_after_ms as
+// the back-off advisory (falling back to the legacy Retry-After header);
+// everything else is a hard error labeled with its code. A nil client
 // uses http.DefaultClient.
 func HTTPResolver(baseURL string, client *http.Client) Resolver {
 	if client == nil {
@@ -222,17 +245,26 @@ func HTTPResolver(baseURL string, client *http.Client) Resolver {
 		if err != nil {
 			return incremental.BatchResult{}, err
 		}
-		switch resp.StatusCode {
-		case http.StatusOK:
-		case http.StatusTooManyRequests:
-			var after time.Duration
-			if v := resp.Header.Get("Retry-After"); v != "" {
-				if secs, err := time.ParseDuration(v + "s"); err == nil {
-					after = secs
+		if resp.StatusCode != http.StatusOK {
+			var env errorEnvelope
+			json.Unmarshal(payload, &env) // best effort: pre-envelope targets leave it zero
+			shed := env.Error.Code == "queue_full" || env.Error.Code == "shard_busy" ||
+				(env.Error.Code == "" && resp.StatusCode == http.StatusTooManyRequests)
+			if shed {
+				after := time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+				if after == 0 {
+					if v := resp.Header.Get("Retry-After"); v != "" {
+						if secs, err := time.ParseDuration(v + "s"); err == nil {
+							after = secs
+						}
+					}
 				}
+				return incremental.BatchResult{}, &RejectedError{Code: env.Error.Code, RetryAfter: after}
 			}
-			return incremental.BatchResult{}, &RejectedError{RetryAfter: after}
-		default:
+			if env.Error.Code != "" {
+				return incremental.BatchResult{}, fmt.Errorf("loadgen: status %d code %s: %s",
+					resp.StatusCode, env.Error.Code, env.Error.Message)
+			}
 			return incremental.BatchResult{}, fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, payload)
 		}
 		var out struct {

@@ -126,6 +126,23 @@ func (b *breaker) reset() {
 	}
 }
 
+// stateString names the current state for the admin status endpoint.
+func (b *breaker) stateString() string {
+	if b == nil || b.threshold <= 0 {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // degraded reports whether the circuit is currently answering read-only.
 func (b *breaker) degraded() bool {
 	if b == nil || b.threshold <= 0 {

@@ -141,8 +141,7 @@ func TestDegradedModeServesReads(t *testing.T) {
 		Fault:            inj,
 		BreakerThreshold: 2,
 		BreakerCooldown:  time.Minute,
-		breakerNow:       clk.now,
-	})
+	}, WithClock(clk.now))
 	profiles := testProfiles(t, 8)
 	ctx := context.Background()
 
@@ -214,8 +213,7 @@ func TestFailedProbeReopens(t *testing.T) {
 		Fault:            inj,
 		BreakerThreshold: 1,
 		BreakerCooldown:  time.Minute,
-		breakerNow:       clk.now,
-	})
+	}, WithClock(clk.now))
 	profiles := testProfiles(t, 3)
 	ctx := context.Background()
 
@@ -313,7 +311,7 @@ func TestCorruptReloadNeverTouchesLiveIndex(t *testing.T) {
 	json.NewDecoder(resp.Body).Decode(&e)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("corrupt reload status = %d, want 422 (%s)", resp.StatusCode, e.Error)
+		t.Fatalf("corrupt reload status = %d, want 422 (%s: %s)", resp.StatusCode, e.Error.Code, e.Error.Message)
 	}
 
 	wg.Wait()

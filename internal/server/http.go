@@ -12,6 +12,7 @@ import (
 
 	"metablocking/internal/dataio"
 	"metablocking/internal/obs"
+	"metablocking/internal/shard"
 	"metablocking/internal/store"
 )
 
@@ -62,9 +63,89 @@ type SnapshotResponse struct {
 	Path     string `json:"path"`
 }
 
-// ErrorResponse is the JSON body of every non-2xx response.
+// Stable machine-readable error codes of the /v1 API. Every non-2xx
+// response carries one in its envelope; clients (internal/loadgen)
+// branch on the code, never on the message text or status phrase.
+const (
+	// CodeInvalidRequest (400): the request body could not be read or
+	// decoded at all.
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound (404): the named snapshot artifact does not exist.
+	CodeNotFound = "not_found"
+	// CodeTimeout (408): the per-request deadline expired or the client
+	// context was canceled before the answer.
+	CodeTimeout = "timeout"
+	// CodeBodyTooLarge (413): the request body exceeded maxBodyBytes.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeInvalidProfile (422): the body decoded but is not a valid
+	// profile record.
+	CodeInvalidProfile = "invalid_profile"
+	// CodeCorruptArtifact (422): the named snapshot failed checksum or
+	// payload verification; the live index was not touched.
+	CodeCorruptArtifact = "corrupt_artifact"
+	// CodeVersionMismatch (422): the named snapshot was written by an
+	// incompatible format version.
+	CodeVersionMismatch = "version_mismatch"
+	// CodeSchemeMismatch (422): the snapshot's weighting scheme differs
+	// from the serving scheme.
+	CodeSchemeMismatch = "scheme_mismatch"
+	// CodeQueueFull (429): the admission queue shed the request; the
+	// envelope carries retry_after_ms.
+	CodeQueueFull = "queue_full"
+	// CodeShardBusy (429): a shard's admission queue shed the request;
+	// the envelope carries retry_after_ms.
+	CodeShardBusy = "shard_busy"
+	// CodeDraining (503): the server is shutting down gracefully.
+	CodeDraining = "draining"
+	// CodeShardDown (503): the request's home shard is marked down.
+	CodeShardDown = "shard_down"
+	// CodeInternal (500): an unclassified per-request failure (injected
+	// fault, recovered panic, index error).
+	CodeInternal = "internal"
+)
+
+// ErrorBody is the envelope's payload: a stable code, a human-readable
+// message, and — on 429s — the advisory back-off.
+type ErrorBody struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse is the versioned JSON body of every non-2xx response:
+//
+//	{"error":{"code":"queue_full","message":"...","retry_after_ms":1000}}
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
+}
+
+// writeError emits the envelope. 429s also set the legacy Retry-After
+// header so pre-envelope clients keep backing off correctly.
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	body := ErrorResponse{Error: ErrorBody{Code: code, Message: msg}}
+	if status == http.StatusTooManyRequests {
+		body.Error.RetryAfterMs = s.cfg.RetryAfter.Milliseconds()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+	}
+	writeJSON(w, status, body)
+}
+
+// resolveErrorCode maps a Resolve error to its status and stable code.
+func resolveErrorCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, CodeQueueFull
+	case errors.Is(err, shard.ErrShardBusy):
+		return http.StatusTooManyRequests, CodeShardBusy
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, shard.ErrShardDown):
+		return http.StatusServiceUnavailable, CodeShardDown
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout, CodeTimeout
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
 }
 
 // Handler returns the service mux:
@@ -72,6 +153,7 @@ type ErrorResponse struct {
 //	POST /v1/resolve      — resolve one JSONL profile record
 //	POST /v1/admin/reload — hot-swap the index from a snapshot file
 //	POST /v1/admin/snapshot — persist the serving index to a snapshot file
+//	GET  /v1/admin/status — effective config, shard gauges, breaker state
 //	GET  /healthz         — liveness (always 200 while the process runs)
 //	GET  /readyz          — readiness (503 once draining)
 //	GET  /metrics         — the obs registry as a plain-text table
@@ -98,6 +180,9 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/resolve", "resolve", s.handleResolve)
 	handle("POST /v1/admin/reload", "reload", s.handleReload)
 	handle("POST /v1/admin/snapshot", "snapshot", s.handleSnapshot)
+	handle("GET /v1/admin/status", "status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Status())
+	})
 	handle("GET /healthz", "healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -131,28 +216,24 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 func (s *Server) handleResolve(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("reading body: %v", err)})
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	p, err := dataio.ParseProfileJSON(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		s.writeError(w, http.StatusUnprocessableEntity, CodeInvalidProfile, err.Error())
 		return
 	}
 	res, err := s.Resolve(req.Context(), p)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
-		return
-	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
-		return
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusRequestTimeout, ErrorResponse{Error: err.Error()})
-		return
-	case err != nil: // per-request failure: injected fault or recovered panic
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	if err != nil {
+		status, code := resolveErrorCode(err)
+		s.writeError(w, status, code, err.Error())
 		return
 	}
 	out := ResolveResponse{
@@ -169,26 +250,32 @@ func (s *Server) handleResolve(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 	var r ReloadRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(&r); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
 	if r.Path == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing snapshot path"})
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "missing snapshot path")
 		return
 	}
 	n, err := s.ReloadFile(r.Path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		s.writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
 		return
-	case errors.Is(err, store.ErrCorruptArtifact) || errors.Is(err, store.ErrVersionMismatch):
+	case errors.Is(err, store.ErrCorruptArtifact):
 		// Verify-before-swap: the artifact failed verification, the live
 		// index was never touched. 422: the request was well-formed but
 		// names an unusable snapshot.
-		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		s.writeError(w, http.StatusUnprocessableEntity, CodeCorruptArtifact, err.Error())
+		return
+	case errors.Is(err, store.ErrVersionMismatch):
+		s.writeError(w, http.StatusUnprocessableEntity, CodeVersionMismatch, err.Error())
+		return
+	case errors.Is(err, ErrSchemeMismatch):
+		s.writeError(w, http.StatusUnprocessableEntity, CodeSchemeMismatch, err.Error())
 		return
 	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, ReloadResponse{Profiles: n})
@@ -197,16 +284,16 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 	var r SnapshotRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(&r); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
 	if r.Path == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing snapshot path"})
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "missing snapshot path")
 		return
 	}
 	n, err := s.SnapshotFile(r.Path)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, SnapshotResponse{Profiles: n, Path: r.Path})

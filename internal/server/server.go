@@ -34,6 +34,7 @@ import (
 	"metablocking/internal/incremental"
 	"metablocking/internal/obs"
 	"metablocking/internal/par"
+	"metablocking/internal/shard"
 	"metablocking/internal/store"
 )
 
@@ -45,6 +46,9 @@ var (
 	// ErrDraining is returned once Close has begun: the server finishes
 	// accepted work but admits nothing new.
 	ErrDraining = errors.New("server: shutting down")
+	// ErrSchemeMismatch is returned by ReloadFile when the snapshot's
+	// weighting scheme differs from the serving scheme.
+	ErrSchemeMismatch = errors.New("server: snapshot scheme differs from serving scheme")
 )
 
 // Counter and gauge names the server reports into its registry, alongside
@@ -77,6 +81,14 @@ const FaultResolve = "server.resolve"
 type Config struct {
 	// Resolver configures the incremental index (scheme, K, block cap).
 	Resolver incremental.Config
+	// Shards splits the serving index into N single-writer partitions
+	// behind the internal/shard scatter-gather coordinator. 0 or 1
+	// serves the monolithic single-index resolver; answers are
+	// bit-identical at every shard count.
+	Shards int
+	// ShardQueueDepth bounds each shard actor's admission queue when
+	// Shards > 1. Default 2.
+	ShardQueueDepth int
 	// BatchWindow is how long the batcher waits for more arrivals after
 	// the first one before flushing a partial batch. Default 2ms.
 	BatchWindow time.Duration
@@ -90,9 +102,17 @@ type Config struct {
 	RetryAfter time.Duration
 	// Metrics receives the server's counters; nil creates a private
 	// registry (exposed at /metrics either way).
+	//
+	// Deprecated: prefer the WithMetrics option to New. The field keeps
+	// working for one release; an option takes precedence when both are
+	// set.
 	Metrics *obs.Metrics
 	// Fault is consulted at the server's named fault sites (FaultResolve).
 	// Nil is a no-op: zero cost on the hot path.
+	//
+	// Deprecated: prefer the WithFault option to New. The field keeps
+	// working for one release; an option takes precedence when both are
+	// set.
 	Fault *fault.Injector
 	// RequestTimeout bounds each HTTP request handled by Handler with a
 	// per-request context deadline. Zero disables the deadline.
@@ -109,7 +129,43 @@ type Config struct {
 	breakerNow func() time.Time
 }
 
+// Option adjusts a server at construction time — the home for
+// cross-cutting dependencies (metrics, fault injection, clocks) that
+// used to be Config fields, and for test-only hooks that never belonged
+// in the public struct.
+type Option func(*Config)
+
+// WithMetrics directs the server's counters and gauges into m.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
+}
+
+// WithFault installs a fault injector, consulted at the server's named
+// sites (FaultResolve, and the per-shard shard.GatherSite /
+// shard.CommitSite when Shards > 1).
+func WithFault(in *fault.Injector) Option {
+	return func(c *Config) { c.Fault = in }
+}
+
+// WithClock overrides the circuit breaker's time source — the test hook
+// that lets chaos suites step through open/half-open/closed transitions
+// deterministically.
+func WithClock(now func() time.Time) Option {
+	return func(c *Config) { c.breakerNow = now }
+}
+
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Resolver.MaxBlockSize == 0 {
+		// Mirror the resolver's own default so /v1/admin/status reports
+		// the effective value, not the zero placeholder.
+		c.Resolver.MaxBlockSize = 1000
+	}
+	if c.Shards > 1 && c.ShardQueueDepth <= 0 {
+		c.ShardQueueDepth = 2
+	}
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 2 * time.Millisecond
 	}
@@ -168,9 +224,11 @@ type Server struct {
 
 	// mu fences the resolver pointer and its state: the batcher's flush
 	// and Reload's swap take the write lock, read-only accessors the
-	// read lock.
+	// read lock. The sharded backend's coordinator is single-caller, so
+	// operations that walk its actors (Snapshot, Stats) take the write
+	// lock even though they don't mutate index state.
 	mu       sync.RWMutex
-	resolver *incremental.Resolver
+	resolver incremental.Index
 
 	// breaker gates the write path behind degraded mode; consulted only
 	// by the batcher, per job.
@@ -202,11 +260,17 @@ type Server struct {
 	done  chan struct{}
 }
 
-// New validates the configuration, builds an empty resolver and starts the
-// batcher. Call Close to stop it.
-func New(cfg Config) (*Server, error) {
+// New validates the configuration, builds an empty serving index —
+// monolithic, or sharded behind the internal/shard coordinator when
+// cfg.Shards > 1 — and starts the batcher. Options apply after the
+// struct fields, so WithMetrics/WithFault/WithClock win over the
+// deprecated Config fields. Call Close to stop the server.
+func New(cfg Config, opts ...Option) (*Server, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	cfg = cfg.withDefaults()
-	r, err := incremental.NewResolver(cfg.Resolver)
+	r, err := newIndex(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +295,25 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.Gauge(GaugeDegraded).Set(0)
 	go s.batcher()
 	return s, nil
+}
+
+// newIndex builds the serving backend the configuration asks for.
+func newIndex(cfg Config) (incremental.Index, error) {
+	if cfg.Shards > 1 {
+		return shard.New(shardConfig(cfg))
+	}
+	return incremental.NewResolver(cfg.Resolver)
+}
+
+// shardConfig derives the coordinator configuration from the server's.
+func shardConfig(cfg Config) shard.Config {
+	return shard.Config{
+		Resolver:   cfg.Resolver,
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.ShardQueueDepth,
+		Fault:      cfg.Fault,
+		Metrics:    cfg.Metrics,
+	}
 }
 
 // Resolve admits the profile, waits for its micro-batch to flush, and
@@ -282,18 +365,30 @@ func (s *Server) Resolve(ctx context.Context, p entity.Profile) (Resolution, err
 func (s *Server) Degraded() bool { return s.breaker.degraded() }
 
 // Reload atomically swaps the serving index for one rebuilt from the
-// snapshot and returns its profile count. The swap waits for the batch in
-// flight (if any) to finish; requests already admitted but not yet batched
-// are resolved against the new index. IDs restart at the snapshot's size.
+// snapshot — at the server's configured shard count, regardless of how
+// the snapshot was produced — and returns its profile count. The swap
+// waits for the batch in flight (if any) to finish; requests already
+// admitted but not yet batched are resolved against the new index. IDs
+// restart at the snapshot's size. The replaced index is closed (a
+// sharded backend owns goroutines); any down shards are forgotten with
+// it, so reload doubles as the per-shard recovery lever.
 func (s *Server) Reload(snap *incremental.Snapshot) (int, error) {
-	r, err := incremental.FromSnapshot(snap)
+	var r incremental.Index
+	var err error
+	if s.cfg.Shards > 1 {
+		r, err = shard.FromSnapshot(snap, shardConfig(s.cfg))
+	} else {
+		r, err = incremental.FromSnapshot(snap)
+	}
 	if err != nil {
 		return 0, err
 	}
 	s.mu.Lock()
+	old := s.resolver
 	s.resolver = r
 	n := r.Size()
 	s.mu.Unlock()
+	old.Close()
 	// A fresh known-good index closes the degraded-mode circuit: reload is
 	// the operator's recovery lever.
 	s.breaker.reset()
@@ -302,12 +397,13 @@ func (s *Server) Reload(snap *incremental.Snapshot) (int, error) {
 	return n, nil
 }
 
-// ReloadFile is Reload from a store resolver-snapshot file. The artifact
-// is fully loaded and verified BEFORE the swap: a corrupt or
-// version-mismatched file leaves the live index untouched (the HTTP layer
-// maps it to 422).
+// ReloadFile is Reload from a store resolver-snapshot file of either
+// layout — a plain "resolver" artifact or a sharded manifest+segments.
+// The artifact is fully loaded and verified BEFORE the swap: a corrupt
+// or version-mismatched file leaves the live index untouched (the HTTP
+// layer maps it to 422).
 func (s *Server) ReloadFile(path string) (int, error) {
-	snap, err := store.LoadResolverFile(path)
+	snap, err := store.LoadAnyResolverFile(path)
 	if err != nil {
 		if errors.Is(err, store.ErrCorruptArtifact) || errors.Is(err, store.ErrVersionMismatch) {
 			s.metrics.Counter(CtrCorruptLoads).Inc()
@@ -316,8 +412,8 @@ func (s *Server) ReloadFile(path string) (int, error) {
 		return 0, err
 	}
 	if snap.Config.Scheme != s.cfg.Resolver.Scheme {
-		return 0, fmt.Errorf("server: snapshot scheme %v differs from serving scheme %v",
-			snap.Config.Scheme, s.cfg.Resolver.Scheme)
+		return 0, fmt.Errorf("%w: snapshot %v, serving %v",
+			ErrSchemeMismatch, snap.Config.Scheme, s.cfg.Resolver.Scheme)
 	}
 	return s.Reload(snap)
 }
@@ -329,24 +425,113 @@ func (s *Server) Size() int {
 	return s.resolver.Size()
 }
 
-// Snapshot deep-copies the serving index, fenced against the writer — the
-// artifact Reload and /v1/admin/reload consume.
+// Snapshot deep-copies the serving index in canonical (shard-count
+// independent) form, fenced against the writer — the artifact Reload
+// and /v1/admin/reload consume. It takes the write lock because the
+// sharded coordinator is single-caller.
 func (s *Server) Snapshot() *incremental.Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.resolver.Snapshot()
 }
 
-// SnapshotFile persists the current serving index as a resolver-snapshot
-// artifact at path, and returns the number of profiles it holds. The file
-// can be fed back to -snapshot at startup or to /v1/admin/reload.
+// SnapshotFile persists the current serving index at path and returns
+// the number of profiles it holds. A sharded backend writes the sharded
+// artifact — per-shard checksummed segments plus a manifest committed
+// last — a monolithic one the plain "resolver" artifact. Either file
+// can be fed back to -snapshot at startup or to /v1/admin/reload, at
+// any shard count.
 func (s *Server) SnapshotFile(path string) (int, error) {
-	snap := s.Snapshot()
-	if err := store.SaveResolverFile(path, snap); err != nil {
+	s.mu.Lock()
+	g, sharded := s.resolver.(*shard.Group)
+	var segs []*incremental.PartitionSnapshot
+	var snap *incremental.Snapshot
+	var n int
+	if sharded {
+		segs = g.PartitionSnapshots()
+		for _, seg := range segs {
+			n += len(seg.Profiles)
+		}
+	} else {
+		snap = s.resolver.Snapshot()
+		n = len(snap.Profiles)
+	}
+	s.mu.Unlock()
+	var err error
+	if sharded {
+		err = store.SaveShardedResolverFile(path, s.cfg.Resolver, segs)
+	} else {
+		err = store.SaveResolverFile(path, snap)
+	}
+	if err != nil {
 		return 0, err
 	}
 	s.metrics.Counter(CtrSnapshots).Inc()
-	return len(snap.Profiles), nil
+	return n, nil
+}
+
+// ConfigStatus is the effective (post-defaults) configuration as served
+// by GET /v1/admin/status — the introspectable replacement for fishing
+// tunables out of /debug/vars.
+type ConfigStatus struct {
+	Scheme           string `json:"scheme"`
+	K                int    `json:"k"`
+	MaxBlockSize     int    `json:"max_block_size"`
+	MinTokenLength   int    `json:"min_token_length"`
+	Shards           int    `json:"shards"`
+	ShardQueueDepth  int    `json:"shard_queue_depth,omitempty"`
+	BatchWindowMs    int64  `json:"batch_window_ms"`
+	MaxBatch         int    `json:"max_batch"`
+	QueueDepth       int    `json:"queue_depth"`
+	RetryAfterMs     int64  `json:"retry_after_ms"`
+	RequestTimeoutMs int64  `json:"request_timeout_ms"`
+	BreakerThreshold int    `json:"breaker_threshold"`
+	BreakerCooldownMs int64 `json:"breaker_cooldown_ms"`
+}
+
+// Status is the GET /v1/admin/status payload: effective configuration,
+// serving state, and — when sharded — per-shard gauges.
+type Status struct {
+	Config   ConfigStatus `json:"config"`
+	Profiles int          `json:"profiles"`
+	Ready    bool         `json:"ready"`
+	Degraded bool         `json:"degraded"`
+	Breaker  string       `json:"breaker"`
+	Shards   []shard.Stat `json:"shards,omitempty"`
+}
+
+// Status assembles the admin status snapshot. Like Snapshot it takes the
+// write lock, because walking the sharded coordinator's actors is a
+// single-caller operation.
+func (s *Server) Status() Status {
+	cfg := s.cfg
+	st := Status{
+		Config: ConfigStatus{
+			Scheme:            cfg.Resolver.Scheme.String(),
+			K:                 cfg.Resolver.K,
+			MaxBlockSize:      cfg.Resolver.MaxBlockSize,
+			MinTokenLength:    cfg.Resolver.MinTokenLength,
+			Shards:            cfg.Shards,
+			BatchWindowMs:     cfg.BatchWindow.Milliseconds(),
+			MaxBatch:          cfg.MaxBatch,
+			QueueDepth:        cfg.QueueDepth,
+			RetryAfterMs:      cfg.RetryAfter.Milliseconds(),
+			RequestTimeoutMs:  cfg.RequestTimeout.Milliseconds(),
+			BreakerThreshold:  cfg.BreakerThreshold,
+			BreakerCooldownMs: cfg.BreakerCooldown.Milliseconds(),
+		},
+		Ready:    s.Ready(),
+		Degraded: s.breaker.degraded(),
+		Breaker:  s.breaker.stateString(),
+	}
+	s.mu.Lock()
+	st.Profiles = s.resolver.Size()
+	if g, ok := s.resolver.(*shard.Group); ok {
+		st.Config.ShardQueueDepth = g.Config().QueueDepth
+		st.Shards = g.Stats()
+	}
+	s.mu.Unlock()
+	return st
 }
 
 // Ready reports whether the server is accepting requests.
@@ -360,8 +545,9 @@ func (s *Server) Ready() bool {
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
 // Close drains gracefully: new requests are rejected with ErrDraining,
-// every already-accepted request is answered, then the batcher exits.
-// Safe to call more than once.
+// every already-accepted request is answered, the batcher exits, and
+// the serving index is closed (stopping shard actors, if any). Safe to
+// call more than once.
 func (s *Server) Close() error {
 	s.submitMu.Lock()
 	already := s.draining
@@ -371,7 +557,9 @@ func (s *Server) Close() error {
 		close(s.stopc)
 	}
 	<-s.done
-	return nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolver.Close()
 }
 
 // batcher is the single writer: it owns every mutation of the resolver.
@@ -508,8 +696,7 @@ func (s *Server) addOne(p entity.Profile) (res incremental.BatchResult, err erro
 	if err := s.cfg.Fault.Check(FaultResolve); err != nil {
 		return incremental.BatchResult{}, err
 	}
-	id, cands := s.resolver.Add(p)
-	return incremental.BatchResult{ID: id, Candidates: cands}, nil
+	return s.resolver.Resolve(p)
 }
 
 // peekOne answers a request degraded: read-only candidates from the last
@@ -522,8 +709,13 @@ func (s *Server) peekOne(p entity.Profile) (res Resolution) {
 			res = Resolution{BatchResult: incremental.BatchResult{ID: -1}, Degraded: true}
 		}
 	}()
+	cands, err := s.resolver.Peek(p)
+	if err != nil {
+		s.metrics.Counter(CtrPanics).Inc()
+		return Resolution{BatchResult: incremental.BatchResult{ID: -1}, Degraded: true}
+	}
 	return Resolution{
-		BatchResult: incremental.BatchResult{ID: -1, Candidates: s.resolver.Peek(p)},
+		BatchResult: incremental.BatchResult{ID: -1, Candidates: cands},
 		Degraded:    true,
 	}
 }

@@ -47,9 +47,9 @@ func testProfiles(t testing.TB, n int) []entity.Profile {
 	return out
 }
 
-func newTestServer(t testing.TB, cfg Config) *Server {
+func newTestServer(t testing.TB, cfg Config, opts ...Option) *Server {
 	t.Helper()
-	s, err := New(cfg)
+	s, err := New(cfg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,16 +458,28 @@ func TestEndpoints(t *testing.T) {
 	if code, body := post("/v1/resolve", `{"attributes":{"name":["jack miller"]}}`); code != 200 {
 		t.Fatalf("resolve = %d %s", code, body)
 	}
-	if code, body := post("/v1/resolve", "not json"); code != 400 {
+	// Every non-2xx answer carries the structured envelope with a stable
+	// machine-readable code.
+	errCode := func(body string) string {
+		var e ErrorResponse
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error.Code == "" {
+			t.Fatalf("non-2xx body is not an error envelope: %s", body)
+		}
+		if e.Error.Message == "" {
+			t.Fatalf("envelope without message: %s", body)
+		}
+		return e.Error.Code
+	}
+	if code, body := post("/v1/resolve", "not json"); code != 422 || errCode(body) != CodeInvalidProfile {
 		t.Fatalf("garbage resolve = %d %s", code, body)
 	}
-	if code, _ := post("/v1/admin/reload", `{}`); code != 400 {
-		t.Fatalf("reload without path = %d", code)
+	if code, body := post("/v1/admin/reload", `{}`); code != 400 || errCode(body) != CodeInvalidRequest {
+		t.Fatalf("reload without path = %d %s", code, body)
 	}
-	if code, _ := post("/v1/admin/reload", `{"path":"/nonexistent/snap"}`); code != 404 {
-		t.Fatalf("reload missing file = %d", code)
+	if code, body := post("/v1/admin/reload", `{"path":"/nonexistent/snap"}`); code != 404 || errCode(body) != CodeNotFound {
+		t.Fatalf("reload missing file = %d %s", code, body)
 	}
-	// A snapshot with a different scheme is refused.
+	// A snapshot with a different scheme is refused with a stable code.
 	other, err := incremental.NewResolver(incremental.Config{Scheme: core.CBS})
 	if err != nil {
 		t.Fatal(err)
@@ -476,8 +488,23 @@ func TestEndpoints(t *testing.T) {
 	if err := store.SaveResolverFile(otherPath, other.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
-	if code, body := post("/v1/admin/reload", fmt.Sprintf(`{"path":%q}`, otherPath)); code != 500 {
+	if code, body := post("/v1/admin/reload", fmt.Sprintf(`{"path":%q}`, otherPath)); code != 422 || errCode(body) != CodeSchemeMismatch {
 		t.Fatalf("cross-scheme reload = %d %s", code, body)
+	}
+
+	// The admin status endpoint reports the effective (post-defaults)
+	// config and breaker state.
+	stCode, stBody := get("/v1/admin/status")
+	if stCode != 200 {
+		t.Fatalf("status = %d %s", stCode, stBody)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(stBody), &st); err != nil {
+		t.Fatalf("status not JSON: %v", err)
+	}
+	if st.Config.Scheme != "JS" || st.Config.Shards != 1 || st.Config.MaxBatch != 64 ||
+		st.Config.MaxBlockSize != 1000 || st.Profiles != 1 || !st.Ready || st.Breaker != "closed" {
+		t.Fatalf("status = %+v", st)
 	}
 
 	if code, body := get("/metrics"); code != 200 ||

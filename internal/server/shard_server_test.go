@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"metablocking/internal/core"
+	"metablocking/internal/dataio"
+	"metablocking/internal/fault"
+	"metablocking/internal/incremental"
+	"metablocking/internal/loadgen"
+	"metablocking/internal/shard"
+)
+
+// TestShardedBatchedEqualsSerial is the sharded acceptance load test:
+// concurrent clients drive the HTTP micro-batching path at shard counts
+// {1, 4, 16}, and every response — IDs, candidate sets, exact weights —
+// must match a serial one-at-a-time Resolver fed the same arrival order.
+// The canonical snapshot must also be independent of the shard count.
+func TestShardedBatchedEqualsSerial(t *testing.T) {
+	const requests = 300
+	profiles := testProfiles(t, requests)
+	for _, shards := range []int{1, 4, 16} {
+		for _, clients := range []int{1, 4} {
+			cfg := Config{
+				Resolver:    incremental.Config{Scheme: core.ECBS, K: 5},
+				Shards:      shards,
+				BatchWindow: time.Millisecond,
+				MaxBatch:    32,
+				QueueDepth:  4096, // never shed: every request participates
+			}
+			s := newTestServer(t, cfg)
+			ts := httptest.NewServer(s.Handler())
+			rep := loadgen.Run(loadgen.HTTPResolver(ts.URL, ts.Client()), profiles, loadgen.Options{
+				Clients:  clients,
+				Requests: requests,
+			})
+			if len(rep.Errors) > 0 {
+				t.Fatalf("shards=%d clients=%d: %d hard errors, first: %v",
+					shards, clients, len(rep.Errors), rep.Errors[0])
+			}
+			if rep.Rejected != 0 || len(rep.Responses) != requests {
+				t.Fatalf("shards=%d clients=%d: %d responses, %d shed",
+					shards, clients, len(rep.Responses), rep.Rejected)
+			}
+			byID := make([]*loadgen.Response, requests)
+			for i := range rep.Responses {
+				r := &rep.Responses[i]
+				if int(r.ID) < 0 || int(r.ID) >= requests || byID[r.ID] != nil {
+					t.Fatalf("shards=%d clients=%d: IDs not dense: %d", shards, clients, r.ID)
+				}
+				byID[r.ID] = r
+			}
+			serial, err := incremental.NewResolver(cfg.Resolver)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id, r := range byID {
+				_, want := serial.Add(r.Profile)
+				if !reflect.DeepEqual(r.Candidates, want) {
+					t.Fatalf("shards=%d clients=%d arrival %d: candidates diverged from serial",
+						shards, clients, id)
+				}
+			}
+			if !reflect.DeepEqual(s.Snapshot(), serial.Snapshot()) {
+				t.Fatalf("shards=%d clients=%d: canonical snapshot diverged from serial", shards, clients)
+			}
+			ts.Close()
+			s.Close()
+		}
+	}
+}
+
+// TestShardedSnapshotRoundTrips: a sharded server persists the
+// manifest+segments layout, and the artifact reloads into servers of any
+// shard count — including the monolithic one — with identical contents.
+func TestShardedSnapshotRoundTrips(t *testing.T) {
+	s4 := newTestServer(t, Config{
+		Resolver: incremental.Config{Scheme: core.JS, K: 5},
+		Shards:   4,
+	})
+	profiles := testProfiles(t, 40)
+	for _, p := range profiles {
+		if _, err := s4.Resolve(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s4.Snapshot()
+	path := filepath.Join(t.TempDir(), "sharded.snap")
+	if n, err := s4.SnapshotFile(path); err != nil || n != 40 {
+		t.Fatalf("sharded snapshot: n=%d err=%v", n, err)
+	}
+	// The sharded layout leaves per-shard segment files beside the manifest.
+	if matches, _ := filepath.Glob(path + ".g*.s*"); len(matches) != 4 {
+		t.Fatalf("expected 4 segment files, found %d", len(matches))
+	}
+	for _, shards := range []int{1, 2, 16} {
+		s, err := New(Config{Resolver: incremental.Config{Scheme: core.JS, K: 5}, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := s.ReloadFile(path); err != nil || n != 40 {
+			t.Fatalf("shards=%d reload: n=%d err=%v", shards, n, err)
+		}
+		if !reflect.DeepEqual(s.Snapshot(), want) {
+			t.Fatalf("shards=%d: reloaded snapshot diverged", shards)
+		}
+		s.Close()
+	}
+}
+
+// TestShardedFaultEnvelopes drives per-shard fault injection end to end
+// through the HTTP surface: gather failures surface as 500 "internal"
+// envelopes until the failing shard is marked down, after which resolves
+// homed on the downed shard get 503 "shard_down" and the rest keep
+// working with partial gathers. /v1/admin/status reports the down shard.
+func TestShardedFaultEnvelopes(t *testing.T) {
+	inj := fault.New(1)
+	s := newTestServer(t, Config{
+		Resolver:         incremental.Config{Scheme: core.JS, K: 5},
+		Shards:           2,
+		MaxBatch:         1,
+		QueueDepth:       64,
+		BreakerThreshold: -1, // isolate shard health from the server breaker
+	}, WithFault(inj))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	profiles := testProfiles(t, 8)
+
+	post := func(i int) (int, ErrorBody) {
+		t.Helper()
+		raw, err := dataio.MarshalProfileJSON(profiles[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Post(ts.URL+"/v1/resolve", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		var e ErrorResponse
+		if resp.StatusCode != http.StatusOK {
+			if err := json.Unmarshal(payload, &e); err != nil || e.Error.Code == "" {
+				t.Fatalf("non-2xx without envelope: %d %s", resp.StatusCode, payload)
+			}
+		}
+		return resp.StatusCode, e.Error
+	}
+
+	// Shard 1's gather fails persistently: the group's DownAfter (default
+	// 3) consecutive failures surface as per-request 500s, then mark the
+	// shard down.
+	inj.Arm(shard.GatherSite(1), fault.Spec{Err: fault.ErrInjected})
+	for i := 0; i < 3; i++ {
+		if code, e := post(0); code != 500 || e.Code != CodeInternal {
+			t.Fatalf("failure %d = %d %+v, want 500 internal", i, code, e)
+		}
+	}
+	// Shard 1 is down now. ID 0 homes on shard 0: the resolve succeeds
+	// with a partial gather.
+	if code, e := post(1); code != 200 {
+		t.Fatalf("partial resolve = %d %+v, want 200", code, e)
+	}
+	// ID 1 homes on shard 1: refused with the stable shard_down code.
+	if code, e := post(2); code != 503 || e.Code != CodeShardDown {
+		t.Fatalf("down-home resolve = %d %+v, want 503 shard_down", code, e)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/admin/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 2 || st.Shards[0].Down || !st.Shards[1].Down {
+		t.Fatalf("status shards = %+v, want shard 1 down", st.Shards)
+	}
+
+	// A snapshot swap installs a fresh group: the down mark clears and
+	// both shards serve again.
+	inj.Disarm(shard.GatherSite(1))
+	path := filepath.Join(t.TempDir(), "heal.snap")
+	if _, err := s.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReloadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if code, e := post(3); code != 200 {
+		t.Fatalf("post-reload resolve = %d %+v, want 200", code, e)
+	}
+}

@@ -1,0 +1,599 @@
+// Package shard runs the incremental entity index as N hash-partitions
+// behind one scatter-gather coordinator — the horizontal axis of ROADMAP
+// item 1, and the online analogue of the paper's MapReduce meta-blocking
+// direction (ref [20], modeled offline in internal/mrmeta).
+//
+// Each partition (incremental.Partition) is owned by a single-writer
+// actor goroutine with a bounded mailbox gated by a token channel, so
+// admission control is per shard. The coordinator (Group) serializes
+// arrivals — it is the serving layer's single writer — and runs each
+// resolve in two phases:
+//
+//  1. Scatter-gather (read-only): the coordinator derives the arrival's
+//     block keys and the global per-key ScanCount increments (block
+//     cardinalities and Block Purging are global decisions a shard cannot
+//     make alone), fans the gather out to every live shard, and merges
+//     the per-shard weighted neighbors with the exact kernels of
+//     incremental.Merger — bit-identical to a single index because every
+//     candidate's whole accumulation happens on its home shard in the
+//     same key order with the same operand values.
+//  2. Commit: only after every gather succeeded does the coordinator
+//     assign the next global ID and commit the profile to its home shard
+//     (ShardOf = id mod N), then update the global block cardinalities.
+//     A failed gather aborts before any state changes, so the ID
+//     sequence never skips and batched ≡ serial equivalence holds
+//     exactly at every shard count.
+//
+// Failures are contained per shard: an injected fault or a panic inside
+// an actor is recovered into an error for that resolve only. After
+// DownAfter consecutive failures a shard is marked down — gathers skip
+// it (answers become partial, counted by shard.partial_gathers) and
+// resolves homed on it are refused with ErrShardDown, which the serving
+// layer's circuit breaker turns into global degraded mode. A reload
+// builds a fresh group and clears the marks.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/fault"
+	"metablocking/internal/incremental"
+	"metablocking/internal/obs"
+	"metablocking/internal/par"
+)
+
+// Sentinel errors, matchable with errors.Is across the serving layer.
+var (
+	// ErrShardBusy reports a shard whose admission queue had no free
+	// token — the caller should shed or retry, like a full server queue.
+	ErrShardBusy = errors.New("shard: admission queue full")
+	// ErrShardDown reports a resolve refused because the home shard of
+	// the would-be ID is marked down.
+	ErrShardDown = errors.New("shard: shard marked down")
+	// ErrClosed reports use of a closed group.
+	ErrClosed = errors.New("shard: group closed")
+)
+
+// Metric names registered on the group's obs.Metrics.
+const (
+	// CtrFailures counts per-shard operation failures (faults, panics).
+	CtrFailures = "shard.failures"
+	// CtrPartialGathers counts resolves answered without one or more
+	// down shards — results are correct for the live subset but partial.
+	CtrPartialGathers = "shard.partial_gathers"
+	// GaugeDown tracks how many shards are currently marked down.
+	GaugeDown = "shard.down"
+)
+
+// GatherSite returns the fault-injection site name of shard i's gather
+// phase (see internal/fault; armed via cmd/serve -fault).
+func GatherSite(i int) string { return "shard." + strconv.Itoa(i) + ".gather" }
+
+// CommitSite returns the fault-injection site name of shard i's commit
+// phase.
+func CommitSite(i int) string { return "shard." + strconv.Itoa(i) + ".commit" }
+
+// Config parameterizes a group. The zero value of every field except
+// Resolver is usable; defaults are applied by New.
+type Config struct {
+	// Resolver is the index configuration every partition shares —
+	// scheme, K, MaxBlockSize, MinTokenLength. Defaults follow
+	// incremental.NewResolver (MaxBlockSize 1000).
+	Resolver incremental.Config
+	// Shards is the partition count. Default 1.
+	Shards int
+	// QueueDepth bounds each shard's admission queue (mailbox tokens).
+	// Default 2.
+	QueueDepth int
+	// DownAfter is how many consecutive failures mark a shard down.
+	// Default 3.
+	DownAfter int
+	// Fault injects failures at the per-shard gather/commit sites.
+	// Nil means no injection.
+	Fault *fault.Injector
+	// Metrics receives the shard.* counters and gauges. Nil means a
+	// private registry.
+	Metrics *obs.Metrics
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.Resolver.MaxBlockSize == 0 {
+		cfg.Resolver.MaxBlockSize = 1000
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	return cfg
+}
+
+// Actor mailbox operations.
+const (
+	opGather = iota
+	opCommit
+	opSnapshot
+	opStats
+)
+
+// request is the coordinator↔actor message. Each actor owns exactly one,
+// preallocated by New: the coordinator fills the inputs, submits it, and
+// reads the outputs after the reply — no per-resolve allocation.
+type request struct {
+	op int
+
+	// Gather inputs (read-only for the actor; keys/incs are coordinator
+	// scratch, valid for the duration of the round trip).
+	keys        []string
+	incs        []float64
+	bi          int
+	nb          float64
+	maxWeighted int
+
+	// Commit inputs. Partition.Commit copies keys.
+	id      entity.ID
+	profile entity.Profile
+
+	// Outputs. cands is actor-owned gather scratch, valid until the next
+	// submit to the same actor.
+	cands    []incremental.ShardCand
+	snap     *incremental.PartitionSnapshot
+	profiles int
+	blocks   int
+	err      error
+}
+
+// actor is one shard's single-writer goroutine plus its admission gate.
+type actor struct {
+	part *incremental.Partition
+
+	// tokens gates admission: a submit acquires a token (non-blocking —
+	// a full channel is ErrShardBusy, the token-channel backpressure
+	// pattern), the coordinator releases it after consuming the reply.
+	// The mailbox has the same capacity, so a token guarantees a
+	// non-blocking send.
+	tokens  chan struct{}
+	mailbox chan *request
+	replies chan *request
+	exited  chan struct{}
+
+	fault      *fault.Injector
+	siteGather string
+	siteCommit string
+
+	// req is the coordinator's preallocated message for this actor.
+	req *request
+}
+
+func (a *actor) submit(req *request) error {
+	select {
+	case a.tokens <- struct{}{}:
+	default:
+		return ErrShardBusy
+	}
+	a.mailbox <- req
+	return nil
+}
+
+// receive waits for the actor's reply and releases the admission token.
+func (a *actor) receive() *request {
+	req := <-a.replies
+	<-a.tokens
+	return req
+}
+
+func (a *actor) loop() {
+	defer close(a.exited)
+	for req := range a.mailbox {
+		a.handle(req)
+		a.replies <- req
+	}
+}
+
+// handle executes one operation, recovering an injected or genuine panic
+// into a typed error so a broken shard cannot kill its actor — the
+// isolation contract chaos tests pin down.
+func (a *actor) handle(req *request) {
+	req.err = nil
+	defer func() {
+		if pe := par.Recovered(recover()); pe != nil {
+			req.err = pe
+		}
+	}()
+	switch req.op {
+	case opGather:
+		if err := a.fault.Check(a.siteGather); err != nil {
+			req.err = err
+			return
+		}
+		req.cands = a.part.Gather(req.keys, req.incs, req.bi, req.nb, req.maxWeighted, req.cands)
+	case opCommit:
+		if err := a.fault.Check(a.siteCommit); err != nil {
+			req.err = err
+			return
+		}
+		req.err = a.part.Commit(req.id, req.profile, req.keys)
+	case opSnapshot:
+		req.snap = a.part.Snapshot()
+	case opStats:
+		req.profiles = a.part.Len()
+		req.blocks = a.part.Blocks()
+	}
+}
+
+// Group coordinates N shard actors behind the incremental.Index contract.
+// Like the single-index Resolver it is not safe for concurrent use — the
+// serving layer serializes calls behind its writer lock; the parallelism
+// lives below, across the actors of one call.
+type Group struct {
+	cfg    Config
+	actors []*actor
+
+	// blockSize is the coordinator's global view of every block's
+	// cardinality — the sum of the per-shard slices — from which the
+	// per-key increments, Block Purging and the ECBS block count are
+	// derived exactly as a single index would.
+	blockSize map[string]int
+	size      int
+
+	keyer  incremental.Keyer
+	merger incremental.Merger
+
+	// Per-resolve scratch.
+	incs  []float64
+	lists [][]incremental.ShardCand
+	sent  []bool
+
+	// Per-shard health: consecutive failures and the down marks.
+	fails []int
+	down  []bool
+
+	metrics *obs.Metrics
+	closed  bool
+}
+
+// New builds a group of cfg.Shards empty partitions and starts their
+// actors. The caller must Close the group to stop them.
+func New(cfg Config) (*Group, error) {
+	if cfg.Resolver.Scheme == core.EJS {
+		return nil, incremental.ErrUnsupportedScheme
+	}
+	g := newGroup(cfg.withDefaults())
+	g.start()
+	return g, nil
+}
+
+// newGroup builds the group without starting actor goroutines, so
+// restore paths can seed partitions single-threaded first.
+func newGroup(cfg Config) *Group {
+	g := &Group{
+		cfg:       cfg,
+		actors:    make([]*actor, cfg.Shards),
+		blockSize: make(map[string]int),
+		keyer:     incremental.Keyer{MinTokenLength: cfg.Resolver.MinTokenLength},
+		lists:     make([][]incremental.ShardCand, cfg.Shards),
+		sent:      make([]bool, cfg.Shards),
+		fails:     make([]int, cfg.Shards),
+		down:      make([]bool, cfg.Shards),
+		metrics:   cfg.Metrics,
+	}
+	for i := range g.actors {
+		g.actors[i] = &actor{
+			part:       incremental.NewPartition(cfg.Resolver.Scheme, cfg.Shards, i),
+			tokens:     make(chan struct{}, cfg.QueueDepth),
+			mailbox:    make(chan *request, cfg.QueueDepth),
+			replies:    make(chan *request, 1),
+			exited:     make(chan struct{}),
+			fault:      cfg.Fault,
+			siteGather: GatherSite(i),
+			siteCommit: CommitSite(i),
+			req:        new(request),
+		}
+	}
+	return g
+}
+
+func (g *Group) start() {
+	for _, a := range g.actors {
+		go a.loop()
+	}
+}
+
+// Shards returns the partition count.
+func (g *Group) Shards() int { return len(g.actors) }
+
+// Size implements incremental.Index: profiles resolved so far.
+func (g *Group) Size() int { return g.size }
+
+// Config returns the effective (post-defaults) group configuration.
+func (g *Group) Config() Config { return g.cfg }
+
+// Resolve implements incremental.Index: phase 1 scatter-gathers the
+// pruned candidates, phase 2 assigns the next global ID and commits the
+// profile to its home shard. On any error nothing was committed and no
+// ID was consumed.
+func (g *Group) Resolve(p entity.Profile) (incremental.BatchResult, error) {
+	if g.closed {
+		return incremental.BatchResult{ID: -1}, ErrClosed
+	}
+	id := entity.ID(g.size)
+	home := incremental.ShardOf(id, len(g.actors))
+	if g.down[home] {
+		return incremental.BatchResult{ID: -1},
+			fmt.Errorf("%w: shard %d, home of profile %d", ErrShardDown, home, id)
+	}
+	keys := g.keyer.Keys(p)
+	cands, err := g.gather(keys)
+	if err != nil {
+		return incremental.BatchResult{ID: -1}, err
+	}
+
+	a := g.actors[home]
+	req := a.req
+	req.op = opCommit
+	req.id = id
+	req.profile = p
+	req.keys = keys
+	if err := a.submit(req); err != nil {
+		return incremental.BatchResult{ID: -1}, fmt.Errorf("shard %d commit: %w", home, err)
+	}
+	if req = a.receive(); req.err != nil {
+		g.noteFailure(home)
+		return incremental.BatchResult{ID: -1}, fmt.Errorf("shard %d commit: %w", home, req.err)
+	}
+	g.noteSuccess(home)
+	g.size++
+	for _, k := range keys {
+		g.blockSize[k]++
+	}
+	return incremental.BatchResult{ID: id, Candidates: cands}, nil
+}
+
+// Peek implements incremental.Index: the read-only scatter-gather alone.
+func (g *Group) Peek(p entity.Profile) ([]incremental.Candidate, error) {
+	if g.closed {
+		return nil, ErrClosed
+	}
+	return g.gather(g.keyer.Keys(p))
+}
+
+// gather runs phase 1: global per-key increments, fan-out to every live
+// shard, exact merge. Any live-shard failure aborts the whole resolve
+// (after collecting every outstanding reply); down shards are skipped
+// and the answer marked partial in metrics.
+func (g *Group) gather(keys []string) ([]incremental.Candidate, error) {
+	bi := len(keys)
+	nb := float64(len(g.blockSize)) + 1
+	g.incs = incremental.KeyIncrements(g.incs[:0], keys,
+		func(k string) int { return g.blockSize[k] },
+		g.cfg.Resolver.Scheme, g.cfg.Resolver.MaxBlockSize)
+
+	partial := false
+	var firstErr error
+	for i, a := range g.actors {
+		g.sent[i] = false
+		g.lists[i] = nil
+		if g.down[i] {
+			partial = true
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		req := a.req
+		req.op = opGather
+		req.keys = keys
+		req.incs = g.incs
+		req.bi = bi
+		req.nb = nb
+		req.maxWeighted = g.cfg.Resolver.K
+		if err := a.submit(req); err != nil {
+			firstErr = fmt.Errorf("shard %d gather: %w", i, err)
+			continue
+		}
+		g.sent[i] = true
+	}
+	for i, a := range g.actors {
+		if !g.sent[i] {
+			continue
+		}
+		req := a.receive()
+		if req.err != nil {
+			g.noteFailure(i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d gather: %w", i, req.err)
+			}
+			continue
+		}
+		g.noteSuccess(i)
+		g.lists[i] = req.cands
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if partial {
+		g.metrics.Counter(CtrPartialGathers).Inc()
+	}
+	if k := g.cfg.Resolver.K; k > 0 {
+		return g.merger.TopK(k, g.lists), nil
+	}
+	return g.merger.AboveMean(g.lists), nil
+}
+
+func (g *Group) noteFailure(i int) {
+	g.metrics.Counter(CtrFailures).Inc()
+	g.fails[i]++
+	if g.fails[i] >= g.cfg.DownAfter && !g.down[i] {
+		g.down[i] = true
+		g.metrics.Gauge(GaugeDown).Set(int64(g.downCount()))
+	}
+}
+
+func (g *Group) noteSuccess(i int) { g.fails[i] = 0 }
+
+func (g *Group) downCount() int {
+	n := 0
+	for _, d := range g.down {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Down reports which shards are currently marked down.
+func (g *Group) Down() []bool { return append([]bool(nil), g.down...) }
+
+// Stat is one shard's health and size snapshot, served by
+// GET /v1/admin/status.
+type Stat struct {
+	Shard               int  `json:"shard"`
+	Profiles            int  `json:"profiles"`
+	Blocks              int  `json:"blocks"`
+	QueueFree           int  `json:"queue_free"`
+	Down                bool `json:"down"`
+	ConsecutiveFailures int  `json:"consecutive_failures"`
+}
+
+// Stats queries every actor for its sizes. Down shards still answer —
+// down marks failing operations, not a dead goroutine.
+func (g *Group) Stats() []Stat {
+	stats := make([]Stat, len(g.actors))
+	for i, a := range g.actors {
+		stats[i] = Stat{
+			Shard:               i,
+			QueueFree:           cap(a.tokens) - len(a.tokens),
+			Down:                g.down[i],
+			ConsecutiveFailures: g.fails[i],
+		}
+		if g.closed {
+			continue
+		}
+		req := a.req
+		req.op = opStats
+		if err := a.submit(req); err != nil {
+			continue
+		}
+		req = a.receive()
+		stats[i].Profiles = req.profiles
+		stats[i].Blocks = req.blocks
+	}
+	return stats
+}
+
+// PartitionSnapshots deep-copies every shard's segment — what
+// internal/store persists as the sharded artifact.
+func (g *Group) PartitionSnapshots() []*incremental.PartitionSnapshot {
+	segs := make([]*incremental.PartitionSnapshot, len(g.actors))
+	for i, a := range g.actors {
+		if g.closed {
+			// Actors have exited; their partitions are quiescent and
+			// safe to read directly.
+			segs[i] = a.part.Snapshot()
+			continue
+		}
+		req := a.req
+		req.op = opSnapshot
+		if err := a.submit(req); err != nil {
+			// The coordinator is the only submitter, so tokens are
+			// always free here; guard anyway.
+			segs[i] = a.part.Snapshot()
+			continue
+		}
+		segs[i] = a.receive().snap
+	}
+	return segs
+}
+
+// Snapshot implements incremental.Index: the canonical global snapshot,
+// byte-identical to what a single-index Resolver over the same arrivals
+// would produce — shard count does not leak into the artifact.
+func (g *Group) Snapshot() *incremental.Snapshot {
+	return incremental.MergeSnapshots(g.cfg.Resolver, g.PartitionSnapshots())
+}
+
+// FromSnapshot rebuilds a group from a canonical snapshot, routing each
+// profile to its home shard. The snapshot's Config overrides
+// cfg.Resolver, mirroring incremental.FromSnapshot; its block index is
+// validated against the per-profile key lists so a corrupted artifact is
+// refused rather than silently skewing weights.
+func FromSnapshot(s *incremental.Snapshot, cfg Config) (*Group, error) {
+	if s == nil {
+		return nil, fmt.Errorf("shard: nil snapshot")
+	}
+	if len(s.BlocksOf) != len(s.Profiles) {
+		return nil, fmt.Errorf("shard: snapshot has %d profiles but %d block-key lists",
+			len(s.Profiles), len(s.BlocksOf))
+	}
+	if s.Config.Scheme == core.EJS {
+		return nil, incremental.ErrUnsupportedScheme
+	}
+	cfg.Resolver = s.Config
+	g := newGroup(cfg.withDefaults())
+	for i, p := range s.Profiles {
+		id := entity.ID(i)
+		home := incremental.ShardOf(id, len(g.actors))
+		if err := g.actors[home].part.Commit(id, p, s.BlocksOf[i]); err != nil {
+			return nil, err
+		}
+		for _, k := range s.BlocksOf[i] {
+			g.blockSize[k]++
+		}
+	}
+	g.size = len(s.Profiles)
+	// Cross-check the snapshot's own block index against what the key
+	// lists imply — the sharded analogue of FromSnapshot's member
+	// validation.
+	if len(s.Blocks) != len(g.blockSize) {
+		return nil, fmt.Errorf("shard: snapshot has %d blocks but key lists imply %d",
+			len(s.Blocks), len(g.blockSize))
+	}
+	for k, members := range s.Blocks {
+		if len(members) != g.blockSize[k] {
+			return nil, fmt.Errorf("shard: snapshot block %q has %d members but key lists imply %d",
+				k, len(members), g.blockSize[k])
+		}
+	}
+	g.start()
+	return g, nil
+}
+
+// FromPartitionSnapshots rebuilds a group from per-shard segments (the
+// sharded artifact), via the canonical merge so the same validation
+// applies regardless of on-disk layout.
+func FromPartitionSnapshots(cfg incremental.Config, segs []*incremental.PartitionSnapshot, gcfg Config) (*Group, error) {
+	for i, seg := range segs {
+		if seg == nil {
+			return nil, fmt.Errorf("shard: nil segment %d", i)
+		}
+		if seg.Shard != i || seg.Shards != len(segs) {
+			return nil, fmt.Errorf("shard: segment %d labeled shard %d of %d", i, seg.Shard, seg.Shards)
+		}
+	}
+	return FromSnapshot(incremental.MergeSnapshots(cfg, segs), gcfg)
+}
+
+// Close implements incremental.Index: stops every actor and waits for
+// them to exit. Idempotent.
+func (g *Group) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	for _, a := range g.actors {
+		close(a.mailbox)
+		<-a.exited
+	}
+	return nil
+}

@@ -14,8 +14,12 @@ import (
 	"runtime"
 	"testing"
 
+	"reflect"
+
 	"metablocking/internal/datagen"
+	"metablocking/internal/incremental"
 	"metablocking/internal/oracle"
+	"metablocking/internal/shard"
 )
 
 // diffCollections returns the adversarial random block collections the
@@ -167,4 +171,53 @@ func firstDiff(a, b []Pair) string {
 		}
 	}
 	return "length"
+}
+
+// TestShardedIncrementalMatchesSerial anchors the scatter-gather
+// coordinator to the serial incremental resolver: for every scheme ×
+// pruning mode × shard count in {1, 4, 16}, the same arrival order must
+// produce bit-identical answers — IDs, candidate sets, exact float64
+// weights — and a bit-identical canonical snapshot. The shard count is
+// an implementation detail that must never leak into results.
+func TestShardedIncrementalMatchesSerial(t *testing.T) {
+	profiles := datagen.D1D(0.1).Collection.Profiles
+	if len(profiles) > 300 {
+		profiles = profiles[:300]
+	}
+	for _, scheme := range []Scheme{ARCS, CBS, ECBS, JS} {
+		for _, k := range []int{0, 3} {
+			cfg := incremental.Config{Scheme: scheme, K: k, MaxBlockSize: 50}
+			serial, err := incremental.NewResolver(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]incremental.BatchResult, len(profiles))
+			for i, p := range profiles {
+				id, cands := serial.Add(p)
+				want[i] = incremental.BatchResult{ID: id, Candidates: cands}
+			}
+			wantSnap := serial.Snapshot()
+			for _, shards := range []int{1, 4, 16} {
+				name := fmt.Sprintf("%v/k%d/shards%d", scheme, k, shards)
+				g, err := shard.New(shard.Config{Resolver: cfg, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, p := range profiles {
+					got, err := g.Resolve(p)
+					if err != nil {
+						t.Fatalf("%s: arrival %d: %v", name, i, err)
+					}
+					if !reflect.DeepEqual(got, want[i]) {
+						t.Fatalf("%s: arrival %d diverged from serial:\n got %+v\nwant %+v",
+							name, i, got, want[i])
+					}
+				}
+				if !reflect.DeepEqual(g.Snapshot(), wantSnap) {
+					t.Fatalf("%s: canonical snapshot diverged from serial", name)
+				}
+				g.Close()
+			}
+		}
+	}
 }
