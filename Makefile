@@ -17,7 +17,7 @@ check:
 ## race: run the packages with concurrency — including the root package's
 ## observability/cancellation tests — under the race detector.
 race:
-	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/... ./internal/server/... ./internal/shard/... ./internal/incremental/... ./internal/loadgen/... ./internal/fault/... ./internal/par/... ./internal/store/... ./cmd/serve
+	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/... ./internal/server/... ./internal/shard/... ./internal/incremental/... ./internal/loadgen/... ./internal/fault/... ./internal/par/... ./internal/store/... ./internal/diskindex/... ./cmd/serve
 
 ## cover: fail if total statement coverage drops below COVER_BASELINE.
 cover:
@@ -27,11 +27,13 @@ cover:
 		if ($$3+0 < min+0) { print "coverage regressed below baseline"; exit 1 } }'
 
 ## fuzz-smoke: run every fuzz target for FUZZTIME each — the differential
-## oracle comparators on mutated block collections, and the tokenizer.
+## oracle comparators on mutated block collections, the tokenizer, and
+## the out-of-core add/checkpoint/crash state machine.
 fuzz-smoke:
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzDiffDirty$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzDiffClean$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entity -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diskindex -run '^$$' -fuzz '^FuzzOutOfCore$$' -fuzztime $(FUZZTIME)
 
 ## serve-smoke: build cmd/serve, start it on a random port, resolve a
 ## profile over HTTP, assert /healthz + /metrics, SIGTERM-drain, exit 0.
@@ -63,13 +65,13 @@ bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServerResolve' ./internal/server
 
 ## bench-json: emit the headline benchmark trajectory as JSON
-## (BENCH_PR7.json format: ns/op, B/op, allocs/op, p50/p99 latency).
+## (BENCH_PR8.json format: ns/op, B/op, allocs/op, p50/p99 latency).
 bench-json:
 	sh scripts/bench_json.sh
 
 ## bench-gate: re-run the headline benchmarks and fail if a gated metric
-## regressed beyond its tolerance vs the committed BENCH_PR7.json.
+## regressed beyond its tolerance vs the committed BENCH_PR8.json.
 ## allocs/op is always gated (hardware-independent); add -ns via
 ## BENCH_GATE_FLAGS for same-machine wall-clock gating.
 bench-gate:
-	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR7.json $(BENCH_GATE_FLAGS)
+	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR8.json $(BENCH_GATE_FLAGS)

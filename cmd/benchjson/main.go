@@ -1,16 +1,17 @@
 // Command benchjson emits the repository's headline benchmark numbers as
 // machine-readable JSON and gates a fresh run against a committed
-// trajectory file (BENCH_PR7.json), failing on regressions.
+// trajectory file (BENCH_PR8.json), failing on regressions.
 //
 // Two modes:
 //
 //	benchjson emit [-o out.json]
 //	    runs the headline benchmarks in-process (testing.Benchmark) and
 //	    writes {"schema":1,"benchmarks":{...}}: ns/op, B/op, allocs/op
-//	    for the serial pipeline and the batched server resolve path,
-//	    plus p50/p99 request latency under concurrent load.
+//	    for the serial pipeline, the batched server resolve path and the
+//	    out-of-core read path (cold and warm page cache), plus p50/p99
+//	    request latency under concurrent load.
 //
-//	benchjson gate -baseline BENCH_PR7.json [-current fresh.json] [-ns]
+//	benchjson gate -baseline BENCH_PR8.json [-current fresh.json] [-ns]
 //	    compares a current emit against the baseline's benchmarks
 //	    section and exits non-zero when a gated metric regressed beyond
 //	    its tolerance. allocs/op is always gated — it is
@@ -38,9 +39,12 @@ import (
 	"metablocking"
 	"metablocking/internal/core"
 	"metablocking/internal/datagen"
+	"metablocking/internal/diskindex"
 	"metablocking/internal/entity"
 	"metablocking/internal/incremental"
 	"metablocking/internal/server"
+	"metablocking/internal/shard"
+	"metablocking/internal/store"
 )
 
 // Bench is one benchmark's recorded metrics plus its optional gate
@@ -57,7 +61,7 @@ type Bench struct {
 }
 
 // File is the trajectory artifact: the current numbers, and for the
-// committed BENCH_PR7.json also the pre-PR baseline they improved on.
+// committed BENCH_PR8.json also the pre-PR baseline they improved on.
 type File struct {
 	Schema     int              `json:"schema"`
 	PR         int              `json:"pr,omitempty"`
@@ -81,7 +85,7 @@ func main() {
 		writeJSON(*out, f)
 	case "gate":
 		fs := flag.NewFlagSet("gate", flag.ExitOnError)
-		basePath := fs.String("baseline", "BENCH_PR7.json", "committed trajectory file")
+		basePath := fs.String("baseline", "BENCH_PR8.json", "committed trajectory file")
 		curPath := fs.String("current", "", "fresh emit to compare (default: run emit now)")
 		threshold := fs.String("threshold", "0.10", "default regression tolerance (fraction)")
 		gateNs := fs.Bool("ns", false, "also gate ns/op and latency percentiles (same-machine runs only)")
@@ -119,6 +123,10 @@ func runAll() map[string]Bench {
 	}
 	fmt.Fprintln(os.Stderr, "benchjson: running server_latency ...")
 	out["server_latency"] = benchServerLatency()
+	fmt.Fprintln(os.Stderr, "benchjson: running resolve_disk_cold ...")
+	out["resolve_disk_cold"] = benchResolveDisk(1)
+	fmt.Fprintln(os.Stderr, "benchjson: running resolve_disk_warm ...")
+	out["resolve_disk_warm"] = benchResolveDisk(8 << 20)
 	return out
 }
 
@@ -229,6 +237,86 @@ func benchServerLatency() Bench {
 		return all[i].Nanoseconds()
 	}
 	return Bench{P50Ns: pct(0.50), P99Ns: pct(0.99)}
+}
+
+// benchResolveDisk measures the out-of-core read path: 1000 profiles
+// sealed into five delta segments (compaction disabled so the gather
+// fans across a realistic LSM depth), then read-only Peek resolves
+// through the shard coordinator. cacheBytes picks the variant: 1 byte
+// evicts almost every posting page between operations so each Peek
+// re-reads and re-verifies pages from disk (cold); 8 MiB holds the whole
+// working set after the first pass (warm) — the steady state a serving
+// replica lives in, where the disk index must cost no more allocations
+// than the page-cache hits themselves.
+func benchResolveDisk(cacheBytes int) Bench {
+	profiles := benchProfiles(1000)
+	rcfg := incremental.Config{Scheme: core.JS, K: 10}
+	root, err := os.MkdirTemp("", "benchjson-disk")
+	if err != nil {
+		fatalf("disk bench: %v", err)
+	}
+	defer os.RemoveAll(root)
+
+	open := func() *shard.Group {
+		layout, err := store.RecoverDiskDir(root, 1)
+		if err != nil {
+			fatalf("disk bench: recover: %v", err)
+		}
+		parts := make([]*diskindex.Partition, layout.Shards)
+		for k, state := range layout.Shard {
+			parts[k], err = diskindex.Open(diskindex.Options{
+				Config:       rcfg,
+				Shards:       layout.Shards,
+				Index:        k,
+				State:        state,
+				Checkpoint:   layout.Checkpoint,
+				Size:         layout.Size,
+				CacheBytes:   cacheBytes,
+				CompactAfter: 64,
+			})
+			if err != nil {
+				fatalf("disk bench: open: %v", err)
+			}
+		}
+		blockSize := make(map[string]int)
+		for _, p := range parts {
+			p.AddBlockCounts(blockSize)
+		}
+		g, err := shard.Restored(shard.Config{
+			Resolver:   rcfg,
+			Shards:     layout.Shards,
+			Backends:   func(k int) (shard.Backend, error) { return parts[k], nil },
+			Checkpoint: layout.MaxCheckpoint,
+		}, layout.Size, blockSize)
+		if err != nil {
+			fatalf("disk bench: restore: %v", err)
+		}
+		return g
+	}
+
+	g := open()
+	defer func() { g.Close() }()
+	for i, p := range profiles {
+		if _, err := g.Resolve(p); err != nil {
+			fatalf("disk bench: resolve: %v", err)
+		}
+		if (i+1)%200 == 0 {
+			if err := g.Checkpoint(); err != nil {
+				fatalf("disk bench: checkpoint: %v", err)
+			}
+		}
+	}
+
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		i := 0
+		for i = 0; i < b.N; i++ {
+			if _, err := g.Peek(profiles[i%len(profiles)]); err != nil {
+				fatalf("disk bench: peek: %v", err)
+			}
+		}
+	})
+	return fromResult(r)
 }
 
 func benchProfiles(n int) []entity.Profile {

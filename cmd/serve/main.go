@@ -9,6 +9,14 @@
 // shards behind a scatter-gather coordinator; answers stay bit-identical
 // to the single-index configuration at every shard count.
 //
+// With -disk-dir the index is out-of-core: recent arrivals live in
+// per-shard memtables, sealed history in paged, checksummed segment
+// files under the directory, compacted in the background. The directory
+// is recovered to its newest consistent checkpoint at startup;
+// /v1/admin/snapshot with an empty path checkpoints it in place.
+// -memtable-budget bounds RAM per shard, -disk-cache the posting-page
+// cache. Answers remain bit-identical to the in-memory configurations.
+//
 // Endpoints: POST /v1/resolve, POST /v1/admin/reload,
 // POST /v1/admin/snapshot, GET /v1/admin/status, GET /healthz,
 // GET /readyz, GET /metrics, GET /debug/vars. Every non-2xx response
@@ -62,6 +70,10 @@ type options struct {
 	minToken    int
 	shards      int
 	shardQueue  int
+	diskDir     string
+	memBudget   int
+	diskCache   int
+	compactN    int
 	batchWindow time.Duration
 	batchMax    int
 	queueDepth  int
@@ -86,6 +98,10 @@ func main() {
 	flag.IntVar(&opts.minToken, "min-token", 0, "drop tokens shorter than this at blocking time")
 	flag.IntVar(&opts.shards, "shards", 1, "index partitions behind the scatter-gather coordinator (answers are identical at every count)")
 	flag.IntVar(&opts.shardQueue, "shard-queue", 2, "per-shard admission queue bound when -shards > 1")
+	flag.StringVar(&opts.diskDir, "disk-dir", "", "serve the out-of-core index from this directory (recovered at startup; empty = in-memory)")
+	flag.IntVar(&opts.memBudget, "memtable-budget", 32<<20, "per-shard memtable bytes before an automatic checkpoint (-disk-dir mode)")
+	flag.IntVar(&opts.diskCache, "disk-cache", 8<<20, "per-shard posting-page cache bytes (-disk-dir mode)")
+	flag.IntVar(&opts.compactN, "compact-after", 4, "sealed delta segments per shard before background compaction (-disk-dir mode)")
 	flag.DurationVar(&opts.batchWindow, "batch-window", 2*time.Millisecond, "max wait for more arrivals before flushing a micro-batch")
 	flag.IntVar(&opts.batchMax, "batch-max", 64, "max arrivals per index pass")
 	flag.IntVar(&opts.queueDepth, "queue", 1024, "admission queue bound; overflow sheds with 429")
@@ -143,6 +159,10 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 		},
 		Shards:           opts.shards,
 		ShardQueueDepth:  opts.shardQueue,
+		DiskDir:          opts.diskDir,
+		MemtableBudget:   opts.memBudget,
+		DiskCacheBytes:   opts.diskCache,
+		DiskCompactAfter: opts.compactN,
 		BatchWindow:      opts.batchWindow,
 		MaxBatch:         opts.batchMax,
 		QueueDepth:       opts.queueDepth,

@@ -1,0 +1,92 @@
+package diskindex
+
+import (
+	"container/list"
+
+	"metablocking/internal/obs"
+	"metablocking/internal/store"
+)
+
+// pageCache is a byte-budgeted LRU over segment pages. It is owned by a
+// single partition, which is itself single-writer, so no locking. Keys
+// are (segment pointer, page index); compaction drops a whole segment's
+// entries before closing its file.
+type pageCache struct {
+	budget  int
+	used    int
+	entries map[pageKey]*list.Element
+	lru     *list.List // front = most recent; values are *pageEntry
+
+	reads int64
+	hits  int64
+
+	ctrReads *obs.Counter
+	ctrHits  *obs.Counter
+}
+
+type pageKey struct {
+	seg  *store.Segment
+	page int32
+}
+
+type pageEntry struct {
+	key pageKey
+	buf []byte
+}
+
+func newPageCache(budget int, reads, hits *obs.Counter) *pageCache {
+	return &pageCache{
+		budget:   budget,
+		entries:  make(map[pageKey]*list.Element),
+		lru:      list.New(),
+		ctrReads: reads,
+		ctrHits:  hits,
+	}
+}
+
+// page returns the verified bytes of the given segment page, from cache
+// or disk. The returned slice is owned by the cache: valid until the
+// entry is evicted, which cannot happen before the caller's next page
+// call — callers must finish with it (or copy) before requesting
+// another page.
+func (c *pageCache) page(seg *store.Segment, page int32) ([]byte, error) {
+	key := pageKey{seg, page}
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.ctrHits.Inc()
+		c.lru.MoveToFront(el)
+		return el.Value.(*pageEntry).buf, nil
+	}
+	buf, err := seg.ReadPage(int(page), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.reads++
+	c.ctrReads.Inc()
+	e := &pageEntry{key: key, buf: buf}
+	c.entries[key] = c.lru.PushFront(e)
+	c.used += len(buf)
+	for c.used > c.budget && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		old := el.Value.(*pageEntry)
+		c.lru.Remove(el)
+		delete(c.entries, old.key)
+		c.used -= len(old.buf)
+	}
+	return buf, nil
+}
+
+// dropSegment evicts every cached page of seg; called before the
+// segment file is closed during compaction.
+func (c *pageCache) dropSegment(seg *store.Segment) {
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*pageEntry)
+		if e.key.seg == seg {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.used -= len(e.buf)
+		}
+		el = next
+	}
+}

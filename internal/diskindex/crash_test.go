@@ -1,0 +1,306 @@
+package diskindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/fault"
+	"metablocking/internal/incremental"
+	"metablocking/internal/store"
+)
+
+// buildCheckpoints feeds profiles into a fresh disk dir at root in two
+// halves with a checkpoint after each, and returns the oracle canonical
+// snapshot at each checkpoint (index 0 = empty, 1 = first, 2 = second).
+func buildCheckpoints(t *testing.T, root string, shards int, rcfg incremental.Config, profiles []entity.Profile, compactAfter int) []*incremental.Snapshot {
+	t.Helper()
+	serial, err := incremental.NewResolver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := openDiskGroup(t, root, shards, rcfg, 0, compactAfter)
+	oracles := []*incremental.Snapshot{nil}
+	half := len(profiles) / 2
+	for _, batch := range [][]entity.Profile{profiles[:half], profiles[half:]} {
+		for _, p := range batch {
+			serial.Resolve(p)
+			if _, err := g.Resolve(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		oracles = append(oracles, serial.Snapshot())
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return oracles
+}
+
+// copyDir clones the disk layout (two levels: root/s<k>/files).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	shards, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sd := range shards {
+		sub := filepath.Join(dst, sd.Name())
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		files, err := os.ReadDir(filepath.Join(src, sd.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			raw, err := os.ReadFile(filepath.Join(src, sd.Name(), f.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(sub, f.Name()), raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// listFiles returns every file under the two-level layout, relative to
+// root.
+func listFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var out []string
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sd := range shards {
+		files, err := os.ReadDir(filepath.Join(root, sd.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			out = append(out, filepath.Join(sd.Name(), f.Name()))
+		}
+	}
+	return out
+}
+
+// recoverAndCheck recovers the (possibly damaged) directory and asserts
+// the result is exactly one of the known checkpoints: the recovered
+// checkpoint id picks an oracle, and the materialized contents must
+// equal it bit for bit. Recovery must never error and never produce a
+// state that matches no checkpoint — torn files roll the index back,
+// they do not corrupt it.
+func recoverAndCheck(t *testing.T, root string, shards int, ckptIDs []uint64, oracles []*incremental.Snapshot, what string) uint64 {
+	t.Helper()
+	layout, err := store.RecoverDiskDir(root, shards)
+	if err != nil {
+		t.Fatalf("%s: recovery errored: %v", what, err)
+	}
+	ckpt := layout.Checkpoint
+	layout.Close()
+	which := -1
+	for i, id := range ckptIDs {
+		if id == ckpt {
+			which = i
+		}
+	}
+	if which < 0 {
+		t.Fatalf("%s: recovered checkpoint %d is not one of the committed checkpoints %v", what, ckpt, ckptIDs)
+	}
+	snap, err := store.LoadDiskDir(root)
+	if err != nil {
+		t.Fatalf("%s: load after recovery: %v", what, err)
+	}
+	if which == 0 {
+		if len(snap.Profiles) != 0 {
+			t.Fatalf("%s: recovered checkpoint 0 but loaded %d profiles", what, len(snap.Profiles))
+		}
+		return ckpt
+	}
+	if !reflect.DeepEqual(snap, oracles[which]) {
+		t.Fatalf("%s: recovered checkpoint %d but contents differ from that checkpoint's oracle", what, ckpt)
+	}
+	return ckpt
+}
+
+// TestCorruptionMatrix is the crash-recovery battery: every segment and
+// manifest file is truncated at every interesting boundary and
+// bit-flipped at sampled offsets, and recovery must always land on a
+// committed checkpoint whose materialized contents match its oracle.
+// Truncations model torn writes (the SIGKILL window); since every file
+// is written via rename, a torn newest generation means falling back —
+// losing the newest UNCOMMITTED generation is allowed, losing a sealed
+// one that every shard committed is not, unless the damage is to the
+// sealed history itself (bit rot), in which case rolling further back
+// beats serving corrupt data.
+func TestCorruptionMatrix(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	rcfg := incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 40}
+	const shards = 2
+	golden := t.TempDir()
+	oracles := buildCheckpoints(t, golden, shards, rcfg, profiles, 2)
+	ckptIDs := []uint64{0, 1, 2}
+	files := listFiles(t, golden)
+	if len(files) < shards*2 {
+		t.Fatalf("golden layout has only %d files", len(files))
+	}
+
+	for _, rel := range files {
+		raw, err := os.ReadFile(filepath.Join(golden, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncation points: empty, one byte, just inside the header,
+		// mid-file, just before and inside the footer/checksum tail.
+		cuts := []int{0, 1, 8, len(raw) / 2, len(raw) - 25, len(raw) - 12, len(raw) - 1}
+		for _, cut := range cuts {
+			if cut < 0 || cut >= len(raw) {
+				continue
+			}
+			what := fmt.Sprintf("%s truncated to %d/%d", rel, cut, len(raw))
+			dir := t.TempDir()
+			copyDir(t, golden, dir)
+			if err := os.WriteFile(filepath.Join(dir, rel), raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recoverAndCheck(t, dir, shards, ckptIDs, oracles, what)
+		}
+		// Sampled single-bit flips across the file body.
+		for _, off := range []int{0, 7, len(raw) / 3, len(raw) / 2, len(raw) - 5} {
+			if off < 0 || off >= len(raw) {
+				continue
+			}
+			what := fmt.Sprintf("%s bit-flipped at %d/%d", rel, off, len(raw))
+			dir := t.TempDir()
+			copyDir(t, golden, dir)
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x10
+			if err := os.WriteFile(filepath.Join(dir, rel), mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recoverAndCheck(t, dir, shards, ckptIDs, oracles, what)
+		}
+	}
+
+	// The undamaged layout must recover the newest checkpoint.
+	if got := recoverAndCheck(t, golden, shards, ckptIDs, oracles, "undamaged"); got != 2 {
+		t.Fatalf("undamaged layout recovered checkpoint %d, want 2", got)
+	}
+}
+
+// TestNewestGenerationTornFallsBack pins the cross-shard alignment rule
+// directly: damaging ONE shard's newest manifest rolls EVERY shard back
+// to the previous checkpoint — a consistent older index, never a skew
+// where shards serve different checkpoints. Compaction is disabled so
+// each checkpoint has exactly one manifest; with compaction on, tearing
+// the newest manifest falls back to the same checkpoint's
+// pre-compaction manifest instead (the corruption matrix covers that).
+func TestNewestGenerationTornFallsBack(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	rcfg := incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 40}
+	const shards = 2
+	golden := t.TempDir()
+	oracles := buildCheckpoints(t, golden, shards, rcfg, profiles, 100)
+
+	// Find shard 1's newest manifest and truncate it mid-file.
+	files, err := os.ReadDir(filepath.Join(golden, "s1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := ""
+	for _, f := range files {
+		name := f.Name()
+		if len(name) > 9 && name[:9] == "manifest-" && (newest == "" || name > newest) {
+			newest = name
+		}
+	}
+	if newest == "" {
+		t.Fatal("no manifest found on shard 1")
+	}
+	path := filepath.Join(golden, "s1", newest)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := recoverAndCheck(t, golden, shards, []uint64{0, 1, 2}, oracles, "shard 1 newest manifest torn")
+	if got != 1 {
+		t.Fatalf("recovered checkpoint %d after tearing shard 1's newest manifest, want fallback to 1", got)
+	}
+}
+
+// TestSealFaultNeverLosesCheckpoint simulates a crash at every fault
+// site inside the seal's write path — create, write, short write, sync,
+// rename — after a successful checkpoint. The failed checkpoint is
+// reported to the caller; the directory must still recover the last
+// committed checkpoint with its exact contents. A sealed generation is
+// never lost.
+func TestSealFaultNeverLosesCheckpoint(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	rcfg := incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 40}
+	const shards = 2
+	sites := []struct {
+		name string
+		spec fault.Spec
+	}{
+		{store.FaultSaveCreate, fault.Spec{Times: 1}},
+		{store.FaultSaveWrite, fault.Spec{Times: 1}},
+		{store.FaultSaveWrite + "-short", fault.Spec{ShortWrite: 7, Times: 1}},
+		{store.FaultSaveSync, fault.Spec{Times: 1}},
+		{store.FaultSaveRename, fault.Spec{Times: 1}},
+	}
+	for _, site := range sites {
+		t.Run(site.name, func(t *testing.T) {
+			root := t.TempDir()
+			serial, err := incremental.NewResolver(rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := openDiskGroup(t, root, shards, rcfg, 0, 2)
+			for _, p := range profiles[:30] {
+				serial.Resolve(p)
+				if _, err := g.Resolve(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := g.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			oracle := serial.Snapshot()
+			for _, p := range profiles[30:] {
+				if _, err := g.Resolve(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			in := fault.New(1)
+			armed := site.name
+			if site.spec.ShortWrite > 0 {
+				armed = store.FaultSaveWrite
+			}
+			in.Arm(armed, site.spec)
+			store.SetInjector(in)
+			err = g.Checkpoint()
+			store.SetInjector(nil)
+			if err == nil {
+				t.Fatal("checkpoint succeeded despite armed fault")
+			}
+			// Crash: abandon the group without closing cleanly.
+			oracles := []*incremental.Snapshot{nil, oracle}
+			if got := recoverAndCheck(t, root, shards, []uint64{0, 1}, oracles, "post-fault recovery"); got != 1 {
+				t.Fatalf("recovered checkpoint %d, want the committed checkpoint 1", got)
+			}
+			g.Close()
+		})
+	}
+}

@@ -1,0 +1,674 @@
+// Package diskindex is the out-of-core shard backend: an LSM-flavored
+// posting store that keeps recent commits in an in-memory memtable and
+// everything older in immutable, paged, CRC-guarded segment files
+// (internal/store), so the resolver serves collections larger than the
+// memtable budget — ROADMAP item 1's scale regime.
+//
+// The write path is the classic LSM shape, cut to this repo's
+// single-writer actor model:
+//
+//   - Commit appends to the memtable: per-token postings.Builders plus
+//     the batch's profiles and key lists. O(1) per key, all in RAM.
+//   - Seal — triggered by the coordinator's checkpoint, which is also
+//     all /v1/admin/snapshot does in disk mode — streams the memtable
+//     into a new segment file and commits a manifest naming the shard's
+//     full segment list. Manifest-written-last makes the checkpoint the
+//     crash-consistency point: a kill at any instant leaves the previous
+//     manifest pointing at untouched files.
+//   - MaybeCompact, run by the shard actor off the request path, merges
+//     every sealed segment into one once enough deltas pile up. The merge
+//     streams: sorted token dictionaries zip together and raw varint
+//     posting bytes splice with postings.RebaseVarint — no decode, no
+//     full-index materialization.
+//
+// The read path keeps exactly the small state in RAM — per-profile key
+// counts (the |B_j| weight term), ScanCount cells, and the segments'
+// token dictionaries — while posting members and profiles stay on disk
+// behind a byte-budgeted page LRU. Gather replicates
+// incremental.Partition.Gather bit-for-bit: the same key order, the same
+// per-cell accumulation, the same float operand order, with each
+// token's members visited segment-by-segment in ascending-ID order (IDs
+// only grow across seals, so segment order is ID order). The partition
+// returns every weighted neighbor unpruned — a superset the
+// coordinator's exact merge kernels reduce to the identical answer.
+//
+// Gather and the other read accessors cannot return errors through the
+// shard.Backend contract; an I/O failure or a page that fails its CRC
+// panics with a descriptive error, which the owning actor recovers into
+// a typed per-resolve error (internal/par) — the same containment path
+// as any other shard failure.
+package diskindex
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+	"metablocking/internal/obs"
+	"metablocking/internal/postings"
+	"metablocking/internal/shard"
+	"metablocking/internal/store"
+)
+
+// Metric names registered on the partition's obs.Metrics. Counters are
+// additive across shards.
+const (
+	CtrSeals       = "diskindex.seals"
+	CtrCompactions = "diskindex.compactions"
+	CtrPageReads   = "diskindex.page_reads"
+	CtrCacheHits   = "diskindex.cache_hits"
+)
+
+// Options parameterizes one shard's disk-backed partition.
+type Options struct {
+	// Config is the resolver configuration stamped into every manifest.
+	Config incremental.Config
+	// Shards and Index place the partition in the hash layout.
+	Shards int
+	Index  int
+	// State is the shard's recovered directory state from
+	// store.RecoverDiskDir — segments to adopt (may be empty for a fresh
+	// shard) and the next safe file numbers.
+	State *store.DiskShardState
+	// Checkpoint is the recovered checkpoint id (layout.Checkpoint).
+	Checkpoint uint64
+	// Size is the recovered global resolver size (layout.Size).
+	Size int
+	// CacheBytes budgets the page cache. Default 8 MiB.
+	CacheBytes int
+	// CompactAfter is the sealed-segment count that triggers background
+	// compaction. Default 4; minimum 2.
+	CompactAfter int
+	// Metrics receives the diskindex.* counters. Nil means a private
+	// registry.
+	Metrics *obs.Metrics
+}
+
+// cell is the ScanCount scratch of one local slot, like the in-memory
+// partition's shardCell.
+type cell struct {
+	epoch    int64
+	common   float64
+	firstKey int32
+}
+
+// Partition is one disk-backed hash-shard of the incremental index. It
+// implements shard.Backend and shard.Maintainer; like every partition it
+// is single-writer — the owning shard actor serializes all access.
+type Partition struct {
+	cfg    incremental.Config
+	shards int
+	index  int
+	dir    string
+
+	// Sealed tier: immutable segments in ascending MinSeq (= ascending
+	// ID range) order, plus the lineage counters.
+	segs        []*store.Segment
+	sealedSlots int
+	checkpoint  uint64
+	lastSize    int
+	nextSeq     uint64
+	nextGen     uint64
+
+	// Memtable: unsealed commits.
+	mem         map[string]*postings.Builder
+	memProfiles []entity.Profile
+	memKeys     [][]string
+	memBytes    int
+
+	// RAM-resident read state for every local slot, sealed or not.
+	keyCounts []int32
+	cells     []cell
+	epoch     int64
+
+	cache *pageCache
+
+	// Per-call scratch, reused across gathers.
+	members   []entity.ID
+	neighbors []entity.ID
+
+	compactAfter int
+	seals        int64
+	compactions  int64
+
+	ctrSeals       *obs.Counter
+	ctrCompactions *obs.Counter
+}
+
+// Open builds the partition over a recovered shard directory, adopting
+// its segments and loading the RAM tier (key counts) from their indexes
+// — no posting page is read until the first gather touches it.
+func Open(opts Options) (*Partition, error) {
+	if opts.State == nil {
+		return nil, fmt.Errorf("diskindex: nil shard state")
+	}
+	if opts.Config.Scheme == core.EJS {
+		return nil, incremental.ErrUnsupportedScheme
+	}
+	if opts.Config.MaxBlockSize == 0 {
+		opts.Config.MaxBlockSize = 1000
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 8 << 20
+	}
+	if opts.CompactAfter <= 0 {
+		opts.CompactAfter = 4
+	}
+	if opts.CompactAfter < 2 {
+		opts.CompactAfter = 2
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewMetrics()
+	}
+	p := &Partition{
+		cfg:          opts.Config,
+		shards:       opts.Shards,
+		index:        opts.Index,
+		dir:          opts.State.Dir,
+		segs:         opts.State.Segments,
+		checkpoint:   opts.Checkpoint,
+		lastSize:     opts.Size,
+		nextSeq:      opts.State.NextSeq,
+		nextGen:      opts.State.NextGen,
+		mem:          make(map[string]*postings.Builder),
+		compactAfter: opts.CompactAfter,
+		cache: newPageCache(opts.CacheBytes,
+			metrics.Counter(CtrPageReads), metrics.Counter(CtrCacheHits)),
+		ctrSeals:       metrics.Counter(CtrSeals),
+		ctrCompactions: metrics.Counter(CtrCompactions),
+	}
+	for _, seg := range p.segs {
+		meta := seg.Meta()
+		if meta.Shard != p.index || meta.Shards != p.shards {
+			return nil, fmt.Errorf("diskindex: segment %s labeled shard %d/%d, partition is %d/%d",
+				seg.Path(), meta.Shard, meta.Shards, p.index, p.shards)
+		}
+		if meta.FirstSlot != p.sealedSlots {
+			return nil, fmt.Errorf("diskindex: segment %s starts at slot %d, expected %d",
+				seg.Path(), meta.FirstSlot, p.sealedSlots)
+		}
+		p.keyCounts = append(p.keyCounts, seg.KeyCounts()...)
+		p.sealedSlots += meta.Profiles
+	}
+	p.cells = make([]cell, len(p.keyCounts))
+	return p, nil
+}
+
+// slots returns the local profile count, sealed plus memtable.
+func (p *Partition) slots() int { return p.sealedSlots + len(p.memProfiles) }
+
+// Len implements shard.Backend.
+func (p *Partition) Len() int { return p.slots() }
+
+// Blocks implements shard.Backend: distinct block keys across the
+// sealed segments and the memtable. Sealed dictionaries can overlap each
+// other and the memtable, so this merges the sorted token lists.
+func (p *Partition) Blocks() int {
+	toks := make(map[string]struct{})
+	for _, seg := range p.segs {
+		for _, t := range seg.Tokens() {
+			toks[t] = struct{}{}
+		}
+	}
+	for t := range p.mem {
+		toks[t] = struct{}{}
+	}
+	return len(toks)
+}
+
+// fail panics with a diskindex-labeled error; the shard actor recovers
+// it into a per-resolve error (see the package comment).
+func fail(err error) {
+	panic(fmt.Errorf("diskindex: %w", err))
+}
+
+// Gather implements shard.Backend: the ScanCount accumulation of
+// incremental.Partition.Gather over the sealed segments plus the
+// memtable. maxWeighted is ignored — every weighted neighbor is
+// returned, a superset the coordinator's exact top-K merge prunes to
+// the identical result.
+func (p *Partition) Gather(keys []string, incs []float64, bi int, nb float64, _ int, dst []incremental.ShardCand) []incremental.ShardCand {
+	p.epoch++
+	epoch := p.epoch
+	cells := p.cells
+	neighbors := p.neighbors[:0]
+	for ki, k := range keys {
+		inc := incs[ki]
+		if inc == incremental.SkipKey {
+			continue
+		}
+		for _, seg := range p.segs {
+			ti, ok := seg.FindToken(k)
+			if !ok {
+				continue
+			}
+			ref := seg.Ref(ti)
+			page, err := p.cache.page(seg, ref.Page)
+			if err != nil {
+				fail(err)
+			}
+			enc := page[ref.Off : ref.Off+ref.Len]
+			p.members = postings.AppendDecoded(p.members[:0], postings.Varint, enc, int(ref.Count))
+			neighbors = accumulate(cells, p.members, epoch, inc, int32(ki), p.shards, neighbors)
+		}
+		if b := p.mem[k]; b != nil {
+			p.members = b.AppendTo(p.members[:0])
+			neighbors = accumulate(cells, p.members, epoch, inc, int32(ki), p.shards, neighbors)
+		}
+	}
+	p.neighbors = neighbors
+	dst = dst[:0]
+	for _, j := range neighbors {
+		dst = append(dst, incremental.ShardCand{
+			Candidate: incremental.Candidate{ID: j, Weight: p.weight(bi, nb, j)},
+			FirstKey:  cells[int(j)/p.shards].firstKey,
+		})
+	}
+	return dst
+}
+
+// accumulate folds one member list into the ScanCount cells — the inner
+// loop of incremental.Partition.Gather, shared by the segment and
+// memtable passes so the float accumulation order is identical.
+func accumulate(cells []cell, members []entity.ID, epoch int64, inc float64, ki int32, shards int, neighbors []entity.ID) []entity.ID {
+	for _, j := range members {
+		c := &cells[int(j)/shards]
+		if c.epoch != epoch {
+			c.epoch = epoch
+			c.common = inc
+			c.firstKey = ki
+			neighbors = append(neighbors, j)
+		} else {
+			c.common += inc
+		}
+	}
+	return neighbors
+}
+
+// weight mirrors incremental.Partition.weight: same expressions, same
+// operand order, with |B_j| from the RAM-resident key counts.
+func (p *Partition) weight(bi int, nb float64, j entity.ID) float64 {
+	slot := int(j) / p.shards
+	common := p.cells[slot].common
+	bj := int(p.keyCounts[slot])
+	switch p.cfg.Scheme {
+	case core.ARCS, core.CBS:
+		return common
+	case core.ECBS:
+		return common * math.Log(nb/float64(bi)) * math.Log(nb/float64(bj))
+	case core.JS:
+		return common / (float64(bi) + float64(bj) - common)
+	default:
+		return common
+	}
+}
+
+// Commit implements shard.Backend: the profile and its keys join the
+// memtable.
+func (p *Partition) Commit(id entity.ID, prof entity.Profile, keys []string) error {
+	if incremental.ShardOf(id, p.shards) != p.index {
+		return fmt.Errorf("diskindex: profile %d committed to shard %d of %d, belongs on %d",
+			id, p.index, p.shards, incremental.ShardOf(id, p.shards))
+	}
+	if slot := int(id) / p.shards; slot != p.slots() {
+		return fmt.Errorf("diskindex: profile %d arrives at shard %d slot %d, expected slot %d",
+			id, p.index, slot, p.slots())
+	}
+	prof.ID = id
+	var kept []string
+	if len(keys) > 0 {
+		kept = make([]string, len(keys))
+		copy(kept, keys)
+	}
+	p.memProfiles = append(p.memProfiles, prof)
+	p.memKeys = append(p.memKeys, kept)
+	p.keyCounts = append(p.keyCounts, int32(len(keys)))
+	p.cells = append(p.cells, cell{})
+	for _, k := range keys {
+		b := p.mem[k]
+		if b == nil {
+			b = new(postings.Builder)
+			p.mem[k] = b
+		}
+		b.Append(id)
+	}
+	p.memBytes += estimateBytes(prof, kept)
+	return nil
+}
+
+// estimateBytes approximates one commit's memtable footprint: profile
+// strings, key strings, and per-entry bookkeeping. The estimate only
+// drives the seal trigger; it need not be exact.
+func estimateBytes(p entity.Profile, keys []string) int {
+	n := 64
+	for _, a := range p.Attributes {
+		n += len(a.Name) + len(a.Value) + 32
+	}
+	for _, k := range keys {
+		n += len(k) + 24
+	}
+	return n
+}
+
+// PendingBytes implements shard.Maintainer.
+func (p *Partition) PendingBytes() int { return p.memBytes }
+
+// Seal implements shard.Maintainer: stream the memtable into a new
+// segment (when non-empty), then commit a manifest under the
+// coordinator's checkpoint id — the durability point. On any error the
+// previous manifest and its files are untouched.
+func (p *Partition) Seal(checkpoint uint64, size int) error {
+	if len(p.memProfiles) > 0 {
+		seq := p.nextSeq
+		meta := store.SegmentMeta{
+			Shard:     p.index,
+			Shards:    p.shards,
+			MinSeq:    seq,
+			Seq:       seq,
+			FirstSlot: p.sealedSlots,
+			Profiles:  len(p.memProfiles),
+		}
+		toks := make([]string, 0, len(p.mem))
+		for t := range p.mem {
+			toks = append(toks, t)
+		}
+		sort.Strings(toks)
+		src := store.SegmentSource{
+			Tokens: func(emit func(tok string, enc []byte, count, last int32) error) error {
+				for _, t := range toks {
+					b := p.mem[t]
+					if err := emit(t, b.Bytes(), int32(b.Len()), b.Last()); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			Profiles: func(emit func(prof entity.Profile, keys []string) error) error {
+				for i := range p.memProfiles {
+					if err := emit(p.memProfiles[i], p.memKeys[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+		path := filepath.Join(p.dir, store.SegmentFileName(seq))
+		if err := store.WriteSegment(path, meta, src); err != nil {
+			return err
+		}
+		seg, err := store.OpenSegment(path, false)
+		if err != nil {
+			return err
+		}
+		p.segs = append(p.segs, seg)
+		p.sealedSlots += len(p.memProfiles)
+		p.nextSeq++
+		clear(p.mem)
+		p.memProfiles = p.memProfiles[:0]
+		p.memKeys = p.memKeys[:0]
+		p.memBytes = 0
+	}
+	if err := p.commitManifest(checkpoint, size); err != nil {
+		return err
+	}
+	p.seals++
+	p.ctrSeals.Inc()
+	return nil
+}
+
+// commitManifest writes the manifest naming the current segment list and
+// advances the lineage counters, then applies the retention sweep.
+func (p *Partition) commitManifest(checkpoint uint64, size int) error {
+	names := make([]string, len(p.segs))
+	for i, seg := range p.segs {
+		names[i] = filepath.Base(seg.Path())
+	}
+	m := store.DiskManifest{
+		Scheme:         int(p.cfg.Scheme),
+		K:              p.cfg.K,
+		MaxBlockSize:   p.cfg.MaxBlockSize,
+		MinTokenLength: p.cfg.MinTokenLength,
+		Shard:          p.index,
+		Shards:         p.shards,
+		Checkpoint:     checkpoint,
+		Size:           size,
+		LocalGen:       p.nextGen,
+		Segments:       names,
+	}
+	if err := store.SaveDiskManifest(p.dir, m); err != nil {
+		return err
+	}
+	p.nextGen++
+	p.checkpoint = checkpoint
+	p.lastSize = size
+	store.SweepShardDir(p.dir, checkpoint)
+	return nil
+}
+
+// MaybeCompact implements shard.Maintainer: once CompactAfter sealed
+// deltas accumulate, merge them all into one segment and commit a
+// manifest for it under the same checkpoint. The merge streams token and
+// profile data segment-by-segment; the pre-compaction manifest survives
+// the sweep (same checkpoint), so a later corruption of the merged file
+// falls back to the un-merged generation.
+func (p *Partition) MaybeCompact() (bool, error) {
+	if len(p.segs) < p.compactAfter || p.checkpoint == 0 {
+		return false, nil
+	}
+	seq := p.nextSeq
+	meta := store.SegmentMeta{
+		Shard:     p.index,
+		Shards:    p.shards,
+		MinSeq:    p.segs[0].Meta().MinSeq,
+		Seq:       seq,
+		FirstSlot: p.segs[0].Meta().FirstSlot,
+		Profiles:  p.sealedSlots - p.segs[0].Meta().FirstSlot,
+	}
+	path := filepath.Join(p.dir, store.SegmentFileName(seq))
+	if err := store.WriteSegment(path, meta, p.mergeSource()); err != nil {
+		return false, err
+	}
+	merged, err := store.OpenSegment(path, false)
+	if err != nil {
+		return false, err
+	}
+	old := p.segs
+	p.segs = []*store.Segment{merged}
+	p.nextSeq++
+	if err := p.commitManifest(p.checkpoint, p.lastSize); err != nil {
+		// The merged file is orphaned (no manifest names it); the sealed
+		// state is unchanged. Fall back to the old segment set.
+		merged.Close()
+		p.segs = old
+		return false, err
+	}
+	for _, seg := range old {
+		p.cache.dropSegment(seg)
+		seg.Close()
+	}
+	p.compactions++
+	p.ctrCompactions.Inc()
+	return true, nil
+}
+
+// mergeSource streams the union of every sealed segment: tokens zip
+// together in dictionary order with their raw posting bytes spliced by
+// RebaseVarint (segments cover disjoint ascending ID ranges), profiles
+// chain in slot order. Bounded memory: one posting list and one profile
+// chunk at a time.
+func (p *Partition) mergeSource() store.SegmentSource {
+	segs := p.segs
+	return store.SegmentSource{
+		Tokens: func(emit func(tok string, enc []byte, count, last int32) error) error {
+			heads := make([]int, len(segs))
+			pages := make([]segPage, len(segs))
+			var enc []byte
+			for {
+				tok := ""
+				found := false
+				for si, seg := range segs {
+					if heads[si] >= len(seg.Tokens()) {
+						continue
+					}
+					if t := seg.Tokens()[heads[si]]; !found || t < tok {
+						tok, found = t, true
+					}
+				}
+				if !found {
+					return nil
+				}
+				enc = enc[:0]
+				var count int32
+				var last int32 = -1
+				for si, seg := range segs {
+					if heads[si] >= len(seg.Tokens()) || seg.Tokens()[heads[si]] != tok {
+						continue
+					}
+					ref := seg.Ref(heads[si])
+					raw, err := pages[si].bytes(seg, ref)
+					if err != nil {
+						return err
+					}
+					if count == 0 {
+						enc = append(enc, raw...)
+					} else {
+						enc = postings.RebaseVarint(enc, last, raw)
+					}
+					count += ref.Count
+					last = ref.Last
+					heads[si]++
+				}
+				if err := emit(tok, enc, count, last); err != nil {
+					return err
+				}
+			}
+		},
+		Profiles: func(emit func(prof entity.Profile, keys []string) error) error {
+			var scratch []byte
+			for _, seg := range segs {
+				for ci := 0; ci < seg.ProfileChunks(); ci++ {
+					var profiles []entity.Profile
+					var keys [][]string
+					var err error
+					profiles, keys, scratch, err = seg.ReadProfileChunk(ci, scratch)
+					if err != nil {
+						return err
+					}
+					for i := range profiles {
+						if err := emit(profiles[i], keys[i]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// segPage caches one segment's current page during a merge — tokens are
+// packed in dictionary order, so reads walk pages sequentially.
+type segPage struct {
+	idx int32
+	buf []byte
+	ok  bool
+}
+
+func (sp *segPage) bytes(seg *store.Segment, ref store.TokenRef) ([]byte, error) {
+	if !sp.ok || sp.idx != ref.Page {
+		var err error
+		if sp.buf, err = seg.ReadPage(int(ref.Page), sp.buf); err != nil {
+			return nil, err
+		}
+		sp.idx, sp.ok = ref.Page, true
+	}
+	return sp.buf[ref.Off : ref.Off+ref.Len], nil
+}
+
+// DiskStats implements shard.Maintainer.
+func (p *Partition) DiskStats() shard.DiskStats {
+	return shard.DiskStats{
+		Segments:      len(p.segs),
+		MemtableBytes: p.memBytes,
+		Checkpoint:    p.checkpoint,
+		Seals:         p.seals,
+		Compactions:   p.compactions,
+		PageReads:     p.cache.reads,
+		CacheHits:     p.cache.hits,
+	}
+}
+
+// AddBlockCounts folds the partition's per-token member counts into the
+// coordinator's global block-cardinality map — what Restored groups need
+// instead of replaying every commit.
+func (p *Partition) AddBlockCounts(m map[string]int) {
+	for _, seg := range p.segs {
+		toks := seg.Tokens()
+		for ti := range toks {
+			m[toks[ti]] += int(seg.Ref(ti).Count)
+		}
+	}
+	for t, b := range p.mem {
+		m[t] += b.Len()
+	}
+}
+
+// Snapshot implements shard.Backend: the canonical in-memory segment,
+// read back from the sealed files plus the memtable. Shapes match
+// incremental.Partition.Snapshot exactly (nil for empty profile lists
+// and key lists) so DeepEqual equivalence holds across backends.
+func (p *Partition) Snapshot() *incremental.PartitionSnapshot {
+	s := &incremental.PartitionSnapshot{
+		Shard:    p.index,
+		Shards:   p.shards,
+		Blocks:   make(map[string][]entity.ID),
+		BlocksOf: make([][]string, 0, p.slots()),
+	}
+	var scratch []byte
+	for _, seg := range p.segs {
+		for ci := 0; ci < seg.ProfileChunks(); ci++ {
+			profiles, keys, sc, err := seg.ReadProfileChunk(ci, scratch)
+			if err != nil {
+				fail(err)
+			}
+			scratch = sc
+			s.Profiles = append(s.Profiles, profiles...)
+			s.BlocksOf = append(s.BlocksOf, keys...)
+		}
+		toks := seg.Tokens()
+		for ti := range toks {
+			ref := seg.Ref(ti)
+			var err error
+			if scratch, err = seg.ReadPage(int(ref.Page), scratch); err != nil {
+				fail(err)
+			}
+			enc := scratch[ref.Off : ref.Off+ref.Len]
+			s.Blocks[toks[ti]] = postings.AppendDecoded(s.Blocks[toks[ti]], postings.Varint, enc, int(ref.Count))
+		}
+	}
+	s.Profiles = append(s.Profiles, p.memProfiles...)
+	for _, keys := range p.memKeys {
+		s.BlocksOf = append(s.BlocksOf, append([]string(nil), keys...))
+	}
+	for t, b := range p.mem {
+		s.Blocks[t] = b.AppendTo(s.Blocks[t])
+	}
+	return s
+}
+
+// Close releases the open segment files.
+func (p *Partition) Close() error {
+	var firstErr error
+	for _, seg := range p.segs {
+		if err := seg.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	p.segs = nil
+	return firstErr
+}

@@ -1,0 +1,237 @@
+package diskindex
+
+import (
+	"reflect"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+	"metablocking/internal/shard"
+	"metablocking/internal/store"
+)
+
+func testProfiles(t testing.TB, n int) []entity.Profile {
+	t.Helper()
+	ds := datagen.D1D(0.1)
+	if len(ds.Collection.Profiles) < n {
+		t.Fatalf("dataset has %d profiles, need %d", len(ds.Collection.Profiles), n)
+	}
+	return ds.Collection.Profiles[:n]
+}
+
+// openDiskGroup recovers root and serves it through the shard
+// coordinator over disk-backed partitions — the same wiring
+// internal/server uses in -disk-dir mode, at test-chosen knobs.
+func openDiskGroup(t testing.TB, root string, shards int, rcfg incremental.Config, budget, compactAfter int) *shard.Group {
+	t.Helper()
+	layout, err := store.RecoverDiskDir(root, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*Partition, layout.Shards)
+	for k, state := range layout.Shard {
+		parts[k], err = Open(Options{
+			Config:       rcfg,
+			Shards:       layout.Shards,
+			Index:        k,
+			State:        state,
+			Checkpoint:   layout.Checkpoint,
+			Size:         layout.Size,
+			CompactAfter: compactAfter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	blockSize := make(map[string]int)
+	for _, p := range parts {
+		p.AddBlockCounts(blockSize)
+	}
+	g, err := shard.Restored(shard.Config{
+		Resolver:       rcfg,
+		Shards:         layout.Shards,
+		Backends:       func(k int) (shard.Backend, error) { return parts[k], nil },
+		MemtableBudget: budget,
+		Checkpoint:     layout.MaxCheckpoint,
+	}, layout.Size, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// diskStats sums the per-shard disk counters.
+func diskStats(g *shard.Group) (seals, compactions int64, segments int) {
+	for _, st := range g.Stats() {
+		if st.Disk != nil {
+			seals += st.Disk.Seals
+			compactions += st.Disk.Compactions
+			segments += st.Disk.Segments
+		}
+	}
+	return
+}
+
+// TestDiskGroupMatchesSerial is the out-of-core tentpole claim: for
+// every scheme × pruning mode × shard count, a disk-backed group whose
+// memtable budget is far smaller than the collection — so it seals and
+// compacts repeatedly mid-run — resolves bit-identically to the
+// all-in-memory single-index Resolver, answer by answer, and so do its
+// Peek answers and canonical snapshot. A checkpointed restart then
+// continues the run, still bit-identical.
+func TestDiskGroupMatchesSerial(t *testing.T) {
+	profiles := testProfiles(t, 200)
+	const restartAt = 150
+	for _, scheme := range []core.Scheme{core.ARCS, core.CBS, core.ECBS, core.JS} {
+		for _, k := range []int{0, 3} {
+			rcfg := incremental.Config{Scheme: scheme, K: k, MaxBlockSize: 40}
+			serial, err := incremental.NewResolver(rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]incremental.BatchResult, len(profiles))
+			for i, p := range profiles {
+				want[i], _ = serial.Resolve(p)
+			}
+			wantPeek, _ := serial.Peek(profiles[13])
+			wantSnap := serial.Snapshot()
+
+			for _, shards := range []int{1, 4} {
+				root := t.TempDir()
+				// A ~4 KiB budget forces dozens of seals over 200 profiles;
+				// CompactAfter 2 forces compaction behind nearly every one.
+				g := openDiskGroup(t, root, shards, rcfg, 4<<10, 2)
+				for i, p := range profiles[:restartAt] {
+					got, err := g.Resolve(p)
+					if err != nil {
+						t.Fatalf("scheme %v k=%d shards=%d: resolve %d: %v", scheme, k, shards, i, err)
+					}
+					if !reflect.DeepEqual(got, want[i]) {
+						t.Fatalf("scheme %v k=%d shards=%d: arrival %d diverged:\n got %+v\nwant %+v",
+							scheme, k, shards, i, got, want[i])
+					}
+				}
+				seals, compactions, _ := diskStats(g)
+				if seals == 0 || compactions == 0 {
+					t.Fatalf("scheme %v k=%d shards=%d: out-of-core path not exercised: %d seals, %d compactions",
+						scheme, k, shards, seals, compactions)
+				}
+				// Clean restart: checkpoint (durability point), close, recover.
+				if err := g.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				if err := g.Close(); err != nil {
+					t.Fatal(err)
+				}
+				g = openDiskGroup(t, root, shards, rcfg, 4<<10, 2)
+				if g.Size() != restartAt {
+					t.Fatalf("scheme %v k=%d shards=%d: recovered size %d, want %d",
+						scheme, k, shards, g.Size(), restartAt)
+				}
+				for i, p := range profiles[restartAt:] {
+					got, err := g.Resolve(p)
+					if err != nil {
+						t.Fatalf("scheme %v k=%d shards=%d: post-restart resolve %d: %v", scheme, k, shards, i, err)
+					}
+					if !reflect.DeepEqual(got, want[restartAt+i]) {
+						t.Fatalf("scheme %v k=%d shards=%d: post-restart arrival %d diverged:\n got %+v\nwant %+v",
+							scheme, k, shards, restartAt+i, got, want[restartAt+i])
+					}
+				}
+				if gotPeek, err := g.Peek(profiles[13]); err != nil || !reflect.DeepEqual(gotPeek, wantPeek) {
+					t.Fatalf("scheme %v k=%d shards=%d: Peek diverged (err %v)", scheme, k, shards, err)
+				}
+				if gotSnap := g.Snapshot(); !reflect.DeepEqual(gotSnap, wantSnap) {
+					t.Fatalf("scheme %v k=%d shards=%d: canonical snapshot diverged", scheme, k, shards)
+				}
+				if err := g.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestDiskDirPortability pins the layout bridge: a checkpointed disk
+// directory loads through store.LoadAnyResolverFile into the same
+// canonical snapshot the in-memory resolver produces, so disk
+// directories interoperate with /v1/admin/reload like the two file
+// layouts.
+func TestDiskDirPortability(t *testing.T) {
+	profiles := testProfiles(t, 80)
+	rcfg := incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 40}
+	serial, err := incremental.NewResolver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		serial.Resolve(p)
+	}
+	root := t.TempDir()
+	g := openDiskGroup(t, root, 3, rcfg, 2<<10, 2)
+	for _, p := range profiles {
+		if _, err := g.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.LoadAnyResolverFile(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, serial.Snapshot()) {
+		t.Fatal("disk directory loads to a different canonical snapshot than the serial resolver")
+	}
+}
+
+// TestGatherWarmAllocs pins the warm-cache read path: once a token's
+// pages are cached, a Gather allocates nothing — scratch buffers,
+// ScanCount cells and the page cache all reuse steady-state memory.
+func TestGatherWarmAllocs(t *testing.T) {
+	profiles := testProfiles(t, 120)
+	dir := t.TempDir()
+	p, err := Open(Options{
+		Config: incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 1000},
+		Shards: 1,
+		State:  &store.DiskShardState{Dir: dir},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	keyer := incremental.Keyer{}
+	var lists [][]string
+	for i, prof := range profiles {
+		keys := append([]string(nil), keyer.Keys(prof)...)
+		lists = append(lists, keys)
+		if err := p.Commit(entity.ID(i), prof, keys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Seal(1, len(profiles)); err != nil {
+		t.Fatal(err)
+	}
+	keys := lists[60]
+	incs := make([]float64, len(keys))
+	for i := range incs {
+		incs[i] = 1
+	}
+	var dst []incremental.ShardCand
+	dst = p.Gather(keys, incs, len(keys), 100, 0, dst) // cold: faults pages in
+	if len(dst) == 0 {
+		t.Fatal("gather found no neighbors; test needs a denser key set")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = p.Gather(keys, incs, len(keys), 100, 0, dst)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm gather allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,98 @@
+package diskindex
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+// fuzzProfile derives arrival i deterministically from a tiny shared
+// vocabulary, so postings overlap heavily and every scheme's weight
+// arithmetic is exercised.
+func fuzzProfile(i int) entity.Profile {
+	return entity.Profile{Attributes: []entity.Attribute{
+		{Name: "name", Value: fmt.Sprintf("tok%d tok%d", i%7, (i*3)%11)},
+		{Name: "city", Value: fmt.Sprintf("city%d", i%5)},
+	}}
+}
+
+// FuzzOutOfCore drives arbitrary Add / Checkpoint / Crash+Reopen
+// sequences against the disk-backed group and diffs it after every
+// step against an in-memory reference resolver. A crash (close without
+// checkpoint) rolls both back to the last checkpoint; everything the
+// reference knows past a checkpoint the disk index must answer
+// identically, and the canonical snapshots must match bit for bit.
+// Compaction is implicit: CompactAfter 2 makes nearly every checkpoint
+// trigger one.
+func FuzzOutOfCore(f *testing.F) {
+	f.Add(1, []byte{0, 0, 0, 3, 0, 0, 4, 0, 3, 4, 0})
+	f.Add(2, []byte{0, 3, 4, 0, 3, 4, 0, 3, 4})
+	f.Add(3, []byte{0, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 4})
+	f.Add(1, []byte{3, 3, 4, 4, 3})
+	f.Fuzz(func(t *testing.T, shards int, ops []byte) {
+		shards = shards%3 + 1
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		rcfg := incremental.Config{Scheme: core.JS, K: 3, MaxBlockSize: 40}
+		root := t.TempDir()
+		g := openDiskGroup(t, root, shards, rcfg, 0, 2)
+		defer func() { g.Close() }()
+		ref, err := incremental.NewResolver(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ckptSnap *incremental.Snapshot // reference state at last checkpoint
+		next := 0                          // arrival counter, shared by both sides
+		for step, op := range ops {
+			switch op % 5 {
+			case 0, 1, 2: // add one profile
+				p := fuzzProfile(next)
+				next++
+				want, err := ref.Resolve(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := g.Resolve(p)
+				if err != nil {
+					t.Fatalf("step %d: disk resolve: %v", step, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d: resolve diverged:\n got %+v\nwant %+v", step, got, want)
+				}
+			case 3: // checkpoint
+				if err := g.Checkpoint(); err != nil {
+					t.Fatalf("step %d: checkpoint: %v", step, err)
+				}
+				ckptSnap = ref.Snapshot()
+			case 4: // crash (no checkpoint) + reopen
+				g.Close()
+				g = openDiskGroup(t, root, shards, rcfg, 0, 2)
+				// Roll the reference back to the last checkpoint too.
+				if ckptSnap == nil {
+					ref, err = incremental.NewResolver(rcfg)
+					next = 0
+				} else {
+					ref, err = incremental.FromSnapshot(ckptSnap)
+					next = len(ckptSnap.Profiles)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g.Size() != ref.Size() {
+					t.Fatalf("step %d: reopened size %d, reference %d", step, g.Size(), ref.Size())
+				}
+			}
+			if g.Size() != ref.Size() {
+				t.Fatalf("step %d: size skew: disk %d, reference %d", step, g.Size(), ref.Size())
+			}
+		}
+		if !reflect.DeepEqual(g.Snapshot(), ref.Snapshot()) {
+			t.Fatal("final canonical snapshot diverged from the in-memory reference")
+		}
+	})
+}

@@ -248,3 +248,24 @@ func (b *Builder) SizeBytes() int { return len(b.enc) }
 func (b *Builder) Clone() *Builder {
 	return &Builder{enc: append([]byte(nil), b.enc...), last: b.last, n: b.n}
 }
+
+// Bytes returns the raw delta+varint encoding of the list — the bytes a
+// disk segment stores verbatim. The slice aliases the builder; callers
+// that outlive the builder must copy.
+func (b *Builder) Bytes() []byte { return b.enc }
+
+// RebaseVarint appends a raw delta+varint encoding (whose first element is
+// delta-coded from zero, i.e. absolute) to dst, re-basing that first
+// element onto prev — the O(1) splice that lets disjoint ascending lists
+// from consecutive disk segments concatenate without a decode/re-encode
+// round trip. prev must be strictly below the list's first element; an
+// empty enc appends nothing.
+func RebaseVarint(dst []byte, prev int32, enc []byte) []byte {
+	if len(enc) == 0 {
+		return dst
+	}
+	v, k := binary.Uvarint(enc)
+	first := int32(uint32(v))
+	dst = binary.AppendUvarint(dst, uint64(uint32(first-prev)))
+	return append(dst, enc[k:]...)
+}

@@ -52,7 +52,9 @@ type ReloadResponse struct {
 
 // SnapshotRequest is the JSON body of /v1/admin/snapshot.
 type SnapshotRequest struct {
-	// Path is where the resolver-snapshot artifact is written.
+	// Path is where the resolver-snapshot artifact is written. In disk
+	// mode it may be empty: the snapshot is then a checkpoint of the
+	// serving directory itself.
 	Path string `json:"path"`
 }
 
@@ -287,7 +289,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	if r.Path == "" {
+	if r.Path == "" && !s.diskMode() {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "missing snapshot path")
 		return
 	}
@@ -296,5 +298,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, SnapshotResponse{Profiles: n, Path: r.Path})
+	path := r.Path
+	if path == "" {
+		path = s.cfg.DiskDir
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Profiles: n, Path: path})
 }

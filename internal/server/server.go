@@ -125,6 +125,23 @@ type Config struct {
 	// half-open probe is allowed through. Default 1s.
 	BreakerCooldown time.Duration
 
+	// DiskDir, when set, serves the out-of-core index from this
+	// directory: memtable + delta segments + background compaction
+	// (internal/diskindex) behind the shard coordinator, at any Shards
+	// count including 1. The directory is recovered at startup to its
+	// newest consistent checkpoint; /v1/admin/snapshot checkpoints it.
+	DiskDir string
+	// MemtableBudget caps any one shard's unsealed memtable (estimated
+	// bytes); exceeding it auto-checkpoints the index. Disk mode only.
+	// Default 32 MiB.
+	MemtableBudget int
+	// DiskCacheBytes budgets each shard's posting-page cache. Disk mode
+	// only. Default 8 MiB.
+	DiskCacheBytes int
+	// DiskCompactAfter is the sealed-segment count that triggers a
+	// shard's background compaction. Disk mode only. Default 4.
+	DiskCompactAfter int
+
 	// breakerNow overrides the breaker's clock in tests.
 	breakerNow func() time.Time
 }
@@ -163,8 +180,19 @@ func (c Config) withDefaults() Config {
 		// the effective value, not the zero placeholder.
 		c.Resolver.MaxBlockSize = 1000
 	}
-	if c.Shards > 1 && c.ShardQueueDepth <= 0 {
+	if (c.Shards > 1 || c.DiskDir != "") && c.ShardQueueDepth <= 0 {
 		c.ShardQueueDepth = 2
+	}
+	if c.DiskDir != "" {
+		if c.MemtableBudget <= 0 {
+			c.MemtableBudget = 32 << 20
+		}
+		if c.DiskCacheBytes <= 0 {
+			c.DiskCacheBytes = 8 << 20
+		}
+		if c.DiskCompactAfter <= 0 {
+			c.DiskCompactAfter = 4
+		}
 	}
 	if c.BatchWindow <= 0 {
 		c.BatchWindow = 2 * time.Millisecond
@@ -299,6 +327,9 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 
 // newIndex builds the serving backend the configuration asks for.
 func newIndex(cfg Config) (incremental.Index, error) {
+	if cfg.DiskDir != "" {
+		return newDiskIndex(cfg)
+	}
 	if cfg.Shards > 1 {
 		return shard.New(shardConfig(cfg))
 	}
@@ -308,11 +339,12 @@ func newIndex(cfg Config) (incremental.Index, error) {
 // shardConfig derives the coordinator configuration from the server's.
 func shardConfig(cfg Config) shard.Config {
 	return shard.Config{
-		Resolver:   cfg.Resolver,
-		Shards:     cfg.Shards,
-		QueueDepth: cfg.ShardQueueDepth,
-		Fault:      cfg.Fault,
-		Metrics:    cfg.Metrics,
+		Resolver:       cfg.Resolver,
+		Shards:         cfg.Shards,
+		QueueDepth:     cfg.ShardQueueDepth,
+		Fault:          cfg.Fault,
+		Metrics:        cfg.Metrics,
+		MemtableBudget: cfg.MemtableBudget,
 	}
 }
 
@@ -373,6 +405,9 @@ func (s *Server) Degraded() bool { return s.breaker.degraded() }
 // sharded backend owns goroutines); any down shards are forgotten with
 // it, so reload doubles as the per-shard recovery lever.
 func (s *Server) Reload(snap *incremental.Snapshot) (int, error) {
+	if s.diskMode() {
+		return s.diskReload(snap)
+	}
 	var r incremental.Index
 	var err error
 	if s.cfg.Shards > 1 {
@@ -440,8 +475,13 @@ func (s *Server) Snapshot() *incremental.Snapshot {
 // artifact — per-shard checksummed segments plus a manifest committed
 // last — a monolithic one the plain "resolver" artifact. Either file
 // can be fed back to -snapshot at startup or to /v1/admin/reload, at
-// any shard count.
+// any shard count. In disk mode an empty path means "checkpoint in
+// place" — durability lives in the serving directory itself — while a
+// non-empty path additionally exports the portable sharded artifact.
 func (s *Server) SnapshotFile(path string) (int, error) {
+	if s.diskMode() && path == "" {
+		return s.Checkpoint()
+	}
 	s.mu.Lock()
 	g, sharded := s.resolver.(*shard.Group)
 	var segs []*incremental.PartitionSnapshot
@@ -487,6 +527,12 @@ type ConfigStatus struct {
 	RequestTimeoutMs int64  `json:"request_timeout_ms"`
 	BreakerThreshold int    `json:"breaker_threshold"`
 	BreakerCooldownMs int64 `json:"breaker_cooldown_ms"`
+
+	// Disk-mode knobs; omitted when serving in-memory.
+	DiskDir          string `json:"disk_dir,omitempty"`
+	MemtableBudget   int    `json:"memtable_budget,omitempty"`
+	DiskCacheBytes   int    `json:"disk_cache_bytes,omitempty"`
+	DiskCompactAfter int    `json:"disk_compact_after,omitempty"`
 }
 
 // Status is the GET /v1/admin/status payload: effective configuration,
@@ -497,7 +543,10 @@ type Status struct {
 	Ready    bool         `json:"ready"`
 	Degraded bool         `json:"degraded"`
 	Breaker  string       `json:"breaker"`
-	Shards   []shard.Stat `json:"shards,omitempty"`
+	// Checkpoint is the last fully committed disk checkpoint id; absent
+	// when serving in-memory.
+	Checkpoint uint64       `json:"checkpoint,omitempty"`
+	Shards     []shard.Stat `json:"shards,omitempty"`
 }
 
 // Status assembles the admin status snapshot. Like Snapshot it takes the
@@ -519,6 +568,10 @@ func (s *Server) Status() Status {
 			RequestTimeoutMs:  cfg.RequestTimeout.Milliseconds(),
 			BreakerThreshold:  cfg.BreakerThreshold,
 			BreakerCooldownMs: cfg.BreakerCooldown.Milliseconds(),
+			DiskDir:           cfg.DiskDir,
+			MemtableBudget:    cfg.MemtableBudget,
+			DiskCacheBytes:    cfg.DiskCacheBytes,
+			DiskCompactAfter:  cfg.DiskCompactAfter,
 		},
 		Ready:    s.Ready(),
 		Degraded: s.breaker.degraded(),
@@ -528,6 +581,7 @@ func (s *Server) Status() Status {
 	st.Profiles = s.resolver.Size()
 	if g, ok := s.resolver.(*shard.Group); ok {
 		st.Config.ShardQueueDepth = g.Config().QueueDepth
+		st.Checkpoint = g.Checkpointed()
 		st.Shards = g.Stats()
 	}
 	s.mu.Unlock()

@@ -65,6 +65,12 @@ const (
 	// CtrPartialGathers counts resolves answered without one or more
 	// down shards — results are correct for the live subset but partial.
 	CtrPartialGathers = "shard.partial_gathers"
+	// CtrCheckpointFailures counts group checkpoints that failed on at
+	// least one shard (and therefore did not advance the checkpoint id).
+	CtrCheckpointFailures = "shard.checkpoint_failures"
+	// CtrCompactFailures counts background compactions that errored or
+	// were vetoed by an injected fault.
+	CtrCompactFailures = "shard.compact_failures"
 	// GaugeDown tracks how many shards are currently marked down.
 	GaugeDown = "shard.down"
 )
@@ -76,6 +82,70 @@ func GatherSite(i int) string { return "shard." + strconv.Itoa(i) + ".gather" }
 // CommitSite returns the fault-injection site name of shard i's commit
 // phase.
 func CommitSite(i int) string { return "shard." + strconv.Itoa(i) + ".commit" }
+
+// CompactSite returns the fault-injection site name of shard i's
+// background compaction, checked before the merge starts — a delay spec
+// pins the compaction window open for chaos tests, an error spec vetoes
+// the compaction entirely.
+func CompactSite(i int) string { return "shard." + strconv.Itoa(i) + ".compact" }
+
+// Backend is one shard's partition implementation — the contract the
+// actor drives. *incremental.Partition is the in-memory implementation;
+// internal/diskindex provides the out-of-core one. Backends are
+// single-writer: only the owning actor touches them after start.
+type Backend interface {
+	// Len returns the number of profiles homed on the partition.
+	Len() int
+	// Blocks returns the number of distinct block keys present.
+	Blocks() int
+	// Gather runs the ScanCount accumulation for one arrival (see
+	// incremental.Partition.Gather). Implementations may ignore
+	// maxWeighted and return every weighted neighbor — a superset the
+	// coordinator's exact top-K merge reduces identically.
+	Gather(keys []string, incs []float64, bi int, nb float64, maxWeighted int, dst []incremental.ShardCand) []incremental.ShardCand
+	// Commit homes a newly assigned profile on the partition.
+	Commit(id entity.ID, p entity.Profile, keys []string) error
+	// Snapshot deep-copies the partition in canonical segment form.
+	Snapshot() *incremental.PartitionSnapshot
+}
+
+// Maintainer is the optional disk-backed extension of Backend: sealing
+// the memtable into a durable generation and merging sealed segments in
+// the background. The coordinator checkpoints all Maintainer backends
+// together so every shard's manifests cut the global ID sequence at the
+// same point.
+type Maintainer interface {
+	// PendingBytes estimates the unsealed memtable footprint — what the
+	// coordinator compares against Config.MemtableBudget.
+	PendingBytes() int
+	// Seal persists the memtable as a new segment (if non-empty) and
+	// commits a manifest under the coordinator-assigned checkpoint id at
+	// the given global resolver size.
+	Seal(checkpoint uint64, size int) error
+	// MaybeCompact merges sealed segments when the backend's policy
+	// triggers, reporting whether a compaction ran. Called by the actor
+	// off the request path, after a seal's reply is sent.
+	MaybeCompact() (bool, error)
+	// DiskStats reports the backend's disk-tier counters.
+	DiskStats() DiskStats
+}
+
+// DiskStats is one disk-backed shard's tier snapshot, served by
+// GET /v1/admin/status.
+type DiskStats struct {
+	// Segments is the current sealed segment count.
+	Segments int `json:"segments"`
+	// MemtableBytes is the estimated unsealed memtable footprint.
+	MemtableBytes int `json:"memtable_bytes"`
+	// Checkpoint is the last durable checkpoint id.
+	Checkpoint uint64 `json:"checkpoint"`
+	// Seals and Compactions count manifest commits by cause.
+	Seals       int64 `json:"seals"`
+	Compactions int64 `json:"compactions"`
+	// PageReads and CacheHits expose the block cache's effectiveness.
+	PageReads int64 `json:"page_reads"`
+	CacheHits int64 `json:"cache_hits"`
+}
 
 // Config parameterizes a group. The zero value of every field except
 // Resolver is usable; defaults are applied by New.
@@ -92,12 +162,24 @@ type Config struct {
 	// DownAfter is how many consecutive failures mark a shard down.
 	// Default 3.
 	DownAfter int
-	// Fault injects failures at the per-shard gather/commit sites.
-	// Nil means no injection.
+	// Fault injects failures at the per-shard gather/commit/compact
+	// sites. Nil means no injection.
 	Fault *fault.Injector
 	// Metrics receives the shard.* counters and gauges. Nil means a
 	// private registry.
 	Metrics *obs.Metrics
+	// Backends, when non-nil, supplies each shard's partition
+	// implementation — the hook the out-of-core index plugs in through.
+	// Nil uses in-memory incremental.Partitions.
+	Backends func(shard int) (Backend, error)
+	// MemtableBudget, when positive and the backends are Maintainers,
+	// auto-checkpoints the group as soon as any shard's pending memtable
+	// bytes exceed it — the knob behind cmd/serve -memtable-budget.
+	MemtableBudget int
+	// Checkpoint seeds the checkpoint counter for restore paths, so a
+	// recovered or reloaded group continues its directory's lineage
+	// above every id already on disk.
+	Checkpoint uint64
 }
 
 func (cfg Config) withDefaults() Config {
@@ -125,6 +207,7 @@ const (
 	opCommit
 	opSnapshot
 	opStats
+	opSeal
 )
 
 // request is the coordinator↔actor message. Each actor owns exactly one,
@@ -145,18 +228,29 @@ type request struct {
 	id      entity.ID
 	profile entity.Profile
 
+	// Seal inputs (coordinator-assigned checkpoint cut).
+	checkpoint uint64
+	sealSize   int
+
 	// Outputs. cands is actor-owned gather scratch, valid until the next
 	// submit to the same actor.
 	cands    []incremental.ShardCand
 	snap     *incremental.PartitionSnapshot
 	profiles int
 	blocks   int
-	err      error
+	// pending is the backend's memtable estimate after a commit (disk
+	// backends only) — what triggers the coordinator's auto-checkpoint.
+	pending int
+	disk    DiskStats
+	hasDisk bool
+	err     error
 }
 
 // actor is one shard's single-writer goroutine plus its admission gate.
 type actor struct {
-	part *incremental.Partition
+	back Backend
+	// maint is back's disk-tier extension, nil for in-memory partitions.
+	maint Maintainer
 
 	// tokens gates admission: a submit acquires a token (non-blocking —
 	// a full channel is ErrShardBusy, the token-channel backpressure
@@ -168,9 +262,11 @@ type actor struct {
 	replies chan *request
 	exited  chan struct{}
 
-	fault      *fault.Injector
-	siteGather string
-	siteCommit string
+	fault       *fault.Injector
+	siteGather  string
+	siteCommit  string
+	siteCompact string
+	metrics     *obs.Metrics
 
 	// req is the coordinator's preallocated message for this actor.
 	req *request
@@ -197,7 +293,33 @@ func (a *actor) loop() {
 	defer close(a.exited)
 	for req := range a.mailbox {
 		a.handle(req)
+		sealed := req.op == opSeal && req.err == nil
 		a.replies <- req
+		// Compaction runs after the reply — a background task of the
+		// actor, off the request path: the coordinator (and the client
+		// whose resolve triggered the seal) is already answered, and only
+		// this shard's next operation waits on the merge. Other shards
+		// keep serving.
+		if sealed && a.maint != nil {
+			a.compact()
+		}
+	}
+}
+
+// compact runs the backend's compaction policy behind its fault site,
+// recovering panics so a broken merge cannot kill the actor.
+func (a *actor) compact() {
+	defer func() {
+		if pe := par.Recovered(recover()); pe != nil {
+			a.metrics.Counter(CtrCompactFailures).Inc()
+		}
+	}()
+	if err := a.fault.Check(a.siteCompact); err != nil {
+		a.metrics.Counter(CtrCompactFailures).Inc()
+		return
+	}
+	if _, err := a.maint.MaybeCompact(); err != nil {
+		a.metrics.Counter(CtrCompactFailures).Inc()
 	}
 }
 
@@ -217,18 +339,32 @@ func (a *actor) handle(req *request) {
 			req.err = err
 			return
 		}
-		req.cands = a.part.Gather(req.keys, req.incs, req.bi, req.nb, req.maxWeighted, req.cands)
+		req.cands = a.back.Gather(req.keys, req.incs, req.bi, req.nb, req.maxWeighted, req.cands)
 	case opCommit:
 		if err := a.fault.Check(a.siteCommit); err != nil {
 			req.err = err
 			return
 		}
-		req.err = a.part.Commit(req.id, req.profile, req.keys)
+		req.pending = 0
+		req.err = a.back.Commit(req.id, req.profile, req.keys)
+		if req.err == nil && a.maint != nil {
+			req.pending = a.maint.PendingBytes()
+		}
 	case opSnapshot:
-		req.snap = a.part.Snapshot()
+		req.snap = a.back.Snapshot()
 	case opStats:
-		req.profiles = a.part.Len()
-		req.blocks = a.part.Blocks()
+		req.profiles = a.back.Len()
+		req.blocks = a.back.Blocks()
+		req.hasDisk = a.maint != nil
+		if a.maint != nil {
+			req.disk = a.maint.DiskStats()
+		}
+	case opSeal:
+		if a.maint == nil {
+			req.err = fmt.Errorf("shard: seal on an in-memory partition")
+			return
+		}
+		req.err = a.maint.Seal(req.checkpoint, req.sealSize)
 	}
 }
 
@@ -250,6 +386,11 @@ type Group struct {
 	keyer  incremental.Keyer
 	merger incremental.Merger
 
+	// checkpoint is the last checkpoint id every Maintainer backend
+	// committed; maint records whether the backends are disk-backed.
+	checkpoint uint64
+	maint      bool
+
 	// Per-resolve scratch.
 	incs  []float64
 	lists [][]incremental.ShardCand
@@ -269,39 +410,81 @@ func New(cfg Config) (*Group, error) {
 	if cfg.Resolver.Scheme == core.EJS {
 		return nil, incremental.ErrUnsupportedScheme
 	}
-	g := newGroup(cfg.withDefaults())
+	g, err := newGroup(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	g.start()
+	return g, nil
+}
+
+// Restored starts a group over backends that already hold state — the
+// disk-recovery path, where partitions come back from their segment
+// files instead of being replayed. size and blockSize must describe the
+// recovered state; cfg.Checkpoint must sit at or above every checkpoint
+// id on disk.
+func Restored(cfg Config, size int, blockSize map[string]int) (*Group, error) {
+	if cfg.Resolver.Scheme == core.EJS {
+		return nil, incremental.ErrUnsupportedScheme
+	}
+	g, err := newGroup(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	g.size = size
+	for k, n := range blockSize {
+		g.blockSize[k] = n
+	}
 	g.start()
 	return g, nil
 }
 
 // newGroup builds the group without starting actor goroutines, so
 // restore paths can seed partitions single-threaded first.
-func newGroup(cfg Config) *Group {
+func newGroup(cfg Config) (*Group, error) {
 	g := &Group{
-		cfg:       cfg,
-		actors:    make([]*actor, cfg.Shards),
-		blockSize: make(map[string]int),
-		keyer:     incremental.Keyer{MinTokenLength: cfg.Resolver.MinTokenLength},
-		lists:     make([][]incremental.ShardCand, cfg.Shards),
-		sent:      make([]bool, cfg.Shards),
-		fails:     make([]int, cfg.Shards),
-		down:      make([]bool, cfg.Shards),
-		metrics:   cfg.Metrics,
+		cfg:        cfg,
+		actors:     make([]*actor, cfg.Shards),
+		blockSize:  make(map[string]int),
+		keyer:      incremental.Keyer{MinTokenLength: cfg.Resolver.MinTokenLength},
+		checkpoint: cfg.Checkpoint,
+		lists:      make([][]incremental.ShardCand, cfg.Shards),
+		sent:       make([]bool, cfg.Shards),
+		fails:      make([]int, cfg.Shards),
+		down:       make([]bool, cfg.Shards),
+		metrics:    cfg.Metrics,
 	}
+	g.maint = cfg.Backends != nil
 	for i := range g.actors {
+		var back Backend
+		if cfg.Backends != nil {
+			var err error
+			if back, err = cfg.Backends(i); err != nil {
+				return nil, fmt.Errorf("shard %d backend: %w", i, err)
+			}
+		} else {
+			back = incremental.NewPartition(cfg.Resolver.Scheme, cfg.Shards, i)
+		}
+		maint, _ := back.(Maintainer)
+		if maint == nil {
+			g.maint = false
+		}
 		g.actors[i] = &actor{
-			part:       incremental.NewPartition(cfg.Resolver.Scheme, cfg.Shards, i),
-			tokens:     make(chan struct{}, cfg.QueueDepth),
-			mailbox:    make(chan *request, cfg.QueueDepth),
-			replies:    make(chan *request, 1),
-			exited:     make(chan struct{}),
-			fault:      cfg.Fault,
-			siteGather: GatherSite(i),
-			siteCommit: CommitSite(i),
-			req:        new(request),
+			back:        back,
+			maint:       maint,
+			tokens:      make(chan struct{}, cfg.QueueDepth),
+			mailbox:     make(chan *request, cfg.QueueDepth),
+			replies:     make(chan *request, 1),
+			exited:      make(chan struct{}),
+			fault:       cfg.Fault,
+			siteGather:  GatherSite(i),
+			siteCommit:  CommitSite(i),
+			siteCompact: CompactSite(i),
+			metrics:     cfg.Metrics,
+			req:         new(request),
 		}
 	}
-	return g
+	return g, nil
 }
 
 func (g *Group) start() {
@@ -357,8 +540,75 @@ func (g *Group) Resolve(p entity.Profile) (incremental.BatchResult, error) {
 	for _, k := range keys {
 		g.blockSize[k]++
 	}
+	// Auto-checkpoint: when the home shard's memtable outgrew the budget,
+	// seal every shard at the size the resolve just reached. The resolve
+	// itself already succeeded — a failed checkpoint degrades durability
+	// (counted), not correctness.
+	if g.maint && g.cfg.MemtableBudget > 0 && req.pending > g.cfg.MemtableBudget {
+		_ = g.Checkpoint()
+	}
 	return incremental.BatchResult{ID: id, Candidates: cands}, nil
 }
+
+// Checkpoint seals every shard's memtable under the next checkpoint id,
+// cutting all manifests at the same global size — the consistency unit
+// disk recovery rolls back to. A no-op for in-memory backends. The
+// checkpoint id only advances when every shard committed its manifest;
+// a partial checkpoint is left for recovery to ignore (its id is not
+// common to all shards) and the next attempt reuses the same id.
+func (g *Group) Checkpoint() error {
+	if g.closed {
+		return ErrClosed
+	}
+	if !g.maint {
+		return nil
+	}
+	next := g.checkpoint + 1
+	var firstErr error
+	for i, a := range g.actors {
+		g.sent[i] = false
+		if g.down[i] {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d seal: %w", i, ErrShardDown)
+			}
+			continue
+		}
+		req := a.req
+		req.op = opSeal
+		req.checkpoint = next
+		req.sealSize = g.size
+		if err := a.submit(req); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d seal: %w", i, err)
+			}
+			continue
+		}
+		g.sent[i] = true
+	}
+	for i, a := range g.actors {
+		if !g.sent[i] {
+			continue
+		}
+		req := a.receive()
+		if req.err != nil {
+			g.noteFailure(i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d seal: %w", i, req.err)
+			}
+			continue
+		}
+		g.noteSuccess(i)
+	}
+	if firstErr != nil {
+		g.metrics.Counter(CtrCheckpointFailures).Inc()
+		return firstErr
+	}
+	g.checkpoint = next
+	return nil
+}
+
+// Checkpointed returns the last fully committed checkpoint id.
+func (g *Group) Checkpointed() uint64 { return g.checkpoint }
 
 // Peek implements incremental.Index: the read-only scatter-gather alone.
 func (g *Group) Peek(p entity.Profile) ([]incremental.Candidate, error) {
@@ -464,6 +714,8 @@ type Stat struct {
 	QueueFree           int  `json:"queue_free"`
 	Down                bool `json:"down"`
 	ConsecutiveFailures int  `json:"consecutive_failures"`
+	// Disk reports the out-of-core tier; nil for in-memory partitions.
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // Stats queries every actor for its sizes. Down shards still answer —
@@ -488,6 +740,10 @@ func (g *Group) Stats() []Stat {
 		req = a.receive()
 		stats[i].Profiles = req.profiles
 		stats[i].Blocks = req.blocks
+		if req.hasDisk {
+			d := req.disk
+			stats[i].Disk = &d
+		}
 	}
 	return stats
 }
@@ -500,7 +756,7 @@ func (g *Group) PartitionSnapshots() []*incremental.PartitionSnapshot {
 		if g.closed {
 			// Actors have exited; their partitions are quiescent and
 			// safe to read directly.
-			segs[i] = a.part.Snapshot()
+			segs[i] = a.back.Snapshot()
 			continue
 		}
 		req := a.req
@@ -508,7 +764,7 @@ func (g *Group) PartitionSnapshots() []*incremental.PartitionSnapshot {
 		if err := a.submit(req); err != nil {
 			// The coordinator is the only submitter, so tokens are
 			// always free here; guard anyway.
-			segs[i] = a.part.Snapshot()
+			segs[i] = a.back.Snapshot()
 			continue
 		}
 		segs[i] = a.receive().snap
@@ -540,11 +796,14 @@ func FromSnapshot(s *incremental.Snapshot, cfg Config) (*Group, error) {
 		return nil, incremental.ErrUnsupportedScheme
 	}
 	cfg.Resolver = s.Config
-	g := newGroup(cfg.withDefaults())
+	g, err := newGroup(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
 	for i, p := range s.Profiles {
 		id := entity.ID(i)
 		home := incremental.ShardOf(id, len(g.actors))
-		if err := g.actors[home].part.Commit(id, p, s.BlocksOf[i]); err != nil {
+		if err := g.actors[home].back.Commit(id, p, s.BlocksOf[i]); err != nil {
 			return nil, err
 		}
 		for _, k := range s.BlocksOf[i] {
@@ -584,16 +843,23 @@ func FromPartitionSnapshots(cfg incremental.Config, segs []*incremental.Partitio
 	return FromSnapshot(incremental.MergeSnapshots(cfg, segs), gcfg)
 }
 
-// Close implements incremental.Index: stops every actor and waits for
-// them to exit. Idempotent.
+// Close implements incremental.Index: stops every actor, waits for them
+// to exit, and releases backends that hold resources (open segment
+// files). Idempotent.
 func (g *Group) Close() error {
 	if g.closed {
 		return nil
 	}
 	g.closed = true
+	var firstErr error
 	for _, a := range g.actors {
 		close(a.mailbox)
 		<-a.exited
+		if c, ok := a.back.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	return nil
+	return firstErr
 }

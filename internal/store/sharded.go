@@ -256,11 +256,14 @@ func loadShardSegment(segPath string, k int, m storedShardManifest) (*incrementa
 	return seg, nil
 }
 
-// LoadAnyResolverFile loads a resolver artifact of either layout — a
-// plain "resolver" snapshot or a sharded manifest+segments — and returns
-// the canonical global snapshot, so callers can serve it at any shard
-// count regardless of how it was written.
+// LoadAnyResolverFile loads a resolver artifact of any layout — a plain
+// "resolver" snapshot, a sharded manifest+segments, or an out-of-core
+// disk directory — and returns the canonical global snapshot, so callers
+// can serve it at any shard count regardless of how it was written.
 func LoadAnyResolverFile(path string) (*incremental.Snapshot, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		return LoadDiskDir(path)
+	}
 	payload, err := readFileVerified(path)
 	if err != nil {
 		return nil, err

@@ -312,7 +312,36 @@ func LoadBlocksFile(path string) (*block.Collection, error) {
 // renamed over the final path, and the directory entry is fsynced. The
 // final path therefore always holds a complete artifact — the previous
 // one until the rename commits, the new one after.
-func saveFileAtomic(path string, write func(io.Writer) error) (err error) {
+func saveFileAtomic(path string, write func(io.Writer) error) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		var header [headerSize]byte
+		copy(header[:4], headMagic[:])
+		binary.LittleEndian.PutUint32(header[4:], containerVersion)
+		if _, err := w.Write(header[:]); err != nil {
+			return err
+		}
+		cw := &crcWriter{w: w}
+		if err := write(cw); err != nil {
+			return err
+		}
+		var footer [footerSize]byte
+		binary.LittleEndian.PutUint64(footer[:8], uint64(cw.n))
+		binary.LittleEndian.PutUint32(footer[8:12], cw.crc)
+		copy(footer[12:], footMagic[:])
+		_, err := w.Write(footer[:])
+		return err
+	})
+}
+
+// AtomicWriteFile runs the crash-safe write protocol shared by every
+// artifact this package persists — container-framed gobs and the paged
+// disk-index segments alike: write to a temp file in the destination
+// directory (through the armed fault sites, so chaos tests can tear the
+// write), flush, fsync, rename over the final path, fsync the directory.
+// A crash at any instant leaves either the previous file or the new one
+// at path, never a torn mix. The callback owns the file's framing; it
+// receives a buffered writer.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
 	in := inj()
 	if ferr := in.Check(FaultSaveCreate); ferr != nil {
 		return ferr
@@ -331,21 +360,7 @@ func saveFileAtomic(path string, write func(io.Writer) error) (err error) {
 	}()
 
 	bw := bufio.NewWriter(in.Writer(FaultSaveWrite, f))
-	var header [headerSize]byte
-	copy(header[:4], headMagic[:])
-	binary.LittleEndian.PutUint32(header[4:], containerVersion)
-	if _, err = bw.Write(header[:]); err != nil {
-		return err
-	}
-	cw := &crcWriter{w: bw}
-	if err = write(cw); err != nil {
-		return err
-	}
-	var footer [footerSize]byte
-	binary.LittleEndian.PutUint64(footer[:8], uint64(cw.n))
-	binary.LittleEndian.PutUint32(footer[8:12], cw.crc)
-	copy(footer[12:], footMagic[:])
-	if _, err = bw.Write(footer[:]); err != nil {
+	if err = write(bw); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {

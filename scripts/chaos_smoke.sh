@@ -142,4 +142,64 @@ wait "$pid" || status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after sharded SIGTERM:"; cat "$log"; exit 1; }
 
+# Phase 6: the out-of-core (-disk-dir) index survives SIGKILL in the
+# middle of a background compaction. A 1-byte memtable budget makes every
+# arrival checkpoint the directory; -compact-after 2 makes nearly every
+# checkpoint trigger a compaction. The armed delay pins shard 0 inside
+# its compaction window — after the sealed generation's manifest is
+# committed — so the kill lands mid-compaction, and recovery must land on
+# that committed checkpoint: no sealed generation is ever lost.
+diskdir="$workdir/diskidx"
+p1='{"attributes":{"name":["jack miller"],"job":["car seller"]}}'
+p2='{"attributes":{"fullname":["jack q miller"],"work":["car vendor"]}}'
+p3='{"attributes":{"name":["john smith"],"city":["berlin"]}}'
+p4='{"attributes":{"name":["jane doe"],"city":["berlin"]}}'
+p5='{"attributes":{"name":["john q smith"],"job":["car seller"]}}'
+probe='{"attributes":{"name":["jack smith"],"city":["berlin"],"job":["car vendor"]}}'
+
+start_server -disk-dir "$diskdir" -shards 2 -memtable-budget 1 -compact-after 2
+resolve "$p1"; resolve "$p2"; resolve "$p3"; resolve "$p4"
+# /v1/admin/snapshot with an empty path = checkpoint the directory in place.
+saved="$(curl -fsS -X POST -d '{"path":""}' "$base/v1/admin/snapshot")"
+echo "$saved" | grep -q '"profiles":4' || { echo "chaos-smoke: disk checkpoint: $saved"; exit 1; }
+kill -TERM "$pid"; wait "$pid" || true; pid=""
+echo "chaos-smoke: disk index checkpointed (4 profiles)"
+
+# Restart armed: the fifth arrival blows the 1-byte budget, the automatic
+# checkpoint seals and commits generation 5, then shard 0's compaction
+# hits the 10s delay — SIGKILL lands inside it.
+start_server -disk-dir "$diskdir" -shards 2 -memtable-budget 1 -compact-after 2 \
+    -fault 'shard.0.compact:delay=10s'
+resolve "$p5"
+sleep 1
+echo "chaos-smoke: SIGKILL mid-compaction"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# Recovery: readiness green, all five sealed arrivals present, and the
+# probe answer must be bit-identical to a run that never crashed.
+start_server -disk-dir "$diskdir" -shards 2 -memtable-budget 1 -compact-after 2
+curl -fsS "$base/readyz" | grep -q '^ready$' || { echo "chaos-smoke: /readyz not green after mid-compaction crash"; cat "$log"; exit 1; }
+status_body="$(curl -fsS "$base/v1/admin/status")"
+echo "$status_body" | grep -q '"profiles":5' || { echo "chaos-smoke: sealed generation lost: $status_body"; exit 1; }
+echo "$status_body" | grep -q '"checkpoint"' || { echo "chaos-smoke: status missing checkpoint: $status_body"; exit 1; }
+crashed_answer="$(curl -fsS -X POST -d "$probe" "$base/v1/resolve")"
+kill -TERM "$pid"; wait "$pid" || true; pid=""
+
+# Control: the same six arrivals straight through a fresh in-memory
+# server; out-of-core + crash recovery must not change a single answer.
+start_server
+resolve "$p1"; resolve "$p2"; resolve "$p3"; resolve "$p4"; resolve "$p5"
+control_answer="$(curl -fsS -X POST -d "$probe" "$base/v1/resolve")"
+[ "$crashed_answer" = "$control_answer" ] || {
+    echo "chaos-smoke: post-crash answer diverged from the no-crash control"
+    echo "crashed: $crashed_answer"; echo "control: $control_answer"; exit 1;
+}
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after disk-mode SIGTERM:"; cat "$log"; exit 1; }
+
 echo "chaos-smoke: OK"
