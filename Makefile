@@ -17,7 +17,7 @@ check:
 ## race: run the packages with concurrency — including the root package's
 ## observability/cancellation tests — under the race detector.
 race:
-	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/... ./internal/server/... ./internal/shard/... ./internal/incremental/... ./internal/loadgen/... ./internal/fault/... ./internal/par/... ./internal/store/... ./internal/diskindex/... ./cmd/serve
+	$(GO) test -race . ./internal/core/... ./internal/block/... ./internal/blocking/... ./internal/obs/... ./internal/oracle/... ./internal/server/... ./internal/shard/... ./internal/incremental/... ./internal/budget/... ./internal/loadgen/... ./internal/fault/... ./internal/par/... ./internal/store/... ./internal/diskindex/... ./cmd/serve
 
 ## cover: fail if total statement coverage drops below COVER_BASELINE.
 cover:
@@ -50,8 +50,8 @@ chaos-smoke:
 ## ci: what the GitHub Actions workflow runs.
 ci: check race cover fuzz-smoke serve-smoke chaos-smoke bench-gate
 
-## bench-parallel: regenerate the worker-sweep numbers of
-## results_parallel_scale0.5.txt (honest wall-clock depends on host cores).
+## bench-parallel: regenerate the worker-sweep numbers locally (output is
+## machine-specific and gitignored; honest wall-clock depends on host cores).
 ## Time-based -benchtime with -count=5 gives benchstat enough samples to
 ## separate signal from scheduler noise; compare two runs with
 ##   go run golang.org/x/perf/cmd/benchstat old.txt new.txt
@@ -65,13 +65,14 @@ bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServerResolve' ./internal/server
 
 ## bench-json: emit the headline benchmark trajectory as JSON
-## (BENCH_PR8.json format: ns/op, B/op, allocs/op, p50/p99 latency).
+## (BENCH_PR9.json format: ns/op, B/op, allocs/op, p50/p99 latency,
+## streamed comparisons/ms).
 bench-json:
 	sh scripts/bench_json.sh
 
 ## bench-gate: re-run the headline benchmarks and fail if a gated metric
-## regressed beyond its tolerance vs the committed BENCH_PR8.json.
+## regressed beyond its tolerance vs the committed BENCH_PR9.json.
 ## allocs/op is always gated (hardware-independent); add -ns via
 ## BENCH_GATE_FLAGS for same-machine wall-clock gating.
 bench-gate:
-	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR8.json $(BENCH_GATE_FLAGS)
+	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR9.json $(BENCH_GATE_FLAGS)

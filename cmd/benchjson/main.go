@@ -1,6 +1,6 @@
 // Command benchjson emits the repository's headline benchmark numbers as
 // machine-readable JSON and gates a fresh run against a committed
-// trajectory file (BENCH_PR8.json), failing on regressions.
+// trajectory file (BENCH_PR9.json), failing on regressions.
 //
 // Two modes:
 //
@@ -9,9 +9,12 @@
 //	    writes {"schema":1,"benchmarks":{...}}: ns/op, B/op, allocs/op
 //	    for the serial pipeline, the batched server resolve path and the
 //	    out-of-core read path (cold and warm page cache), plus p50/p99
-//	    request latency under concurrent load.
+//	    request latency under concurrent load — both for the synchronous
+//	    resolve path and for the budget-aware interactive streaming mode
+//	    (resolve_budget_interactive: per-stream p50/p99 and emitted
+//	    comparisons per wall-clock millisecond).
 //
-//	benchjson gate -baseline BENCH_PR8.json [-current fresh.json] [-ns]
+//	benchjson gate -baseline BENCH_PR9.json [-current fresh.json] [-ns]
 //	    compares a current emit against the baseline's benchmarks
 //	    section and exits non-zero when a gated metric regressed beyond
 //	    its tolerance. allocs/op is always gated — it is
@@ -29,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -37,11 +41,13 @@ import (
 	"time"
 
 	"metablocking"
+	"metablocking/internal/budget"
 	"metablocking/internal/core"
 	"metablocking/internal/datagen"
 	"metablocking/internal/diskindex"
 	"metablocking/internal/entity"
 	"metablocking/internal/incremental"
+	"metablocking/internal/loadgen"
 	"metablocking/internal/server"
 	"metablocking/internal/shard"
 	"metablocking/internal/store"
@@ -56,6 +62,10 @@ type Bench struct {
 	P50Ns            int64   `json:"p50_ns,omitempty"`
 	P99Ns            int64   `json:"p99_ns,omitempty"`
 	ProfilesPerBatch float64 `json:"profiles_per_batch,omitempty"`
+	// ComparisonsPerMs is the progressive-serving throughput: ranked
+	// candidates emitted to streaming clients per wall-clock millisecond
+	// across the whole run (informational — wall-clock, never gated).
+	ComparisonsPerMs float64 `json:"comparisons_per_ms,omitempty"`
 	AllocTolerance   float64 `json:"alloc_tolerance,omitempty"`
 	NsTolerance      float64 `json:"ns_tolerance,omitempty"`
 }
@@ -85,7 +95,7 @@ func main() {
 		writeJSON(*out, f)
 	case "gate":
 		fs := flag.NewFlagSet("gate", flag.ExitOnError)
-		basePath := fs.String("baseline", "BENCH_PR8.json", "committed trajectory file")
+		basePath := fs.String("baseline", "BENCH_PR9.json", "committed trajectory file")
 		curPath := fs.String("current", "", "fresh emit to compare (default: run emit now)")
 		threshold := fs.String("threshold", "0.10", "default regression tolerance (fraction)")
 		gateNs := fs.Bool("ns", false, "also gate ns/op and latency percentiles (same-machine runs only)")
@@ -123,6 +133,8 @@ func runAll() map[string]Bench {
 	}
 	fmt.Fprintln(os.Stderr, "benchjson: running server_latency ...")
 	out["server_latency"] = benchServerLatency()
+	fmt.Fprintln(os.Stderr, "benchjson: running resolve_budget_interactive ...")
+	out["resolve_budget_interactive"] = benchBudgetStream()
 	fmt.Fprintln(os.Stderr, "benchjson: running resolve_disk_cold ...")
 	out["resolve_disk_cold"] = benchResolveDisk(1)
 	fmt.Fprintln(os.Stderr, "benchjson: running resolve_disk_warm ...")
@@ -237,6 +249,54 @@ func benchServerLatency() Bench {
 		return all[i].Nanoseconds()
 	}
 	return Bench{P50Ns: pct(0.50), P99Ns: pct(0.99)}
+}
+
+// benchBudgetStream measures the budget-aware progressive path end to
+// end over HTTP: interactive-tier NDJSON streams (default 250ms tier
+// budget, 16-candidate frames) driven by the mixed-tier load generator
+// with every request on the interactive tier. Reported are per-stream
+// wall-clock p50/p99 — the latency a budget-bound client observes from
+// POST to terminal frame — and comparisons-per-ms, the rate at which
+// ranked candidates cross the wire across the whole run.
+func benchBudgetStream() Bench {
+	const clients, requests = 8, 2000
+	profiles := benchProfiles(1000)
+	s, err := server.New(server.Config{
+		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		BatchWindow: 200 * time.Microsecond,
+		MaxBatch:    64,
+		QueueDepth:  8192,
+		Tiers: []budget.Tier{
+			{Name: budget.TierInteractive, Slots: 64, DefaultBudget: 250 * time.Millisecond},
+			{Name: budget.TierBatch, Slots: 8, DefaultBudget: 5 * time.Second},
+		},
+		StreamBatch: 16,
+	})
+	if err != nil {
+		fatalf("server: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	rep := loadgen.RunMixed(loadgen.HTTPStreamer(ts.URL, ts.Client()), profiles, loadgen.MixedOptions{
+		Options:    loadgen.Options{Clients: clients, Requests: requests},
+		BatchRatio: 0, // headline row is the interactive tier
+	})
+	elapsed := time.Since(start)
+	if len(rep.Errors) > 0 {
+		fatalf("budget stream: %v", rep.Errors[0])
+	}
+	if rep.Interactive.Rejected > 0 {
+		fatalf("budget stream: %d interactive requests shed (tier slots misconfigured)", rep.Interactive.Rejected)
+	}
+	emitted := s.Metrics().Counter(budget.CtrComparisons).Value()
+	return Bench{
+		P50Ns:            rep.Interactive.P50.Nanoseconds(),
+		P99Ns:            rep.Interactive.P99.Nanoseconds(),
+		ComparisonsPerMs: float64(emitted) / (float64(elapsed.Nanoseconds()) / 1e6),
+	}
 }
 
 // benchResolveDisk measures the out-of-core read path: 1000 profiles
@@ -379,6 +439,9 @@ func gate(base, cur File, defThr float64, gateNs bool) bool {
 		check(name, "ns/op", b.NsPerOp, c.NsPerOp, nsTol, gateNs)
 		check(name, "p50_ns", float64(b.P50Ns), float64(c.P50Ns), nsTol, gateNs)
 		check(name, "p99_ns", float64(b.P99Ns), float64(c.P99Ns), nsTol, gateNs)
+		// Throughput runs the other way (higher is better) and is pure
+		// wall-clock, so it is informational at every gating level.
+		check(name, "cmp/ms", b.ComparisonsPerMs, c.ComparisonsPerMs, nsTol, false)
 	}
 	if !ok {
 		fmt.Println("benchjson: REGRESSION detected")

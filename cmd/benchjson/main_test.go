@@ -41,7 +41,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	want := File{Schema: 1, PR: 6, Go: "go-test", Benchmarks: map[string]Bench{
 		"x": {NsPerOp: 1.5, BytesPerOp: 2, AllocsPerOp: 3, P50Ns: 4, P99Ns: 5,
-			ProfilesPerBatch: 6.5, AllocTolerance: 0.1, NsTolerance: 0.2},
+			ProfilesPerBatch: 6.5, ComparisonsPerMs: 7.5, AllocTolerance: 0.1, NsTolerance: 0.2},
 	}}
 	writeJSON(path, want)
 	got := readJSON(path)
@@ -59,13 +59,18 @@ func TestEmitGateLive(t *testing.T) {
 		t.Skip("live benchmarks take a few seconds")
 	}
 	cur := File{Schema: 1, Benchmarks: runAll()}
+	// Latency-style rows report percentiles instead of ns/op.
+	percentileRows := map[string]bool{"server_latency": true, "resolve_budget_interactive": true}
 	for name, b := range cur.Benchmarks {
-		if name != "server_latency" && b.NsPerOp <= 0 {
+		if !percentileRows[name] && b.NsPerOp <= 0 {
 			t.Errorf("%s: ns/op = %v, want > 0", name, b.NsPerOp)
 		}
 	}
 	if lat := cur.Benchmarks["server_latency"]; lat.P50Ns <= 0 || lat.P99Ns < lat.P50Ns {
 		t.Errorf("latency percentiles implausible: %+v", lat)
+	}
+	if bs := cur.Benchmarks["resolve_budget_interactive"]; bs.P50Ns <= 0 || bs.P99Ns < bs.P50Ns || bs.ComparisonsPerMs <= 0 {
+		t.Errorf("budget stream row implausible: %+v", bs)
 	}
 	if !gate(cur, cur, 0.10, true) {
 		t.Error("a run gated against itself must pass")

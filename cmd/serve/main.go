@@ -17,6 +17,15 @@
 // -memtable-budget bounds RAM per shard, -disk-cache the posting-page
 // cache. Answers remain bit-identical to the in-memory configurations.
 //
+// POST /v1/resolve also serves a budget-aware progressive mode: with an
+// Accept of text/event-stream (SSE) or application/x-ndjson, or any of
+// the budget_ms / max_comparisons / min_confidence / tier / cursor query
+// parameters, ranked candidates stream best-first in batches. A request
+// that exhausts its budget receives the best prefix plus a signed
+// resumption cursor; -interactive-slots / -batch-slots bound per-tier
+// concurrency and -interactive-budget / -batch-budget set the default
+// SLAs.
+//
 // Endpoints: POST /v1/resolve, POST /v1/admin/reload,
 // POST /v1/admin/snapshot, GET /v1/admin/status, GET /healthz,
 // GET /readyz, GET /metrics, GET /debug/vars. Every non-2xx response
@@ -45,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"metablocking/internal/budget"
 	"metablocking/internal/core"
 	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
@@ -81,6 +91,13 @@ type options struct {
 	snapshot    string
 	metrics     bool
 
+	// Budget-aware streaming knobs.
+	interactiveSlots  int
+	batchSlots        int
+	interactiveBudget time.Duration
+	batchBudget       time.Duration
+	streamBatch       int
+
 	// Resilience knobs.
 	requestTimeout  time.Duration
 	breakerFailures int
@@ -107,6 +124,11 @@ func main() {
 	flag.IntVar(&opts.queueDepth, "queue", 1024, "admission queue bound; overflow sheds with 429")
 	flag.DurationVar(&opts.retryAfter, "retry-after", time.Second, "advisory back-off sent with 429 responses")
 	flag.StringVar(&opts.snapshot, "snapshot", "", "resolver snapshot to load at startup (see /v1/admin/reload)")
+	flag.IntVar(&opts.interactiveSlots, "interactive-slots", 64, "concurrent streamed resolves admitted for the interactive tier (0 = unbounded)")
+	flag.IntVar(&opts.batchSlots, "batch-slots", 8, "concurrent streamed resolves admitted for the batch tier (0 = unbounded)")
+	flag.DurationVar(&opts.interactiveBudget, "interactive-budget", 250*time.Millisecond, "default time budget for interactive-tier streams that set none (0 = unbudgeted)")
+	flag.DurationVar(&opts.batchBudget, "batch-budget", 5*time.Second, "default time budget for batch-tier streams that set none (0 = unbudgeted)")
+	flag.IntVar(&opts.streamBatch, "stream-batch", 16, "ranked candidates flushed per streamed frame")
 	flag.BoolVar(&opts.metrics, "metrics", false, "print the counter table to stderr on exit")
 	flag.DurationVar(&opts.requestTimeout, "request-timeout", 5*time.Second, "per-request deadline (0 disables)")
 	flag.IntVar(&opts.breakerFailures, "breaker-failures", 5, "consecutive resolve failures that open degraded mode (-1 disables)")
@@ -170,6 +192,11 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 		RequestTimeout:   opts.requestTimeout,
 		BreakerThreshold: opts.breakerFailures,
 		BreakerCooldown:  opts.breakerCooldown,
+		Tiers: []budget.Tier{
+			{Name: budget.TierInteractive, Slots: opts.interactiveSlots, DefaultBudget: opts.interactiveBudget},
+			{Name: budget.TierBatch, Slots: opts.batchSlots, DefaultBudget: opts.batchBudget},
+		},
+		StreamBatch: opts.streamBatch,
 	}, server.WithFault(inj))
 	if err != nil {
 		return err

@@ -1,0 +1,269 @@
+// Package budget turns the offline progressive scheduler into the serving
+// layer's admission and execution model: pay-as-you-go Entity Resolution
+// under per-request SLAs (the paper's §3 "efficiency-intensive"
+// application class, online).
+//
+// Three pieces:
+//
+//   - Contract: the per-request budget — a wall-clock allowance
+//     (budget_ms), a comparison cap (max_comparisons) and a confidence
+//     floor (min_confidence) parsed from /v1/resolve query parameters and
+//     clamped by the request's tier defaults. A comparison is one ranked
+//     candidate handed to the client: the unit of downstream matching
+//     work the stream's best-first order is optimizing.
+//   - Emitter: the deadline-aware, comparison-counting executor. It walks
+//     a resolve's ranked candidates (already in the strict weight-desc,
+//     ID-asc total order) and flushes them in batches as they clear the
+//     weight frontier, stopping at whichever budget axis exhausts first.
+//     Exhaustion always flushes at least one batch and yields a signed
+//     resumption Cursor; completion (stream drained, or the frontier fell
+//     below min_confidence) yields none.
+//   - Pools: tiered SLA admission. Named tiers (interactive, batch) each
+//     gate their traffic with a separate token pool sitting in FRONT of
+//     the server's bounded admission queue, so a flood of batch traffic
+//     cannot starve interactive requests of queue slots. Each tier also
+//     carries the default budget applied to requests that name none.
+//
+// The zero-budget tier is the circuit breaker's degraded mode: a request
+// served while the breaker is open gets a read-only (Peek) first batch
+// and no cursor — the same mechanism, with an empty allowance.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Counter names the serving layer registers for the budget subsystem.
+const (
+	// CtrStreams counts streamed (SSE or chunked-JSON) resolve responses.
+	CtrStreams = "budget.streams"
+	// CtrExhausted counts streams stopped by budget exhaustion
+	// (deadline or comparison cap) before the ranked stream drained.
+	CtrExhausted = "budget.exhausted"
+	// CtrPartialResults counts responses that delivered only a prefix of
+	// the ranked stream: exhausted budgets plus degraded zero-budget
+	// (cursor-less) answers.
+	CtrPartialResults = "budget.partial_results"
+	// CtrCursorResumes counts resolves that presented a valid resumption
+	// cursor and continued a previous stream.
+	CtrCursorResumes = "budget.cursor_resumes"
+	// CtrCursorInvalid counts cursors refused: bad signature, wrong
+	// generation (the index was reloaded or checkpointed), or garbage.
+	CtrCursorInvalid = "budget.cursor_invalid"
+	// CtrComparisons counts ranked candidates emitted across all streams
+	// — the numerator of comparisons-per-ms.
+	CtrComparisons = "budget.comparisons"
+	// CtrGathered counts candidates surfaced by the gather path (the
+	// shard coordinator's early-emit hook, or the single resolver's
+	// weighed-neighbor count) on behalf of budgeted requests.
+	CtrGathered = "budget.gathered"
+	// CtrTierShed counts requests refused because their tier's token pool
+	// was empty (HTTP 429 tier_busy).
+	CtrTierShed = "budget.tier_shed"
+)
+
+// Well-known tier names. TierInteractive is the default for requests that
+// name none.
+const (
+	TierInteractive = "interactive"
+	TierBatch       = "batch"
+)
+
+// Sentinel errors, matchable with errors.Is across the serving layer.
+var (
+	// ErrTierSaturated reports a tier whose token pool had no free slot —
+	// the serving layer sheds with 429 tier_busy.
+	ErrTierSaturated = errors.New("budget: tier admission pool full")
+	// ErrUnknownTier reports a request naming a tier the server does not
+	// run.
+	ErrUnknownTier = errors.New("budget: unknown tier")
+	// ErrBadContract reports unparseable budget parameters.
+	ErrBadContract = errors.New("budget: invalid budget parameter")
+)
+
+// Contract is one request's budget: how much work the client is paying
+// for. The zero value is "unbudgeted": the full ranked stream.
+type Contract struct {
+	// Tier names the admission pool and supplies defaults; empty means
+	// TierInteractive.
+	Tier string
+	// Budget bounds server-side wall clock from the start of emission.
+	// Zero means no time budget.
+	Budget time.Duration
+	// MaxComparisons caps ranked candidates emitted. Zero means no cap.
+	MaxComparisons int
+	// MinConfidence stops the stream once the weight frontier falls below
+	// it. Reaching the floor is completion (the client declared it does
+	// not want weaker candidates), not exhaustion — no cursor is issued.
+	MinConfidence float64
+	// Budgeted reports whether any axis is active (explicitly or via tier
+	// defaults): whether exhaustion is possible at all.
+	Budgeted bool
+}
+
+// ParseContract reads the budget contract from /v1/resolve query
+// parameters (budget_ms, max_comparisons, min_confidence, tier), applying
+// the tier's default time/comparison budgets for axes the request leaves
+// unset. An explicit 0 disables an axis the tier would otherwise default.
+func ParseContract(q url.Values, tiers []Tier) (Contract, error) {
+	c := Contract{Tier: q.Get("tier")}
+	if c.Tier == "" {
+		c.Tier = TierInteractive
+	}
+	var tier *Tier
+	for i := range tiers {
+		if tiers[i].Name == c.Tier {
+			tier = &tiers[i]
+			break
+		}
+	}
+	if tier == nil {
+		return c, fmt.Errorf("%w: %q", ErrUnknownTier, c.Tier)
+	}
+	budgetMs, hasBudgetMs, err := intParam(q, "budget_ms")
+	if err != nil {
+		return c, err
+	}
+	maxComp, hasMaxComp, err := intParam(q, "max_comparisons")
+	if err != nil {
+		return c, err
+	}
+	if v := q.Get("min_confidence"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return c, fmt.Errorf("%w: min_confidence=%q", ErrBadContract, v)
+		}
+		c.MinConfidence = f
+	}
+	c.Budget = time.Duration(budgetMs) * time.Millisecond
+	if !hasBudgetMs {
+		c.Budget = tier.DefaultBudget
+	}
+	c.MaxComparisons = maxComp
+	if !hasMaxComp {
+		c.MaxComparisons = tier.DefaultMaxComparisons
+	}
+	c.Budgeted = c.Budget > 0 || c.MaxComparisons > 0 || c.MinConfidence > 0
+	return c, nil
+}
+
+// intParam parses a non-negative integer query parameter, reporting
+// whether it was present at all.
+func intParam(q url.Values, name string) (int, bool, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, false, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, true, fmt.Errorf("%w: %s=%q", ErrBadContract, name, v)
+	}
+	return n, true, nil
+}
+
+// Tier is one named SLA class: an admission pool size and the default
+// budgets applied to its requests.
+type Tier struct {
+	// Name identifies the tier in requests and metrics.
+	Name string
+	// Slots bounds concurrently admitted requests of this tier. Zero or
+	// negative disables the pool (admit everything) — the in-library
+	// default; cmd/serve sets real bounds.
+	Slots int
+	// DefaultBudget is the time budget applied when a request sets none.
+	DefaultBudget time.Duration
+	// DefaultMaxComparisons is the comparison cap applied when a request
+	// sets none.
+	DefaultMaxComparisons int
+}
+
+// pool is one tier's token channel.
+type pool struct {
+	tier   Tier
+	tokens chan struct{} // nil when unbounded
+}
+
+// Pools gates admission per tier, in front of the serving queue. Safe for
+// concurrent use.
+type Pools struct {
+	pools []*pool
+}
+
+// NewPools builds the admission pools. Tier order is preserved in Stats.
+func NewPools(tiers ...Tier) *Pools {
+	ps := &Pools{}
+	for _, t := range tiers {
+		p := &pool{tier: t}
+		if t.Slots > 0 {
+			p.tokens = make(chan struct{}, t.Slots)
+		}
+		ps.pools = append(ps.pools, p)
+	}
+	return ps
+}
+
+// Tiers returns the configured tiers, in order.
+func (ps *Pools) Tiers() []Tier {
+	out := make([]Tier, len(ps.pools))
+	for i, p := range ps.pools {
+		out[i] = p.tier
+	}
+	return out
+}
+
+// Acquire takes one admission slot of the named tier, returning the
+// release func, or ErrTierSaturated when the pool is full (the caller
+// sheds with 429) / ErrUnknownTier for a tier Pools does not run.
+func (ps *Pools) Acquire(tier string) (func(), error) {
+	for _, p := range ps.pools {
+		if p.tier.Name != tier {
+			continue
+		}
+		if p.tokens == nil {
+			return func() {}, nil
+		}
+		select {
+		case p.tokens <- struct{}{}:
+			return func() { <-p.tokens }, nil
+		default:
+			return nil, fmt.Errorf("%w: %s (%d slots)", ErrTierSaturated, tier, p.tier.Slots)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownTier, tier)
+}
+
+// TierStat is one tier's admission snapshot, served by
+// GET /v1/admin/status.
+type TierStat struct {
+	Tier  string `json:"tier"`
+	Slots int    `json:"slots"`
+	// Free is the number of unheld slots; equal to Slots for unbounded
+	// pools.
+	Free int `json:"free"`
+	// DefaultBudgetMs and DefaultMaxComparisons echo the tier's defaults.
+	DefaultBudgetMs       int64 `json:"default_budget_ms"`
+	DefaultMaxComparisons int   `json:"default_max_comparisons"`
+}
+
+// Stats snapshots every tier's pool occupancy.
+func (ps *Pools) Stats() []TierStat {
+	out := make([]TierStat, len(ps.pools))
+	for i, p := range ps.pools {
+		st := TierStat{
+			Tier:                  p.tier.Name,
+			Slots:                 p.tier.Slots,
+			Free:                  p.tier.Slots,
+			DefaultBudgetMs:       p.tier.DefaultBudget.Milliseconds(),
+			DefaultMaxComparisons: p.tier.DefaultMaxComparisons,
+		}
+		if p.tokens != nil {
+			st.Free = cap(p.tokens) - len(p.tokens)
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package budget
+
+import (
+	"errors"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+func testTiers() []Tier {
+	return []Tier{
+		{Name: TierInteractive, Slots: 2, DefaultBudget: 250 * time.Millisecond, DefaultMaxComparisons: 64},
+		{Name: TierBatch, Slots: 1, DefaultBudget: 5 * time.Second},
+	}
+}
+
+func TestParseContractDefaultsAndOverrides(t *testing.T) {
+	tiers := testTiers()
+
+	c, err := ParseContract(url.Values{}, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tier != TierInteractive || c.Budget != 250*time.Millisecond || c.MaxComparisons != 64 || !c.Budgeted {
+		t.Fatalf("tier defaults not applied: %+v", c)
+	}
+
+	c, err = ParseContract(url.Values{"tier": {"batch"}, "budget_ms": {"10"}, "max_comparisons": {"3"}, "min_confidence": {"0.5"}}, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tier != TierBatch || c.Budget != 10*time.Millisecond || c.MaxComparisons != 3 || c.MinConfidence != 0.5 {
+		t.Fatalf("explicit params not honored: %+v", c)
+	}
+
+	// An explicit zero disables an axis the tier would default.
+	c, err = ParseContract(url.Values{"budget_ms": {"0"}, "max_comparisons": {"0"}}, tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Budget != 0 || c.MaxComparisons != 0 || c.Budgeted {
+		t.Fatalf("explicit zeros should disable budgets: %+v", c)
+	}
+}
+
+func TestParseContractErrors(t *testing.T) {
+	tiers := testTiers()
+	if _, err := ParseContract(url.Values{"tier": {"vip"}}, tiers); !errors.Is(err, ErrUnknownTier) {
+		t.Fatalf("unknown tier: got %v", err)
+	}
+	for _, q := range []url.Values{
+		{"budget_ms": {"-1"}},
+		{"budget_ms": {"soon"}},
+		{"max_comparisons": {"-2"}},
+		{"min_confidence": {"-0.1"}},
+		{"min_confidence": {"high"}},
+	} {
+		if _, err := ParseContract(q, tiers); !errors.Is(err, ErrBadContract) {
+			t.Fatalf("%v: got %v, want ErrBadContract", q, err)
+		}
+	}
+}
+
+func TestPoolsAdmission(t *testing.T) {
+	ps := NewPools(testTiers()...)
+
+	rel1, err := ps.Acquire(TierInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Acquire(TierInteractive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Acquire(TierInteractive); !errors.Is(err, ErrTierSaturated) {
+		t.Fatalf("third interactive acquire: got %v", err)
+	}
+	// Saturating interactive must not touch batch's pool.
+	relB, err := ps.Acquire(TierBatch)
+	if err != nil {
+		t.Fatalf("batch pool affected by interactive saturation: %v", err)
+	}
+	relB()
+	rel1()
+	if _, err := ps.Acquire(TierInteractive); err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+	if _, err := ps.Acquire("vip"); !errors.Is(err, ErrUnknownTier) {
+		t.Fatalf("unknown tier: got %v", err)
+	}
+
+	stats := ps.Stats()
+	if len(stats) != 2 || stats[0].Tier != TierInteractive || stats[0].Slots != 2 || stats[0].Free != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats[0].DefaultBudgetMs != 250 || stats[0].DefaultMaxComparisons != 64 {
+		t.Fatalf("stats defaults: %+v", stats[0])
+	}
+
+	// Unbounded pool (Slots 0) admits everything.
+	open := NewPools(Tier{Name: "open"})
+	for i := 0; i < 100; i++ {
+		if _, err := open.Acquire("open"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := open.Stats()[0]; st.Free != 0 || st.Slots != 0 {
+		t.Fatalf("unbounded stats: %+v", st)
+	}
+}
+
+func TestCursorRoundTripAndTamper(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cursor{Generation: 3, ID: 41, Profile: 0xdeadbeef, Emitted: 12, LastWeight: 0.25, LastID: 7, Frontier: 0.125}
+	tok := s.Sign(c)
+	got, err := s.Verify(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %+v want %+v", got, c)
+	}
+
+	for _, bad := range []string{
+		"",
+		"garbage",
+		tok + "x",
+		"x" + tok,
+		strings.Replace(tok, ".", "", 1),
+		tok[:len(tok)-2],
+	} {
+		if _, err := s.Verify(bad); !errors.Is(err, ErrCursorInvalid) {
+			t.Fatalf("Verify(%q): got %v, want ErrCursorInvalid", bad, err)
+		}
+	}
+
+	// A token signed under another key (another process lifetime) is
+	// refused — the restart-invalidates-cursors contract.
+	other, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Verify(tok); !errors.Is(err, ErrCursorInvalid) {
+		t.Fatalf("cross-key verify: got %v", err)
+	}
+}
+
+func TestProfileHash(t *testing.T) {
+	p := entity.Profile{Attributes: []entity.Attribute{{Name: "name", Value: "alice"}, {Name: "city", Value: "nyc"}}}
+	q := p
+	q.ID = 99
+	if ProfileHash(p) != ProfileHash(q) {
+		t.Fatal("hash must ignore the assigned ID")
+	}
+	r := entity.Profile{Attributes: []entity.Attribute{{Name: "name", Value: "alicec"}, {Name: "ity", Value: "nyc"}}}
+	if ProfileHash(p) == ProfileHash(r) {
+		t.Fatal("field boundaries must be hashed")
+	}
+}
+
+func rankedCands(n int) []incremental.Candidate {
+	cs := make([]incremental.Candidate, n)
+	for i := range cs {
+		cs[i] = incremental.Candidate{ID: entity.ID(i), Weight: float64(n-i) / float64(n)}
+	}
+	return cs
+}
+
+// collectFlush records flushed batches.
+type collectFlush struct {
+	batches [][]incremental.Candidate
+	flat    []incremental.Candidate
+}
+
+func (c *collectFlush) flush(cs []incremental.Candidate) error {
+	c.batches = append(c.batches, append([]incremental.Candidate(nil), cs...))
+	c.flat = append(c.flat, cs...)
+	return nil
+}
+
+func TestEmitUnbudgetedDrains(t *testing.T) {
+	cands := rankedCands(37)
+	var sink collectFlush
+	e := Emitter{Batch: 8}
+	out, err := e.Emit(cands, Contract{}, time.Now(), sink.flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exhausted || out.Reason != "" || out.Emitted != 37 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if len(sink.batches) != 5 || len(sink.batches[4]) != 5 {
+		t.Fatalf("batch shapes: %d batches, last %d", len(sink.batches), len(sink.batches[len(sink.batches)-1]))
+	}
+	for i, c := range sink.flat {
+		if c != cands[i] {
+			t.Fatalf("emission order diverged at %d", i)
+		}
+	}
+}
+
+func TestEmitMaxComparisons(t *testing.T) {
+	cands := rankedCands(10)
+	var sink collectFlush
+	e := Emitter{Batch: 4}
+	out, err := e.Emit(cands, Contract{MaxComparisons: 6, Budgeted: true}, time.Now(), sink.flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Exhausted || out.Reason != ReasonMaxComparisons || out.Emitted != 6 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Last != cands[5] || out.Frontier != cands[6].Weight {
+		t.Fatalf("resume position: %+v", out)
+	}
+	// Mid-batch truncation: 4 + 2.
+	if len(sink.batches) != 2 || len(sink.batches[1]) != 2 {
+		t.Fatalf("batch shapes: %+v", sink.batches)
+	}
+}
+
+func TestEmitDeadlineAlwaysFlushesOneBatch(t *testing.T) {
+	cands := rankedCands(40)
+	var sink collectFlush
+	start := time.Unix(1000, 0)
+	clock := start
+	e := Emitter{Batch: 16, Now: func() time.Time {
+		clock = clock.Add(30 * time.Millisecond)
+		return clock
+	}}
+	// Budget so small it is already expired at the first check: the first
+	// batch must still flush (never a bare timeout).
+	out, err := e.Emit(cands, Contract{Budget: time.Millisecond, Budgeted: true}, start, sink.flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Exhausted || out.Reason != ReasonDeadline {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Emitted != 16 || len(sink.batches) != 1 {
+		t.Fatalf("want exactly the first batch, got %d emitted in %d batches", out.Emitted, len(sink.batches))
+	}
+	if out.Frontier != cands[16].Weight || out.Last != cands[15] {
+		t.Fatalf("resume position: %+v", out)
+	}
+}
+
+func TestEmitMinConfidenceIsCompletion(t *testing.T) {
+	cands := rankedCands(10) // weights 1.0, 0.9, ... 0.1
+	var sink collectFlush
+	e := Emitter{Batch: 4}
+	out, err := e.Emit(cands, Contract{MinConfidence: 0.65, Budgeted: true}, time.Now(), sink.flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exhausted {
+		t.Fatalf("confidence floor is completion, not exhaustion: %+v", out)
+	}
+	if out.Reason != ReasonMinConfidence || out.Emitted != 4 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	// All-below-floor streams emit nothing and complete.
+	out, err = e.Emit(cands, Contract{MinConfidence: 2, Budgeted: true}, time.Now(), (&collectFlush{}).flush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Emitted != 0 || out.Exhausted || out.Reason != ReasonMinConfidence {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestEmitFlushErrorAborts(t *testing.T) {
+	boom := errors.New("client gone")
+	e := Emitter{Batch: 4}
+	calls := 0
+	_, err := e.Emit(rankedCands(10), Contract{}, time.Now(), func([]incremental.Candidate) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("flush called %d times after error", calls)
+	}
+}
+
+func TestSkipAfterResumesExactly(t *testing.T) {
+	cands := rankedCands(20)
+	// Introduce a weight tie to exercise the ID tiebreak.
+	cands[7].Weight = cands[6].Weight
+	for split := 0; split <= len(cands); split++ {
+		var rest []incremental.Candidate
+		if split == 0 {
+			rest = SkipAfter(cands, cands[0].Weight+1, -1)
+		} else {
+			last := cands[split-1]
+			rest = SkipAfter(cands, last.Weight, last.ID)
+		}
+		if len(rest) != len(cands)-split {
+			t.Fatalf("split %d: got %d remaining, want %d", split, len(rest), len(cands)-split)
+		}
+		for i, c := range rest {
+			if c != cands[split+i] {
+				t.Fatalf("split %d: remainder diverged at %d", split, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// The budget-enforcing executor: walks a resolve's ranked candidates —
+// already in the strict (weight descending, ID ascending) emission order
+// — and flushes them in batches until the stream drains or a budget axis
+// exhausts. Exhaustion is only ever declared AFTER at least one batch
+// was flushed, so a budgeted request always gets the best prefix its
+// budget paid for, never a bare timeout.
+package budget
+
+import (
+	"sort"
+	"time"
+
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+// DefaultBatch is the flush granularity when Emitter.Batch is unset.
+const DefaultBatch = 16
+
+// Stop reasons reported in Outcome.Reason and the stream's terminal
+// frame.
+const (
+	// ReasonDeadline: the wall-clock budget ran out with candidates
+	// remaining (exhaustion — a cursor is issued).
+	ReasonDeadline = "deadline"
+	// ReasonMaxComparisons: the comparison cap was reached with
+	// candidates remaining (exhaustion — a cursor is issued).
+	ReasonMaxComparisons = "max_comparisons"
+	// ReasonMinConfidence: the weight frontier fell below the requested
+	// floor (completion — the client asked for nothing weaker).
+	ReasonMinConfidence = "min_confidence"
+	// ReasonDegraded: the circuit breaker's zero-budget tier — one
+	// Peek-derived batch, cursor-less.
+	ReasonDegraded = "degraded"
+)
+
+// Outcome reports how an emission ended.
+type Outcome struct {
+	// Emitted counts comparisons flushed by this emission (not cumulative
+	// across resumes).
+	Emitted int
+	// Exhausted reports that a budget axis stopped the stream with
+	// candidates remaining — the caller must issue a cursor.
+	Exhausted bool
+	// Reason is one of the Reason constants, or "" when the stream
+	// drained completely.
+	Reason string
+	// Last is the final emitted candidate (valid when Emitted > 0) — the
+	// cursor's resume position.
+	Last incremental.Candidate
+	// Frontier is the weight of the first unemitted candidate (valid
+	// when Exhausted).
+	Frontier float64
+}
+
+// Emitter flushes ranked candidates in batches under a Contract. The
+// zero value uses DefaultBatch and the real clock.
+type Emitter struct {
+	// Batch is the flush granularity: how many candidates clear the
+	// frontier per flush.
+	Batch int
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// Emit streams cands (ranked weight-descending, ID-ascending) through
+// flush under the contract, starting the wall-clock budget at start.
+// The deadline is checked between batches — after the first flush, so
+// even an already-expired budget delivers one batch. A flush error
+// (client gone) aborts the emission and is returned as-is.
+func (e *Emitter) Emit(cands []incremental.Candidate, c Contract, start time.Time, flush func([]incremental.Candidate) error) (Outcome, error) {
+	batch := e.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	now := e.Now
+	if now == nil {
+		now = time.Now
+	}
+	var deadline time.Time
+	if c.Budget > 0 {
+		deadline = start.Add(c.Budget)
+	}
+
+	// The confidence floor truncates the stream outright: candidates are
+	// weight-descending, so everything past the first one below the floor
+	// is below it too. Reaching the floor is completion, not exhaustion.
+	end := len(cands)
+	byConfidence := false
+	if c.MinConfidence > 0 {
+		end = sort.Search(end, func(i int) bool { return cands[i].Weight < c.MinConfidence })
+		byConfidence = end < len(cands)
+	}
+	// The comparison cap bounds emission below the floor cut.
+	allow := end
+	if c.MaxComparisons > 0 && c.MaxComparisons < allow {
+		allow = c.MaxComparisons
+	}
+
+	var out Outcome
+	for i := 0; i < allow; {
+		j := i + batch
+		if j > allow {
+			j = allow
+		}
+		if err := flush(cands[i:j]); err != nil {
+			return out, err
+		}
+		out.Emitted += j - i
+		out.Last = cands[j-1]
+		i = j
+		if i < allow && !deadline.IsZero() && !now().Before(deadline) {
+			out.Exhausted = true
+			out.Reason = ReasonDeadline
+			out.Frontier = cands[i].Weight
+			return out, nil
+		}
+	}
+	if out.Emitted < end {
+		// Stopped by the comparison cap with candidates left above the
+		// floor.
+		out.Exhausted = true
+		out.Reason = ReasonMaxComparisons
+		out.Frontier = cands[out.Emitted].Weight
+		return out, nil
+	}
+	if byConfidence {
+		out.Reason = ReasonMinConfidence
+	}
+	return out, nil
+}
+
+// SkipAfter returns the suffix of cands strictly after the resume
+// position (w, id) in the emission order — the remainder a cursor
+// continues with. Binary search over the sorted stream.
+func SkipAfter(cands []incremental.Candidate, w float64, id entity.ID) []incremental.Candidate {
+	i := sort.Search(len(cands), func(i int) bool {
+		c := cands[i]
+		return c.Weight < w || (c.Weight == w && c.ID > id)
+	})
+	return cands[i:]
+}

@@ -172,7 +172,7 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 
 	// Gather weighted candidates from the profile's blocks BEFORE adding
 	// it to them (candidates are strictly older profiles).
-	candidates := r.collect(keys)
+	candidates := r.collect(keys, -1)
 
 	for _, k := range keys {
 		b := r.blocks[k]
@@ -193,8 +193,33 @@ func (r *Resolver) Add(p entity.Profile) (entity.ID, []Candidate) {
 // ScanCount scratch). The error is always nil; the signature is the
 // Index contract's, where sharded implementations can fail.
 func (r *Resolver) Peek(p entity.Profile) ([]Candidate, error) {
-	return r.collect(r.tokenKeys(p)), nil
+	return r.collect(r.tokenKeys(p), -1), nil
 }
+
+// PeekExcluding is the read-only resume gather behind budget-aware
+// streaming (internal/budget): it recomputes the candidates an
+// ALREADY-COMMITTED profile received from its own Resolve, by removing
+// that profile's contribution from the index's statistics. p must be the
+// same profile that was committed as exclude — same attribute content,
+// hence the same block keys — which lets the compensation be exact: every
+// block named by p's keys is known to contain exclude, so its effective
+// cardinality is one less (restoring ARCS increments and Block Purging
+// decisions), exclude itself is skipped during the scan, and blocks whose
+// only member is exclude are discounted from the ECBS block count. When
+// no other profile was committed in between, the result is bit-identical
+// to the candidate list the original Resolve returned.
+func (r *Resolver) PeekExcluding(p entity.Profile, exclude entity.ID) ([]Candidate, error) {
+	if int(exclude) < 0 || int(exclude) >= len(r.profiles) {
+		return nil, fmt.Errorf("incremental: excluded profile %d of %d", exclude, len(r.profiles))
+	}
+	return r.collect(r.tokenKeys(p), exclude), nil
+}
+
+// LastWeighed returns how many neighbors the most recent
+// Add/Peek/Resolve weighed before pruning — the single-index analogue of
+// the shard coordinator's gather hook, feeding the serving layer's
+// comparison accounting.
+func (r *Resolver) LastWeighed() int { return len(r.neighbors) }
 
 // tokenKeys returns the distinct tokens of the profile, in
 // first-appearance order — its prospective block keys. The returned slice
@@ -204,8 +229,14 @@ func (r *Resolver) tokenKeys(p entity.Profile) []string {
 }
 
 // collect runs the ScanCount accumulation over the blocks named by keys
-// and applies the local pruning criterion.
-func (r *Resolver) collect(keys []string) []Candidate {
+// and applies the local pruning criterion. A non-negative exclude is the
+// resume path (see PeekExcluding): that profile is already a member of
+// every keyed block, so each block's effective cardinality is decremented
+// before purging and increment derivation, the profile itself is skipped
+// during the scan, and its singleton blocks are discounted from the ECBS
+// block count — restoring the statistics of the index state its own
+// Resolve ran against.
+func (r *Resolver) collect(keys []string, exclude entity.ID) []Candidate {
 	r.epoch++
 	epoch := r.epoch
 	cells := r.cells
@@ -216,7 +247,10 @@ func (r *Resolver) collect(keys []string) []Candidate {
 			continue
 		}
 		n := b.Len()
-		if n == 0 || n > r.cfg.MaxBlockSize {
+		if exclude >= 0 {
+			n--
+		}
+		if n <= 0 || n > r.cfg.MaxBlockSize {
 			continue
 		}
 		inc := 1.0
@@ -228,6 +262,9 @@ func (r *Resolver) collect(keys []string) []Candidate {
 		}
 		r.members = b.AppendTo(r.members[:0])
 		for _, j := range r.members {
+			if j == exclude {
+				continue
+			}
 			c := &cells[j]
 			if c.epoch != epoch {
 				c.epoch = epoch
@@ -242,10 +279,18 @@ func (r *Resolver) collect(keys []string) []Candidate {
 	if len(neighbors) == 0 {
 		return nil
 	}
-	if r.cfg.K > 0 {
-		return r.topK(len(keys), neighbors)
+	nb := float64(len(r.blocks)) + 1
+	if exclude >= 0 {
+		for _, k := range keys {
+			if b := r.blocks[k]; b != nil && b.Len() == 1 {
+				nb--
+			}
+		}
 	}
-	return r.aboveMean(len(keys), neighbors)
+	if r.cfg.K > 0 {
+		return r.topK(len(keys), nb, neighbors)
+	}
+	return r.aboveMean(len(keys), nb, neighbors)
 }
 
 // topK keeps the K heaviest candidates with a bounded min-heap ordered by
@@ -253,10 +298,10 @@ func (r *Resolver) collect(keys []string) []Candidate {
 // ascending). The order is strict — neighbor IDs are distinct — so the
 // selected set, and after the final sort the returned slice, is identical
 // to sorting all candidates and truncating.
-func (r *Resolver) topK(bi int, neighbors []entity.ID) []Candidate {
+func (r *Resolver) topK(bi int, nb float64, neighbors []entity.ID) []Candidate {
 	r.topk.reset(r.cfg.K)
 	for _, j := range neighbors {
-		r.topk.offer(Candidate{ID: j, Weight: r.weight(bi, j)})
+		r.topk.offer(Candidate{ID: j, Weight: r.weight(bi, nb, j)})
 	}
 	out := make([]Candidate, len(r.topk.cs))
 	copy(out, r.topk.cs)
@@ -268,11 +313,11 @@ func (r *Resolver) topK(bi int, neighbors []entity.ID) []Candidate {
 // The mean is a single left-to-right sum over the neighbors in discovery
 // order — the same accumulation order as weighting each candidate in turn,
 // so thresholds are bit-stable across scratch reuse.
-func (r *Resolver) aboveMean(bi int, neighbors []entity.ID) []Candidate {
+func (r *Resolver) aboveMean(bi int, nb float64, neighbors []entity.ID) []Candidate {
 	cands := r.cands[:0]
 	var sum float64
 	for _, j := range neighbors {
-		c := Candidate{ID: j, Weight: r.weight(bi, j)}
+		c := Candidate{ID: j, Weight: r.weight(bi, nb, j)}
 		cands = append(cands, c)
 		sum += c.Weight
 	}
@@ -295,16 +340,16 @@ func (r *Resolver) aboveMean(bi int, neighbors []entity.ID) []Candidate {
 }
 
 // weight evaluates the configured scheme for a new profile with bi block
-// keys and an older profile j, using the current (growing) block
-// statistics.
-func (r *Resolver) weight(bi int, j entity.ID) float64 {
+// keys and an older profile j. nb is the ECBS block-count term, derived
+// once per collect (possibly exclusion-compensated) from the current
+// block statistics.
+func (r *Resolver) weight(bi int, nb float64, j entity.ID) float64 {
 	common := r.cells[j].common
 	bj := len(r.blocksOf[j])
 	switch r.cfg.Scheme {
 	case core.ARCS, core.CBS:
 		return common
 	case core.ECBS:
-		nb := float64(len(r.blocks)) + 1
 		return common * math.Log(nb/float64(bi)) * math.Log(nb/float64(bj))
 	case core.JS:
 		return common / (float64(bi) + float64(bj) - common)

@@ -1,0 +1,76 @@
+package incremental
+
+import (
+	"reflect"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/datagen"
+	"metablocking/internal/entity"
+)
+
+func entityProfile(value string) entity.Profile {
+	var p entity.Profile
+	p.Add("v", value)
+	return p
+}
+
+// TestPeekExcludingReproducesResolve pins the resume-gather contract
+// budget-aware streaming relies on: immediately after a profile is
+// committed, PeekExcluding(profile, id) must return the exact candidate
+// list its own Add produced — for every scheme and both pruning modes,
+// including ARCS increments, Block Purging thresholds and the ECBS block
+// count, all of which the exclusion arithmetic has to compensate.
+func TestPeekExcludingReproducesResolve(t *testing.T) {
+	ds := datagen.D1D(0.1)
+	profiles := ds.Collection.Profiles[:400]
+	configs := []Config{
+		{Scheme: core.CBS, K: 5},
+		{Scheme: core.JS, K: 5},
+		{Scheme: core.ARCS, K: 5},
+		{Scheme: core.ECBS, K: 5},
+		{Scheme: core.JS},                         // weight pruning (above-mean)
+		{Scheme: core.ECBS},                       // weight pruning with block-count term
+		{Scheme: core.CBS, K: 5, MaxBlockSize: 7}, // purging boundary in play
+	}
+	for _, cfg := range configs {
+		r := mustResolver(t, cfg)
+		for i := range profiles {
+			id, want := r.Add(profiles[i])
+			got, err := r.PeekExcluding(profiles[i], id)
+			if err != nil {
+				t.Fatalf("%+v: PeekExcluding(%d): %v", cfg, id, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%+v: profile %d: resume gather diverged\n got %v\nwant %v", cfg, id, got, want)
+			}
+		}
+	}
+}
+
+func TestPeekExcludingRejectsUnknownID(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.JS, K: 5})
+	p := entityProfile("alpha beta")
+	r.Add(p)
+	if _, err := r.PeekExcluding(p, 5); err == nil {
+		t.Fatal("out-of-range exclude accepted")
+	}
+	if _, err := r.PeekExcluding(p, -1); err == nil {
+		t.Fatal("negative exclude accepted")
+	}
+}
+
+func TestLastWeighed(t *testing.T) {
+	r := mustResolver(t, Config{Scheme: core.CBS, K: 1})
+	r.Add(entityProfile("alpha"))
+	r.Add(entityProfile("alpha beta"))
+	// Third arrival co-occurs with both predecessors but prunes to K=1:
+	// LastWeighed reports the pre-prune neighborhood.
+	_, cands := r.Add(entityProfile("alpha beta"))
+	if len(cands) != 1 {
+		t.Fatalf("candidates: %v", cands)
+	}
+	if got := r.LastWeighed(); got != 2 {
+		t.Fatalf("LastWeighed = %d, want 2", got)
+	}
+}

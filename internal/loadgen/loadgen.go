@@ -41,7 +41,8 @@ var ErrRejected = errors.New("loadgen: request shed by target")
 // errors.Is(err, ErrRejected) keeps working.
 type RejectedError struct {
 	// Code is the machine-readable code from the error envelope
-	// ("queue_full", "shard_busy"); empty for pre-envelope targets.
+	// ("queue_full", "shard_busy", "tier_busy", "timeout"); empty for
+	// pre-envelope targets.
 	Code string
 	// RetryAfter is the server's advisory back-off; zero when absent.
 	// Filled from the envelope's retry_after_ms, falling back to the
@@ -220,6 +221,44 @@ type errorEnvelope struct {
 	} `json:"error"`
 }
 
+// retryableCodes are the envelope codes a well-behaved client treats as
+// backpressure: back off and retry, uniformly. "timeout" (408) and
+// "tier_busy" join the queue-shedding 429s — all four carry
+// retry_after_ms.
+var retryableCodes = map[string]bool{
+	"queue_full": true,
+	"shard_busy": true,
+	"tier_busy":  true,
+	"timeout":    true,
+}
+
+// classifyError turns a non-2xx response into a RejectedError (shed —
+// retry with backoff) or a hard error, by the envelope's stable code.
+// Pre-envelope targets are classified by bare status: 429 and 408 shed.
+func classifyError(resp *http.Response, payload []byte) error {
+	var env errorEnvelope
+	json.Unmarshal(payload, &env) // best effort: pre-envelope targets leave it zero
+	shed := retryableCodes[env.Error.Code] ||
+		(env.Error.Code == "" &&
+			(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusRequestTimeout))
+	if shed {
+		after := time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+		if after == 0 {
+			if v := resp.Header.Get("Retry-After"); v != "" {
+				if secs, err := time.ParseDuration(v + "s"); err == nil {
+					after = secs
+				}
+			}
+		}
+		return &RejectedError{Code: env.Error.Code, RetryAfter: after}
+	}
+	if env.Error.Code != "" {
+		return fmt.Errorf("loadgen: status %d code %s: %s",
+			resp.StatusCode, env.Error.Code, env.Error.Message)
+	}
+	return fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, payload)
+}
+
 // HTTPResolver adapts a server's base URL ("http://host:port") to a
 // Resolver posting JSONL records to /v1/resolve. Non-2xx responses are
 // classified by the stable code in the error envelope — "queue_full" and
@@ -246,26 +285,7 @@ func HTTPResolver(baseURL string, client *http.Client) Resolver {
 			return incremental.BatchResult{}, err
 		}
 		if resp.StatusCode != http.StatusOK {
-			var env errorEnvelope
-			json.Unmarshal(payload, &env) // best effort: pre-envelope targets leave it zero
-			shed := env.Error.Code == "queue_full" || env.Error.Code == "shard_busy" ||
-				(env.Error.Code == "" && resp.StatusCode == http.StatusTooManyRequests)
-			if shed {
-				after := time.Duration(env.Error.RetryAfterMs) * time.Millisecond
-				if after == 0 {
-					if v := resp.Header.Get("Retry-After"); v != "" {
-						if secs, err := time.ParseDuration(v + "s"); err == nil {
-							after = secs
-						}
-					}
-				}
-				return incremental.BatchResult{}, &RejectedError{Code: env.Error.Code, RetryAfter: after}
-			}
-			if env.Error.Code != "" {
-				return incremental.BatchResult{}, fmt.Errorf("loadgen: status %d code %s: %s",
-					resp.StatusCode, env.Error.Code, env.Error.Message)
-			}
-			return incremental.BatchResult{}, fmt.Errorf("loadgen: status %d: %s", resp.StatusCode, payload)
+			return incremental.BatchResult{}, classifyError(resp, payload)
 		}
 		var out struct {
 			ID         int `json:"id"`

@@ -1,0 +1,282 @@
+// The progressive-serving side of the load generator: an NDJSON
+// streaming client for the budget-aware /v1/resolve mode, and RunMixed,
+// a mixed-tier traffic profile that drives interactive and batch
+// requests side by side and reports per-tier latency percentiles and
+// partial-result rates — the workload behind the tiered-SLA benchmarks.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metablocking/internal/dataio"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+// StreamResult is one completed streamed resolve: the reassembled
+// candidate prefix and how the stream ended.
+type StreamResult struct {
+	ID         entity.ID
+	Candidates []incremental.Candidate
+	// Partial reports an incomplete answer: the budget exhausted (Cursor
+	// non-empty) or the server answered degraded.
+	Partial  bool
+	Degraded bool
+	// Cursor is the resumption token of an exhausted stream; empty on
+	// completion.
+	Cursor string
+	// Reason echoes the terminal frame's stop reason ("", "deadline",
+	// "max_comparisons", "min_confidence", "degraded").
+	Reason string
+}
+
+// Streamer is one streamed resolve attempt: the profile plus the budget
+// query parameters (tier, budget_ms, max_comparisons, cursor, ...).
+type Streamer func(p entity.Profile, query url.Values) (StreamResult, error)
+
+// streamFrame mirrors the server's NDJSON stream envelope.
+type streamFrame struct {
+	Meta *struct {
+		ID       int  `json:"id"`
+		Degraded bool `json:"degraded"`
+	} `json:"meta"`
+	Batch []struct {
+		ID     int     `json:"id"`
+		Weight float64 `json:"weight"`
+	} `json:"batch"`
+	Done *struct {
+		Reason string `json:"reason"`
+	} `json:"done"`
+	Cursor *struct {
+		Cursor string `json:"cursor"`
+		Reason string `json:"reason"`
+	} `json:"cursor"`
+}
+
+// HTTPStreamer adapts a server base URL to a Streamer speaking the
+// chunked-NDJSON encoding. Non-2xx responses are classified exactly like
+// HTTPResolver's: retryable codes (including tier_busy and timeout)
+// become RejectedError. A nil client uses http.DefaultClient.
+func HTTPStreamer(baseURL string, client *http.Client) Streamer {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(p entity.Profile, query url.Values) (StreamResult, error) {
+		var out StreamResult
+		body, err := dataio.MarshalProfileJSON(p)
+		if err != nil {
+			return out, err
+		}
+		u := baseURL + "/v1/resolve"
+		if len(query) > 0 {
+			u += "?" + query.Encode()
+		}
+		req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return out, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := client.Do(req)
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			payload, _ := readAll(resp)
+			return out, classifyError(resp, payload)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		terminated := false
+		for sc.Scan() {
+			var fr streamFrame
+			if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+				return out, fmt.Errorf("loadgen: bad stream frame %q: %v", sc.Text(), err)
+			}
+			switch {
+			case fr.Meta != nil:
+				out.ID = entity.ID(fr.Meta.ID)
+				out.Degraded = fr.Meta.Degraded
+			case fr.Batch != nil:
+				for _, c := range fr.Batch {
+					out.Candidates = append(out.Candidates, incremental.Candidate{ID: entity.ID(c.ID), Weight: c.Weight})
+				}
+			case fr.Done != nil:
+				out.Reason = fr.Done.Reason
+				out.Partial = out.Degraded
+				terminated = true
+			case fr.Cursor != nil:
+				out.Reason = fr.Cursor.Reason
+				out.Cursor = fr.Cursor.Cursor
+				out.Partial = true
+				terminated = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return out, err
+		}
+		if !terminated {
+			return out, fmt.Errorf("loadgen: stream ended without a terminal frame")
+		}
+		return out, nil
+	}
+}
+
+// readAll drains a response body (small error envelopes only).
+func readAll(resp *http.Response) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// MixedOptions shapes a mixed-tier run.
+type MixedOptions struct {
+	Options
+	// BatchRatio is the fraction of requests sent on the batch tier, in
+	// [0, 1]; the rest go interactive. Assignment is deterministic by
+	// request index, so a given (Requests, BatchRatio) pair always yields
+	// the same interleaving.
+	BatchRatio float64
+	// InteractiveQuery and BatchQuery are the budget parameters attached
+	// to each tier's requests (tier= is set automatically).
+	InteractiveQuery url.Values
+	BatchQuery       url.Values
+}
+
+// TierReport aggregates one tier's outcomes.
+type TierReport struct {
+	Tier     string
+	Requests int
+	// Partials counts responses that delivered only a prefix (exhausted
+	// or degraded); PartialRate is Partials/Requests.
+	Partials    int
+	PartialRate float64
+	Rejected    int
+	P50, P99    time.Duration
+}
+
+// MixedReport is RunMixed's aggregate: per-tier latency and
+// partial-result rates.
+type MixedReport struct {
+	Interactive TierReport
+	Batch       TierReport
+	Errors      []error
+}
+
+// RunMixed drives a mixed interactive/batch streamed workload: Requests
+// calls over Clients workers, each request deterministically assigned a
+// tier by BatchRatio, with per-tier latency percentiles (p50/p99) and
+// partial-result rates in the report. Shed requests (RejectedError —
+// tier saturation, queue overflow, timeout) are counted per tier, not
+// retried: the mixed profile measures admission behavior, so retrying
+// would mask the shedding it exists to observe.
+func RunMixed(stream Streamer, profiles []entity.Profile, opts MixedOptions) *MixedReport {
+	opts.Options = opts.Options.withDefaults()
+	if opts.BatchRatio < 0 {
+		opts.BatchRatio = 0
+	}
+	if opts.BatchRatio > 1 {
+		opts.BatchRatio = 1
+	}
+	// Deterministic assignment: request i is batch iff i mod 100 falls
+	// below the ratio percentage.
+	batchPct := int(opts.BatchRatio * 100)
+
+	type sample struct {
+		batch    bool
+		latency  time.Duration
+		partial  bool
+		rejected bool
+		err      error
+	}
+	samples := make([]sample, opts.Requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					return
+				}
+				isBatch := i%100 < batchPct
+				q := url.Values{}
+				src := opts.InteractiveQuery
+				tier := "interactive"
+				if isBatch {
+					src, tier = opts.BatchQuery, "batch"
+				}
+				for k, vs := range src {
+					q[k] = vs
+				}
+				q.Set("tier", tier)
+				start := time.Now()
+				res, err := stream(profiles[i%len(profiles)], q)
+				s := sample{batch: isBatch, latency: time.Since(start)}
+				switch {
+				case err == nil:
+					s.partial = res.Partial
+				case errors.Is(err, ErrRejected):
+					s.rejected = true
+				default:
+					s.err = err
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &MixedReport{
+		Interactive: TierReport{Tier: "interactive"},
+		Batch:       TierReport{Tier: "batch"},
+	}
+	var latI, latB []time.Duration
+	for _, s := range samples {
+		tr, lat := &rep.Interactive, &latI
+		if s.batch {
+			tr, lat = &rep.Batch, &latB
+		}
+		tr.Requests++
+		switch {
+		case s.err != nil:
+			rep.Errors = append(rep.Errors, s.err)
+		case s.rejected:
+			tr.Rejected++
+		default:
+			*lat = append(*lat, s.latency)
+			if s.partial {
+				tr.Partials++
+			}
+		}
+	}
+	finishTier(&rep.Interactive, latI)
+	finishTier(&rep.Batch, latB)
+	return rep
+}
+
+// finishTier computes the percentiles and rates of one tier's samples.
+func finishTier(tr *TierReport, lat []time.Duration) {
+	if ok := tr.Requests - tr.Rejected; ok > 0 {
+		tr.PartialRate = float64(tr.Partials) / float64(ok)
+	}
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	tr.P50 = lat[len(lat)/2]
+	tr.P99 = lat[(len(lat)*99)/100]
+}

@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"metablocking/internal/entity"
+)
+
+func TestHTTPStreamerReassemblesStream(t *testing.T) {
+	var lastQuery url.Values
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastQuery = r.URL.Query()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"meta":{"id":9,"tier":"interactive","generation":0}}`)
+		fmt.Fprintln(w, `{"batch":[{"id":1,"weight":2.5},{"id":4,"weight":1.5}]}`)
+		fmt.Fprintln(w, `{"batch":[{"id":7,"weight":0.5}]}`)
+		if r.URL.Query().Get("max_comparisons") != "" {
+			fmt.Fprintln(w, `{"cursor":{"cursor":"tok.sig","reason":"max_comparisons","emitted":3,"total_emitted":3,"frontier":0.25}}`)
+			return
+		}
+		fmt.Fprintln(w, `{"done":{"emitted":3,"total_emitted":3}}`)
+	}))
+	defer ts.Close()
+	stream := HTTPStreamer(ts.URL, ts.Client())
+	p := someProfiles(1)[0]
+
+	res, err := stream(p, url.Values{"tier": {"interactive"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != 9 || len(res.Candidates) != 3 || res.Partial || res.Cursor != "" {
+		t.Fatalf("completed stream = %+v", res)
+	}
+	if res.Candidates[0].Weight != 2.5 || res.Candidates[2].ID != 7 {
+		t.Fatalf("candidates misassembled: %+v", res.Candidates)
+	}
+	if lastQuery.Get("tier") != "interactive" {
+		t.Fatalf("query not forwarded: %v", lastQuery)
+	}
+
+	res, err = stream(p, url.Values{"max_comparisons": {"3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Cursor != "tok.sig" || res.Reason != "max_comparisons" {
+		t.Fatalf("exhausted stream = %+v", res)
+	}
+}
+
+// TestStreamerClassifiesRetryableCodes pins the uniform-backoff fix:
+// timeout (408) and tier_busy (429) envelopes are shed, not hard errors,
+// with the envelope's advisory attached — for both client shapes.
+func TestStreamerClassifiesRetryableCodes(t *testing.T) {
+	var status int
+	var code string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":"m","retry_after_ms":1500}}`, code)
+	}))
+	defer ts.Close()
+	stream := HTTPStreamer(ts.URL, ts.Client())
+	resolve := HTTPResolver(ts.URL, ts.Client())
+	p := someProfiles(1)[0]
+
+	for _, tc := range []struct {
+		status int
+		code   string
+		shed   bool
+	}{
+		{http.StatusRequestTimeout, "timeout", true},
+		{http.StatusTooManyRequests, "tier_busy", true},
+		{http.StatusTooManyRequests, "queue_full", true},
+		{http.StatusGone, "cursor_invalid", false},
+		{http.StatusInternalServerError, "internal", false},
+	} {
+		status, code = tc.status, tc.code
+		_, serr := stream(p, nil)
+		_, rerr := resolve(p)
+		for _, err := range []error{serr, rerr} {
+			if errors.Is(err, ErrRejected) != tc.shed {
+				t.Fatalf("code %s: shed=%v, want %v (err %v)", tc.code, !tc.shed, tc.shed, err)
+			}
+			if tc.shed {
+				var rej *RejectedError
+				if !errors.As(err, &rej) || rej.RetryAfter != 1500*time.Millisecond || rej.Code != tc.code {
+					t.Fatalf("code %s: rejected error %+v", tc.code, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRunMixedSplitsTiersDeterministically(t *testing.T) {
+	var interactive, batch int
+	stream := func(_ entity.Profile, q url.Values) (StreamResult, error) {
+		switch q.Get("tier") {
+		case "batch":
+			batch++
+			// Batch streams exhaust half the time (by budget_ms carried in
+			// the query) and shed every 10th request.
+			if batch%10 == 0 {
+				return StreamResult{}, &RejectedError{Code: "tier_busy"}
+			}
+			if q.Get("budget_ms") != "5" {
+				return StreamResult{}, fmt.Errorf("batch query lost: %v", q)
+			}
+			if batch%2 == 0 {
+				return StreamResult{Partial: true, Cursor: "tok"}, nil
+			}
+			return StreamResult{}, nil
+		case "interactive":
+			interactive++
+			return StreamResult{}, nil
+		default:
+			return StreamResult{}, fmt.Errorf("no tier in query: %v", q)
+		}
+	}
+	rep := RunMixed(stream, someProfiles(10), MixedOptions{
+		Options:    Options{Clients: 1, Requests: 200},
+		BatchRatio: 0.3,
+		BatchQuery: url.Values{"budget_ms": {"5"}},
+	})
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	if rep.Interactive.Requests != 140 || rep.Batch.Requests != 60 {
+		t.Fatalf("tier split %d/%d, want 140/60", rep.Interactive.Requests, rep.Batch.Requests)
+	}
+	if interactive != 140 || batch != 60 {
+		t.Fatalf("streamer saw %d/%d", interactive, batch)
+	}
+	if rep.Batch.Rejected != 6 {
+		t.Fatalf("batch rejected = %d, want 6", rep.Batch.Rejected)
+	}
+	if rep.Batch.Partials != 24 {
+		// 60 requests, 6 shed (all on even counts); of the 54 answered,
+		// partial on the remaining even counts: 30 − 6 = 24.
+		t.Fatalf("batch partials = %d, want 24", rep.Batch.Partials)
+	}
+	wantRate := float64(24) / float64(54)
+	if rep.Batch.PartialRate != wantRate {
+		t.Fatalf("batch partial rate = %v, want %v", rep.Batch.PartialRate, wantRate)
+	}
+	if rep.Interactive.Partials != 0 || rep.Interactive.PartialRate != 0 {
+		t.Fatalf("interactive partials = %+v", rep.Interactive)
+	}
+	if rep.Interactive.P50 < 0 || rep.Interactive.P99 < rep.Interactive.P50 {
+		t.Fatalf("percentiles inconsistent: %+v", rep.Interactive)
+	}
+}
+
+// TestRunMixedAgainstServer drives the real streaming endpoint end to
+// end through the mixed profile (exercised fully in the server package's
+// suite; here we pin the wiring of partial detection against a live
+// NDJSON emitter that exhausts batch-tier requests).
+func TestRunMixedAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"meta":{"id":1}}`)
+		fmt.Fprintln(w, `{"batch":[{"id":0,"weight":1}]}`)
+		if r.URL.Query().Get("tier") == "batch" {
+			fmt.Fprintln(w, `{"cursor":{"cursor":"tok","reason":"deadline"}}`)
+			return
+		}
+		fmt.Fprintln(w, `{"done":{"emitted":1,"total_emitted":1}}`)
+	}))
+	defer ts.Close()
+	rep := RunMixed(HTTPStreamer(ts.URL, ts.Client()), someProfiles(5), MixedOptions{
+		Options:    Options{Clients: 4, Requests: 100},
+		BatchRatio: 0.5,
+	})
+	if len(rep.Errors) > 0 {
+		t.Fatalf("errors: %v", rep.Errors)
+	}
+	if rep.Batch.PartialRate != 1 || rep.Interactive.PartialRate != 0 {
+		t.Fatalf("partial rates %v/%v, want 1/0", rep.Batch.PartialRate, rep.Interactive.PartialRate)
+	}
+}

@@ -34,6 +34,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (SSE,
+// NDJSON) can push frames through the instrumentation. A non-flushing
+// underlying writer is a no-op.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // HTTPMetrics wraps a handler with per-endpoint instrumentation under the
 // "http.<name>." counter prefix and brackets each request in a span (the
 // same start/end hooks pipeline stages use, when o carries any). A nil

@@ -1,0 +1,87 @@
+// The incremental frontier iterator: best-first emission without the full
+// pre-sort. The original Scheduler materialized every comparison and paid
+// an O(n log n) descending sort before the first emission — fine offline,
+// wasteful online, where a budgeted consumer typically executes a small
+// prefix of the stream and the serving path wants the first batch on the
+// wire as early as possible. A Frontier heapifies the comparisons in O(n)
+// and pops them lazily, so a budget of k comparisons costs O(n + k log n)
+// instead of the full sort, while emitting the exact same deterministic
+// order (the ranking is a strict total order: weight descending, then the
+// canonical pair ascending — pairs are distinct).
+package progressive
+
+// frontierOutranks is the emission ranking: weight descending, ties broken
+// on the canonical pair so schedules are deterministic. It is the same
+// total order the pre-sort Scheduler used.
+func frontierOutranks(a, b Comparison) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	if a.Pair.A != b.Pair.A {
+		return a.Pair.A < b.Pair.A
+	}
+	return a.Pair.B < b.Pair.B
+}
+
+// Frontier serves comparisons best-first from a binary max-heap under the
+// emission ranking. The zero value is an empty frontier; build a populated
+// one with NewFrontier. Not safe for concurrent use.
+type Frontier struct {
+	heap []Comparison
+}
+
+// NewFrontier takes ownership of cs and heapifies it in O(n). The caller
+// must not reuse the slice.
+func NewFrontier(cs []Comparison) *Frontier {
+	f := &Frontier{heap: cs}
+	for i := len(cs)/2 - 1; i >= 0; i-- {
+		f.down(i)
+	}
+	return f
+}
+
+// Len returns how many comparisons have not been emitted yet.
+func (f *Frontier) Len() int { return len(f.heap) }
+
+// Peek returns the current frontier — the heaviest unemitted comparison —
+// without consuming it, or ok=false when exhausted. Its weight is the
+// resumption point a budget-aware consumer records when it stops.
+func (f *Frontier) Peek() (Comparison, bool) {
+	if len(f.heap) == 0 {
+		return Comparison{}, false
+	}
+	return f.heap[0], true
+}
+
+// Next pops the heaviest unemitted comparison, or ok=false when exhausted.
+// Successive pops emit the exact descending order the pre-sort produced.
+func (f *Frontier) Next() (Comparison, bool) {
+	n := len(f.heap)
+	if n == 0 {
+		return Comparison{}, false
+	}
+	top := f.heap[0]
+	f.heap[0] = f.heap[n-1]
+	f.heap = f.heap[:n-1]
+	f.down(0)
+	return top, true
+}
+
+func (f *Frontier) down(i int) {
+	n := len(f.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && frontierOutranks(f.heap[r], f.heap[m]) {
+			m = r
+		}
+		if !frontierOutranks(f.heap[m], f.heap[i]) {
+			return
+		}
+		f.heap[i], f.heap[m] = f.heap[m], f.heap[i]
+		i = m
+	}
+}

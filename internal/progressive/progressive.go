@@ -22,63 +22,73 @@ type Comparison struct {
 }
 
 // Scheduler materializes the weighted comparisons of a block collection
-// and serves them heaviest-first.
+// and serves them heaviest-first. Emission is driven by an incremental
+// Frontier instead of a full pre-sort: building the schedule heapifies in
+// O(n), and a consumer that stops after k comparisons — the whole point of
+// pay-as-you-go ER — pays O(k log n) instead of sorting everything it will
+// never execute. The emitted order is identical to the former pre-sort.
 type Scheduler struct {
-	comparisons []Comparison
-	next        int
+	frontier *Frontier
+	emitted  []Comparison
 }
 
 // NewScheduler builds the schedule: one optimized traversal collects every
-// distinct comparison with its weight, then a single descending sort fixes
+// distinct comparison with its weight, then a single O(n) heapify fixes
 // the emission order (ties break on the canonical pair, so schedules are
 // deterministic).
 func NewScheduler(c *block.Collection, scheme core.Scheme) *Scheduler {
 	g := core.NewGraph(c, scheme)
-	s := &Scheduler{}
+	var cs []Comparison
 	g.ForEachEdge(func(i, j entity.ID, w float64) {
-		s.comparisons = append(s.comparisons, Comparison{Pair: entity.MakePair(i, j), Weight: w})
+		cs = append(cs, Comparison{Pair: entity.MakePair(i, j), Weight: w})
 	})
-	sort.Slice(s.comparisons, func(a, b int) bool {
-		ca, cb := s.comparisons[a], s.comparisons[b]
-		if ca.Weight != cb.Weight {
-			return ca.Weight > cb.Weight
-		}
-		if ca.Pair.A != cb.Pair.A {
-			return ca.Pair.A < cb.Pair.A
-		}
-		return ca.Pair.B < cb.Pair.B
-	})
-	return s
+	return &Scheduler{frontier: NewFrontier(cs)}
 }
 
 // Len returns the total number of scheduled comparisons.
-func (s *Scheduler) Len() int { return len(s.comparisons) }
+func (s *Scheduler) Len() int { return len(s.emitted) + s.frontier.Len() }
 
 // Remaining returns how many comparisons have not been emitted yet.
-func (s *Scheduler) Remaining() int { return len(s.comparisons) - s.next }
+func (s *Scheduler) Remaining() int { return s.frontier.Len() }
+
+// Frontier returns the weight of the next comparison to be emitted, or
+// ok=false when exhausted — the resumption point a budgeted consumer
+// records when its budget runs out.
+func (s *Scheduler) Frontier() (float64, bool) {
+	c, ok := s.frontier.Peek()
+	return c.Weight, ok
+}
 
 // Next returns the next-heaviest comparison, or ok=false when exhausted.
 func (s *Scheduler) Next() (Comparison, bool) {
-	if s.next >= len(s.comparisons) {
-		return Comparison{}, false
+	c, ok := s.frontier.Next()
+	if ok {
+		s.emitted = append(s.emitted, c)
 	}
-	c := s.comparisons[s.next]
-	s.next++
-	return c, true
+	return c, ok
 }
 
-// Take emits up to n comparisons (the next budget slice).
+// Take emits up to n comparisons (the next budget slice). The returned
+// slice stays valid across further Takes; Reset stops maintaining it.
 func (s *Scheduler) Take(n int) []Comparison {
-	if n > s.Remaining() {
-		n = s.Remaining()
+	start := len(s.emitted)
+	for i := 0; i < n; i++ {
+		if _, ok := s.Next(); !ok {
+			break
+		}
 	}
-	out := s.comparisons[s.next : s.next+n]
-	s.next += n
-	return out
+	return s.emitted[start:len(s.emitted):len(s.emitted)]
 }
 
-// Reset rewinds the schedule to the beginning.
-func (s *Scheduler) Reset() { s.next = 0 }
+// Reset rewinds the schedule to the beginning, re-heapifying the emitted
+// prefix together with whatever remains.
+func (s *Scheduler) Reset() {
+	all := make([]Comparison, 0, s.Len())
+	all = append(all, s.emitted...)
+	all = append(all, s.frontier.heap...)
+	s.frontier = NewFrontier(all)
+	s.emitted = nil
+}
 
 // RecallCurvePoint is one point of a progressive-recall curve.
 type RecallCurvePoint struct {

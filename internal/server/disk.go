@@ -115,6 +115,7 @@ func (s *Server) diskReload(snap *incremental.Snapshot) (int, error) {
 	s.resolver = g
 	n := g.Size()
 	s.breaker.reset()
+	s.generation.Add(1) // outstanding resume cursors die with the old index
 	s.metrics.Counter(CtrReloads).Inc()
 	s.metrics.Gauge(GaugeProfiles).Set(int64(n))
 	return n, nil
@@ -153,6 +154,10 @@ func (s *Server) Checkpoint() (int, error) {
 	if err := g.Checkpoint(); err != nil {
 		return 0, err
 	}
+	// A checkpoint reshapes the on-disk postings the gather path serves
+	// from; cursors cut before it cannot prove their frontier is still
+	// exact, so the generation advances and they are refused.
+	s.generation.Add(1)
 	s.metrics.Counter(CtrSnapshots).Inc()
 	return g.Size(), nil
 }

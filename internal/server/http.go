@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"metablocking/internal/dataio"
 	"metablocking/internal/obs"
@@ -97,6 +98,14 @@ const (
 	// CodeShardBusy (429): a shard's admission queue shed the request;
 	// the envelope carries retry_after_ms.
 	CodeShardBusy = "shard_busy"
+	// CodeTierBusy (429): the request's SLA tier has no admission slot
+	// free; the envelope carries retry_after_ms.
+	CodeTierBusy = "tier_busy"
+	// CodeCursorInvalid (410): the resumption cursor failed verification —
+	// bad signature (a restart rotates the key), a stale snapshot
+	// generation, or a profile that no longer hashes to the cursor's. The
+	// stream must be restarted from scratch.
+	CodeCursorInvalid = "cursor_invalid"
 	// CodeDraining (503): the server is shutting down gracefully.
 	CodeDraining = "draining"
 	// CodeShardDown (503): the request's home shard is marked down.
@@ -107,7 +116,8 @@ const (
 )
 
 // ErrorBody is the envelope's payload: a stable code, a human-readable
-// message, and — on 429s — the advisory back-off.
+// message, and — on retryable statuses (408/429/503) — the advisory
+// back-off.
 type ErrorBody struct {
 	Code         string `json:"code"`
 	Message      string `json:"message"`
@@ -121,11 +131,14 @@ type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
 }
 
-// writeError emits the envelope. 429s also set the legacy Retry-After
-// header so pre-envelope clients keep backing off correctly.
+// writeError emits the envelope. Retryable statuses — 408 (timeout), 429
+// (shed) and 503 (draining / shard down) — carry retry_after_ms and the
+// legacy Retry-After header so every client backs off uniformly instead
+// of special-casing 429.
 func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
 	body := ErrorResponse{Error: ErrorBody{Code: code, Message: msg}}
-	if status == http.StatusTooManyRequests {
+	switch status {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		body.Error.RetryAfterMs = s.cfg.RetryAfter.Milliseconds()
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
 	}
@@ -216,6 +229,7 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func (s *Server) handleResolve(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -232,21 +246,21 @@ func (s *Server) handleResolve(w http.ResponseWriter, req *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, CodeInvalidProfile, err.Error())
 		return
 	}
+	if isStreamRequest(req) {
+		s.handleResolveStream(w, req, p, start)
+		return
+	}
 	res, err := s.Resolve(req.Context(), p)
 	if err != nil {
 		status, code := resolveErrorCode(err)
 		s.writeError(w, status, code, err.Error())
 		return
 	}
-	out := ResolveResponse{
+	writeJSON(w, http.StatusOK, ResolveResponse{
 		ID:         int(res.ID),
-		Candidates: make([]CandidateJSON, len(res.Candidates)),
+		Candidates: candidateJSON(res.Candidates),
 		Degraded:   res.Degraded,
-	}
-	for i, c := range res.Candidates {
-		out.Candidates[i] = CandidateJSON{ID: int(c.ID), Weight: c.Weight}
-	}
-	writeJSON(w, http.StatusOK, out)
+	})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {

@@ -27,8 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"metablocking/internal/budget"
 	"metablocking/internal/entity"
 	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
@@ -77,6 +79,12 @@ const (
 // -fault flag of cmd/serve) arm errors, delays or panics here.
 const FaultResolve = "server.resolve"
 
+// FaultStream is the fault-injection site consulted before each batch
+// flush of a streamed resolve. A delay spec pins a stream mid-flight —
+// how chaos tests hold a response open across a SIGKILL — and an error
+// spec aborts the stream as a vanished client would.
+const FaultStream = "server.stream"
+
 // Config tunes the serving façade. The zero value gets sensible defaults.
 type Config struct {
 	// Resolver configures the incremental index (scheme, K, block cap).
@@ -124,6 +132,17 @@ type Config struct {
 	// BreakerCooldown is how long the circuit stays open before a single
 	// half-open probe is allowed through. Default 1s.
 	BreakerCooldown time.Duration
+
+	// Tiers configures the budget-aware streaming path's SLA classes:
+	// per-tier admission pools (in front of the bounded queue) and the
+	// default budgets applied to streamed requests that set none. Nil
+	// defaults to unbounded "interactive" and "batch" tiers with no
+	// default budgets, so streaming stays unbudgeted unless a request
+	// asks — cmd/serve installs real bounds.
+	Tiers []budget.Tier
+	// StreamBatch is how many ranked candidates a streamed resolve
+	// flushes per frame. Default 16.
+	StreamBatch int
 
 	// DiskDir, when set, serves the out-of-core index from this
 	// directory: memtable + delta segments + background compaction
@@ -218,6 +237,12 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = time.Second
 	}
+	if c.Tiers == nil {
+		c.Tiers = []budget.Tier{{Name: budget.TierInteractive}, {Name: budget.TierBatch}}
+	}
+	if c.StreamBatch <= 0 {
+		c.StreamBatch = budget.DefaultBatch
+	}
 	return c
 }
 
@@ -237,9 +262,15 @@ type jobResult struct {
 }
 
 // job is one admitted resolve request. reply is buffered so the batcher
-// never blocks on a client that gave up waiting.
+// never blocks on a client that gave up waiting. A resume job is the
+// read-only re-gather behind cursor resumption: it excludes the named
+// already-committed profile and never mutates the index, but still rides
+// the batcher so it is serialized with writers (the resolvers' gather
+// scratch is single-caller).
 type job struct {
 	profile entity.Profile
+	resume  bool
+	exclude entity.ID
 	reply   chan jobResult
 }
 
@@ -284,6 +315,14 @@ type Server struct {
 	submitMu sync.RWMutex
 	draining bool
 
+	// Budget-aware streaming state: the per-tier admission pools, the
+	// cursor signer (per-process key — restart invalidates cursors), and
+	// the snapshot generation cursors are cut against, advanced by every
+	// reload and checkpoint.
+	pools      *budget.Pools
+	signer     *budget.Signer
+	generation atomic.Uint64
+
 	stopc chan struct{}
 	done  chan struct{}
 }
@@ -298,6 +337,10 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 		opt(&cfg)
 	}
 	cfg = cfg.withDefaults()
+	signer, err := budget.NewSigner()
+	if err != nil {
+		return nil, err
+	}
 	r, err := newIndex(cfg)
 	if err != nil {
 		return nil, err
@@ -308,6 +351,8 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 		resolver: r,
 		queue:    make(chan job, cfg.QueueDepth),
 		batchBuf: make([]job, 0, cfg.MaxBatch),
+		pools:    budget.NewPools(cfg.Tiers...),
+		signer:   signer,
 		stopc:    make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -337,7 +382,11 @@ func newIndex(cfg Config) (incremental.Index, error) {
 }
 
 // shardConfig derives the coordinator configuration from the server's.
+// The gather hook feeds the budget subsystem's work accounting: every
+// shard reply's weighed-neighbor count lands in budget.gathered as it
+// arrives (the single-index path mirrors this via LastWeighed in flush).
 func shardConfig(cfg Config) shard.Config {
+	gathered := cfg.Metrics.Counter(budget.CtrGathered)
 	return shard.Config{
 		Resolver:       cfg.Resolver,
 		Shards:         cfg.Shards,
@@ -345,6 +394,7 @@ func shardConfig(cfg Config) shard.Config {
 		Fault:          cfg.Fault,
 		Metrics:        cfg.Metrics,
 		MemtableBudget: cfg.MemtableBudget,
+		OnGather:       func(_, weighed int) { gathered.Add(int64(weighed)) },
 	}
 }
 
@@ -359,11 +409,27 @@ func shardConfig(cfg Config) shard.Config {
 // breaker is open the answer is served degraded: read-only candidates
 // from the last good index, ID -1, Degraded true.
 func (s *Server) Resolve(ctx context.Context, p entity.Profile) (Resolution, error) {
+	return s.submit(ctx, job{profile: p})
+}
+
+// Resume is the read-only re-gather behind cursor resumption: it
+// recomputes the ranked candidates the already-committed profile exclude
+// received from its own resolve (see incremental.Resolver.PeekExcluding),
+// without assigning an ID or mutating the index. It rides the same
+// admission queue and batcher as Resolve — the underlying gather scratch
+// is single-caller — and is subject to the same backpressure errors. The
+// returned Resolution carries exclude as its ID.
+func (s *Server) Resume(ctx context.Context, p entity.Profile, exclude entity.ID) (Resolution, error) {
+	return s.submit(ctx, job{profile: p, resume: true, exclude: exclude})
+}
+
+// submit admits one job and waits for the batcher's answer.
+func (s *Server) submit(ctx context.Context, j job) (Resolution, error) {
 	reply, _ := s.replyPool.Get().(chan jobResult)
 	if reply == nil {
 		reply = make(chan jobResult, 1)
 	}
-	j := job{profile: p, reply: reply}
+	j.reply = reply
 	s.submitMu.RLock()
 	if s.draining {
 		s.submitMu.RUnlock()
@@ -427,10 +493,18 @@ func (s *Server) Reload(snap *incremental.Snapshot) (int, error) {
 	// A fresh known-good index closes the degraded-mode circuit: reload is
 	// the operator's recovery lever.
 	s.breaker.reset()
+	// The swap orphans the previous snapshot generation: outstanding
+	// resume cursors were cut against an index that no longer exists.
+	s.generation.Add(1)
 	s.metrics.Counter(CtrReloads).Inc()
 	s.metrics.Gauge(GaugeProfiles).Set(int64(n))
 	return n, nil
 }
+
+// Generation is the snapshot generation resume cursors are bound to.
+// Every successful reload and disk checkpoint advances it, invalidating
+// all outstanding cursors.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
 
 // ReloadFile is Reload from a store resolver-snapshot file of either
 // layout — a plain "resolver" artifact or a sharded manifest+segments.
@@ -527,6 +601,7 @@ type ConfigStatus struct {
 	RequestTimeoutMs int64  `json:"request_timeout_ms"`
 	BreakerThreshold int    `json:"breaker_threshold"`
 	BreakerCooldownMs int64 `json:"breaker_cooldown_ms"`
+	StreamBatch      int    `json:"stream_batch"`
 
 	// Disk-mode knobs; omitted when serving in-memory.
 	DiskDir          string `json:"disk_dir,omitempty"`
@@ -547,6 +622,10 @@ type Status struct {
 	// when serving in-memory.
 	Checkpoint uint64       `json:"checkpoint,omitempty"`
 	Shards     []shard.Stat `json:"shards,omitempty"`
+	// Generation is the snapshot generation resume cursors are bound to;
+	// Tiers describes the budget-aware streaming path's admission pools.
+	Generation uint64            `json:"generation"`
+	Tiers      []budget.TierStat `json:"tiers,omitempty"`
 }
 
 // Status assembles the admin status snapshot. Like Snapshot it takes the
@@ -568,14 +647,17 @@ func (s *Server) Status() Status {
 			RequestTimeoutMs:  cfg.RequestTimeout.Milliseconds(),
 			BreakerThreshold:  cfg.BreakerThreshold,
 			BreakerCooldownMs: cfg.BreakerCooldown.Milliseconds(),
+			StreamBatch:       cfg.StreamBatch,
 			DiskDir:           cfg.DiskDir,
 			MemtableBudget:    cfg.MemtableBudget,
 			DiskCacheBytes:    cfg.DiskCacheBytes,
 			DiskCompactAfter:  cfg.DiskCompactAfter,
 		},
-		Ready:    s.Ready(),
-		Degraded: s.breaker.degraded(),
-		Breaker:  s.breaker.stateString(),
+		Ready:      s.Ready(),
+		Degraded:   s.breaker.degraded(),
+		Breaker:    s.breaker.stateString(),
+		Generation: s.generation.Load(),
+		Tiers:      s.pools.Stats(),
 	}
 	s.mu.Lock()
 	st.Profiles = s.resolver.Size()
@@ -693,18 +775,33 @@ func (s *Server) flush(batch []job) {
 		outcomes = outcomes[:len(batch)]
 	}
 	s.mu.Lock()
+	lastWeighed, _ := s.resolver.(interface{ LastWeighed() int })
+	var gathered int64
 	for i, j := range batch {
-		proceed, probe := s.breaker.allow()
-		if !proceed {
-			outcomes[i] = jobResult{res: s.peekOne(j.profile)}
-			continue
+		if j.resume {
+			// Read-only: no breaker interaction, no ID consumed.
+			outcomes[i] = s.resumeOne(j)
+		} else {
+			proceed, probe := s.breaker.allow()
+			if !proceed {
+				outcomes[i] = jobResult{res: s.peekOne(j.profile)}
+			} else {
+				res, err := s.addOne(j.profile)
+				s.breaker.result(probe, err != nil)
+				outcomes[i] = jobResult{res: Resolution{BatchResult: res}, err: err}
+			}
 		}
-		res, err := s.addOne(j.profile)
-		s.breaker.result(probe, err != nil)
-		outcomes[i] = jobResult{res: Resolution{BatchResult: res}, err: err}
+		if lastWeighed != nil && outcomes[i].err == nil {
+			// Single-index gather accounting; the sharded backends report
+			// through the coordinator's OnGather hook instead.
+			gathered += int64(lastWeighed.LastWeighed())
+		}
 	}
 	size := s.resolver.Size()
 	s.mu.Unlock()
+	if gathered > 0 {
+		s.metrics.Counter(budget.CtrGathered).Add(gathered)
+	}
 
 	candidates, degraded, failed := 0, 0, 0
 	for i, j := range batch {
@@ -772,4 +869,38 @@ func (s *Server) peekOne(p entity.Profile) (res Resolution) {
 		BatchResult: incremental.BatchResult{ID: -1, Candidates: cands},
 		Degraded:    true,
 	}
+}
+
+// resumer is the optional backend capability cursor resumption needs:
+// re-gather a committed profile's candidates with its own contribution
+// compensated out. Both serving backends implement it; the interface is
+// asserted rather than added to incremental.Index so alternative Index
+// implementations (test fakes) stay valid.
+type resumer interface {
+	PeekExcluding(entity.Profile, entity.ID) ([]incremental.Candidate, error)
+}
+
+// resumeOne answers a resume job: a read-only exclusion gather against
+// the live index. Guarded like addOne. Called with s.mu held.
+func (s *Server) resumeOne(j job) (out jobResult) {
+	defer func() {
+		if pe := par.Recovered(recover()); pe != nil {
+			s.metrics.Counter(CtrPanics).Inc()
+			out = jobResult{err: pe}
+		}
+	}()
+	r, ok := s.resolver.(resumer)
+	if !ok {
+		return jobResult{err: errors.New("server: backend does not support resume")}
+	}
+	if err := s.cfg.Fault.Check(FaultResolve); err != nil {
+		return jobResult{err: err}
+	}
+	cands, err := r.PeekExcluding(j.profile, j.exclude)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	return jobResult{res: Resolution{
+		BatchResult: incremental.BatchResult{ID: j.exclude, Candidates: cands},
+	}}
 }

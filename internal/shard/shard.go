@@ -180,6 +180,13 @@ type Config struct {
 	// recovered or reloaded group continues its directory's lineage
 	// above every id already on disk.
 	Checkpoint uint64
+	// OnGather, when non-nil, observes each live shard's gather reply as
+	// it lands during a resolve: the shard index and how many weighed
+	// neighbors it surfaced. This is the early-emit hook the budget-aware
+	// serving layer (internal/budget) uses to account gather work per
+	// request while the scatter-gather is still in flight on other
+	// shards.
+	OnGather func(shard, weighed int)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -618,15 +625,63 @@ func (g *Group) Peek(p entity.Profile) ([]incremental.Candidate, error) {
 	return g.gather(g.keyer.Keys(p))
 }
 
-// gather runs phase 1: global per-key increments, fan-out to every live
-// shard, exact merge. Any live-shard failure aborts the whole resolve
-// (after collecting every outstanding reply); down shards are skipped
-// and the answer marked partial in metrics.
+// PeekExcluding is the read-only resume gather of budget-aware streaming
+// (internal/budget): it recomputes the candidates an already-committed
+// profile received from its own Resolve by removing that profile's
+// contribution from the coordinator's global statistics — the sharded
+// analogue of incremental.Resolver.PeekExcluding. p must be the same
+// profile committed as exclude (same content, hence the same block
+// keys): every keyed block's global cardinality is decremented before
+// increment derivation and Block Purging, exclude's singleton blocks are
+// discounted from the ECBS block count, and exclude itself is dropped
+// from its home shard's gather reply before the exact merge. When no
+// other profile was committed in between, the result is bit-identical to
+// the original Resolve's candidate list at every shard count.
+func (g *Group) PeekExcluding(p entity.Profile, exclude entity.ID) ([]incremental.Candidate, error) {
+	if g.closed {
+		return nil, ErrClosed
+	}
+	if int(exclude) < 0 || int(exclude) >= g.size {
+		return nil, fmt.Errorf("shard: excluded profile %d of %d", exclude, g.size)
+	}
+	return g.gatherExcluding(g.keyer.Keys(p), exclude)
+}
+
 func (g *Group) gather(keys []string) ([]incremental.Candidate, error) {
+	return g.gatherExcluding(keys, -1)
+}
+
+// gatherExcluding runs phase 1: global per-key increments, fan-out to
+// every live shard, exact merge. Any live-shard failure aborts the whole
+// resolve (after collecting every outstanding reply); down shards are
+// skipped and the answer marked partial in metrics. A non-negative
+// exclude is the resume path — see PeekExcluding for the compensation
+// arithmetic.
+func (g *Group) gatherExcluding(keys []string, exclude entity.ID) ([]incremental.Candidate, error) {
 	bi := len(keys)
 	nb := float64(len(g.blockSize)) + 1
-	g.incs = incremental.KeyIncrements(g.incs[:0], keys,
-		func(k string) int { return g.blockSize[k] },
+	sizeOf := func(k string) int { return g.blockSize[k] }
+	maxWeighted := g.cfg.Resolver.K
+	if exclude >= 0 {
+		sizeOf = func(k string) int {
+			// Every gather key names a block exclude is a member of.
+			if n := g.blockSize[k] - 1; n > 0 {
+				return n
+			}
+			return 0
+		}
+		for _, k := range keys {
+			if g.blockSize[k] == 1 {
+				nb--
+			}
+		}
+		if maxWeighted > 0 {
+			// One extra local slot so dropping exclude from its home
+			// shard's top-K cannot cost a real candidate.
+			maxWeighted++
+		}
+	}
+	g.incs = incremental.KeyIncrements(g.incs[:0], keys, sizeOf,
 		g.cfg.Resolver.Scheme, g.cfg.Resolver.MaxBlockSize)
 
 	partial := false
@@ -647,7 +702,7 @@ func (g *Group) gather(keys []string) ([]incremental.Candidate, error) {
 		req.incs = g.incs
 		req.bi = bi
 		req.nb = nb
-		req.maxWeighted = g.cfg.Resolver.K
+		req.maxWeighted = maxWeighted
 		if err := a.submit(req); err != nil {
 			firstErr = fmt.Errorf("shard %d gather: %w", i, err)
 			continue
@@ -668,12 +723,25 @@ func (g *Group) gather(keys []string) ([]incremental.Candidate, error) {
 		}
 		g.noteSuccess(i)
 		g.lists[i] = req.cands
+		if g.cfg.OnGather != nil {
+			g.cfg.OnGather(i, len(req.cands))
+		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	if partial {
 		g.metrics.Counter(CtrPartialGathers).Inc()
+	}
+	if exclude >= 0 {
+		home := incremental.ShardOf(exclude, len(g.actors))
+		list := g.lists[home]
+		for idx := range list {
+			if list[idx].ID == exclude {
+				g.lists[home] = append(list[:idx], list[idx+1:]...)
+				break
+			}
+		}
 	}
 	if k := g.cfg.Resolver.K; k > 0 {
 		return g.merger.TopK(k, g.lists), nil

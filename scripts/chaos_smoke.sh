@@ -5,7 +5,9 @@
 # window), then prove the previously saved artifact is still loadable —
 # a restarted server goes green on /readyz and keeps resolving. Also
 # checks that reloading a deliberately corrupted snapshot yields 422 and
-# leaves the live index serving.
+# leaves the live index serving, and that a progressive stream killed
+# mid-flight leaves a cursor the restarted server refuses with a clean
+# 410 cursor_invalid (fresh signing key) rather than a wrong answer.
 set -eu
 
 workdir="$(mktemp -d)"
@@ -201,5 +203,53 @@ status=0
 wait "$pid" || status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after disk-mode SIGTERM:"; cat "$log"; exit 1; }
+
+# Phase 7: a progressive stream crosses a SIGKILL only as far as its
+# cursor allows. A budgeted stream exhausts and hands out a signed
+# resumption cursor; resuming against the live process streams the
+# remainder to completion. Then a second stream is pinned mid-flight (an
+# armed delay on the flush path) and the process is SIGKILLed — the
+# restarted server signs with a fresh per-process key, so the stale
+# cursor must be refused with a clean, typed 410 cursor_invalid
+# envelope: never a wrong answer, never a bare error.
+start_server -fault 'server.stream:delay=10s,after=2'
+resolve "$p1"; resolve "$p2"; resolve "$p3"; resolve "$p4"; resolve "$p5"
+stream1="$(curl -fsS -X POST -H 'Accept: application/x-ndjson' -d "$probe" "$base/v1/resolve?max_comparisons=1")"
+echo "$stream1" | grep -q '"batch"' || { echo "chaos-smoke: budgeted stream flushed nothing: $stream1"; exit 1; }
+cursor="$(printf '%s\n' "$stream1" | sed -n 's/.*"cursor":{"cursor":"\([^"]*\)".*/\1/p')"
+[ -n "$cursor" ] || { echo "chaos-smoke: exhausted stream carried no cursor: $stream1"; exit 1; }
+
+# Live resume: the remainder arrives and the stream completes (done frame).
+resumed="$(curl -fsS -X POST -H 'Accept: application/x-ndjson' -d "$probe" "$base/v1/resolve?cursor=$cursor")"
+echo "$resumed" | grep -q '"done"' || { echo "chaos-smoke: live resume did not complete: $resumed"; exit 1; }
+echo "chaos-smoke: budgeted stream resumed to completion pre-crash"
+
+# The third stream trips the armed delay on its first flush — pinned
+# mid-stream (headers and meta frame out, no batch yet) when the kill lands.
+curl -sS -X POST -H 'Accept: application/x-ndjson' -d "$probe" "$base/v1/resolve" >"$workdir/pinned.out" 2>&1 &
+curl_pid=$!
+sleep 1
+echo "chaos-smoke: SIGKILL mid-stream"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+wait "$curl_pid" 2>/dev/null || true
+if grep -q '"done"\|"cursor"' "$workdir/pinned.out"; then
+    echo "chaos-smoke: pinned stream was not mid-flight at the kill"; cat "$workdir/pinned.out"; exit 1
+fi
+
+# Restart: fresh signing key, so the pre-crash cursor is structurally
+# valid but unverifiable — the server must answer 410 cursor_invalid.
+start_server
+resolve "$p1"
+code="$(curl -sS -o "$workdir/resume.out" -w '%{http_code}' -X POST -H 'Accept: application/x-ndjson' -d "$probe" "$base/v1/resolve?cursor=$cursor")"
+[ "$code" = "410" ] || { echo "chaos-smoke: stale cursor returned $code, want 410:"; cat "$workdir/resume.out"; exit 1; }
+grep -q '"code":"cursor_invalid"' "$workdir/resume.out" || { echo "chaos-smoke: 410 body missing cursor_invalid:"; cat "$workdir/resume.out"; exit 1; }
+curl -fsS "$base/metrics" | grep -q 'budget\.cursor_invalid *1' || { echo "chaos-smoke: cursor_invalid counter missing"; curl -fsS "$base/metrics"; exit 1; }
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after mid-stream SIGTERM:"; cat "$log"; exit 1; }
 
 echo "chaos-smoke: OK"
