@@ -27,13 +27,15 @@ cover:
 		if ($$3+0 < min+0) { print "coverage regressed below baseline"; exit 1 } }'
 
 ## fuzz-smoke: run every fuzz target for FUZZTIME each — the differential
-## oracle comparators on mutated block collections, the tokenizer, and
-## the out-of-core add/checkpoint/crash state machine.
+## oracle comparators on mutated block collections, the tokenizer, the
+## out-of-core add/checkpoint/crash state machine, and the WAL
+## crash-replay loop (reference never rolls back).
 fuzz-smoke:
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzDiffDirty$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/oracle -run '^$$' -fuzz '^FuzzDiffClean$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/entity -run '^$$' -fuzz '^FuzzTokenize$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/diskindex -run '^$$' -fuzz '^FuzzOutOfCore$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/diskindex -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
 
 ## serve-smoke: build cmd/serve, start it on a random port, resolve a
 ## profile over HTTP, assert /healthz + /metrics, SIGTERM-drain, exit 0.
@@ -65,14 +67,14 @@ bench-serve:
 	$(GO) test -run xxx -bench 'BenchmarkServerResolve' ./internal/server
 
 ## bench-json: emit the headline benchmark trajectory as JSON
-## (BENCH_PR9.json format: ns/op, B/op, allocs/op, p50/p99 latency,
+## (BENCH_PR10.json format: ns/op, B/op, allocs/op, p50/p99 latency,
 ## streamed comparisons/ms).
 bench-json:
 	sh scripts/bench_json.sh
 
 ## bench-gate: re-run the headline benchmarks and fail if a gated metric
-## regressed beyond its tolerance vs the committed BENCH_PR9.json.
+## regressed beyond its tolerance vs the committed BENCH_PR10.json.
 ## allocs/op is always gated (hardware-independent); add -ns via
 ## BENCH_GATE_FLAGS for same-machine wall-clock gating.
 bench-gate:
-	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR9.json $(BENCH_GATE_FLAGS)
+	$(GO) run ./cmd/benchjson gate -baseline BENCH_PR10.json $(BENCH_GATE_FLAGS)

@@ -1,6 +1,6 @@
 // Command benchjson emits the repository's headline benchmark numbers as
 // machine-readable JSON and gates a fresh run against a committed
-// trajectory file (BENCH_PR9.json), failing on regressions.
+// trajectory file (BENCH_PR10.json), failing on regressions.
 //
 // Two modes:
 //
@@ -9,12 +9,15 @@
 //	    writes {"schema":1,"benchmarks":{...}}: ns/op, B/op, allocs/op
 //	    for the serial pipeline, the batched server resolve path and the
 //	    out-of-core read path (cold and warm page cache), plus p50/p99
-//	    request latency under concurrent load — both for the synchronous
-//	    resolve path and for the budget-aware interactive streaming mode
+//	    request latency under concurrent load — for the synchronous
+//	    resolve path, for the budget-aware interactive streaming mode
 //	    (resolve_budget_interactive: per-stream p50/p99 and emitted
-//	    comparisons per wall-clock millisecond).
+//	    comparisons per wall-clock millisecond), and for the disk-mode
+//	    commit path under each write-ahead-log sync policy
+//	    (commit_wal_off / commit_wal_interval / commit_wal_always —
+//	    what the durability ladder costs per acknowledged write).
 //
-//	benchjson gate -baseline BENCH_PR9.json [-current fresh.json] [-ns]
+//	benchjson gate -baseline BENCH_PR10.json [-current fresh.json] [-ns]
 //	    compares a current emit against the baseline's benchmarks
 //	    section and exits non-zero when a gated metric regressed beyond
 //	    its tolerance. allocs/op is always gated — it is
@@ -95,7 +98,7 @@ func main() {
 		writeJSON(*out, f)
 	case "gate":
 		fs := flag.NewFlagSet("gate", flag.ExitOnError)
-		basePath := fs.String("baseline", "BENCH_PR9.json", "committed trajectory file")
+		basePath := fs.String("baseline", "BENCH_PR10.json", "committed trajectory file")
 		curPath := fs.String("current", "", "fresh emit to compare (default: run emit now)")
 		threshold := fs.String("threshold", "0.10", "default regression tolerance (fraction)")
 		gateNs := fs.Bool("ns", false, "also gate ns/op and latency percentiles (same-machine runs only)")
@@ -139,6 +142,61 @@ func runAll() map[string]Bench {
 	out["resolve_disk_cold"] = benchResolveDisk(1)
 	fmt.Fprintln(os.Stderr, "benchjson: running resolve_disk_warm ...")
 	out["resolve_disk_warm"] = benchResolveDisk(8 << 20)
+	for _, policy := range []string{server.WALSyncOff, server.WALSyncInterval, server.WALSyncAlways} {
+		name := "commit_wal_" + policy
+		fmt.Fprintln(os.Stderr, "benchjson: running "+name+" ...")
+		out[name] = benchCommit(policy)
+	}
+	return out
+}
+
+// benchCommit prices the disk-mode commit path under one WAL sync
+// policy: a single sequential client resolving against a disk-backed
+// server, so each op is one acknowledged write including its append
+// and — under "always" — its own group-commit fsync barrier (a batch
+// of one: the worst case; concurrent load amortizes the barrier over
+// the whole micro-batch). The memtable budget is high enough that
+// nothing checkpoints, isolating the commit cost from seal cost.
+func benchCommit(policy string) Bench {
+	profiles := benchProfiles(1000)
+	root, err := os.MkdirTemp("", "benchjson-wal")
+	if err != nil {
+		fatalf("commit bench: %v", err)
+	}
+	defer os.RemoveAll(root)
+	s, err := server.New(server.Config{
+		Resolver:    incremental.Config{Scheme: core.JS, K: 10},
+		BatchWindow: 200 * time.Microsecond,
+		MaxBatch:    64,
+		QueueDepth:  8192,
+		DiskDir:     root,
+		WALSync:     policy,
+	})
+	if err != nil {
+		fatalf("commit bench: %v", err)
+	}
+	defer s.Close()
+
+	var durs []time.Duration
+	r := testing.Benchmark(func(b *testing.B) {
+		durs = make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := s.Resolve(context.Background(), profiles[i%len(profiles)]); err != nil {
+				fatalf("commit bench: resolve: %v", err)
+			}
+			durs = append(durs, time.Since(start))
+		}
+	})
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	out := fromResult(r)
+	if len(durs) > 0 {
+		pct := func(p float64) int64 { return durs[int(p*float64(len(durs)-1))].Nanoseconds() }
+		out.P50Ns = pct(0.50)
+		out.P99Ns = pct(0.99)
+	}
 	return out
 }
 

@@ -84,6 +84,9 @@ type options struct {
 	memBudget   int
 	diskCache   int
 	compactN    int
+	wal         bool
+	walSync     string
+	walInterval time.Duration
 	batchWindow time.Duration
 	batchMax    int
 	queueDepth  int
@@ -119,6 +122,9 @@ func main() {
 	flag.IntVar(&opts.memBudget, "memtable-budget", 32<<20, "per-shard memtable bytes before an automatic checkpoint (-disk-dir mode)")
 	flag.IntVar(&opts.diskCache, "disk-cache", 8<<20, "per-shard posting-page cache bytes (-disk-dir mode)")
 	flag.IntVar(&opts.compactN, "compact-after", 4, "sealed delta segments per shard before background compaction (-disk-dir mode)")
+	flag.BoolVar(&opts.wal, "wal", true, "write-ahead-log every commit before acknowledging it (-disk-dir mode; false trades crash durability for speed)")
+	flag.StringVar(&opts.walSync, "wal-sync", "always", "WAL fsync policy: always (group-commit barrier per batch), interval, off (-disk-dir mode)")
+	flag.DurationVar(&opts.walInterval, "wal-sync-interval", 100*time.Millisecond, "fsync cadence for -wal-sync=interval")
 	flag.DurationVar(&opts.batchWindow, "batch-window", 2*time.Millisecond, "max wait for more arrivals before flushing a micro-batch")
 	flag.IntVar(&opts.batchMax, "batch-max", 64, "max arrivals per index pass")
 	flag.IntVar(&opts.queueDepth, "queue", 1024, "admission queue bound; overflow sheds with 429")
@@ -185,6 +191,9 @@ func run(ctx context.Context, opts options, logw io.Writer, ready chan<- string)
 		MemtableBudget:   opts.memBudget,
 		DiskCacheBytes:   opts.diskCache,
 		DiskCompactAfter: opts.compactN,
+		WALDisabled:      !opts.wal,
+		WALSync:          opts.walSync,
+		WALSyncInterval:  opts.walInterval,
 		BatchWindow:      opts.batchWindow,
 		MaxBatch:         opts.batchMax,
 		QueueDepth:       opts.queueDepth,

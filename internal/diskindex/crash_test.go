@@ -17,13 +17,16 @@ import (
 // buildCheckpoints feeds profiles into a fresh disk dir at root in two
 // halves with a checkpoint after each, and returns the oracle canonical
 // snapshot at each checkpoint (index 0 = empty, 1 = first, 2 = second).
+// The WAL is on — its rotation and sweep are part of the checkpoint
+// path under test, and the corruption matrix damages the log files
+// along with everything else.
 func buildCheckpoints(t *testing.T, root string, shards int, rcfg incremental.Config, profiles []entity.Profile, compactAfter int) []*incremental.Snapshot {
 	t.Helper()
 	serial, err := incremental.NewResolver(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := openDiskGroup(t, root, shards, rcfg, 0, compactAfter)
+	g := openDiskGroup(t, root, shards, rcfg, 0, compactAfter, true)
 	oracles := []*incremental.Snapshot{nil}
 	half := len(profiles) / 2
 	for _, batch := range [][]entity.Profile{profiles[:half], profiles[half:]} {
@@ -267,7 +270,10 @@ func TestSealFaultNeverLosesCheckpoint(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			g := openDiskGroup(t, root, shards, rcfg, 0, 2)
+			// WAL off: this battery pins the segment layer's own guarantee —
+			// rollback to the committed checkpoint — which the log would
+			// (correctly) mask by replaying the uncheckpointed tail.
+			g := openDiskGroup(t, root, shards, rcfg, 0, 2, false)
 			for _, p := range profiles[:30] {
 				serial.Resolve(p)
 				if _, err := g.Resolve(p); err != nil {

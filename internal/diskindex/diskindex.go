@@ -47,6 +47,7 @@ import (
 
 	"metablocking/internal/core"
 	"metablocking/internal/entity"
+	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
 	"metablocking/internal/obs"
 	"metablocking/internal/postings"
@@ -61,6 +62,13 @@ const (
 	CtrCompactions = "diskindex.compactions"
 	CtrPageReads   = "diskindex.page_reads"
 	CtrCacheHits   = "diskindex.cache_hits"
+	CtrWalAppends  = "diskindex.wal_appends"
+	CtrWalSyncs    = "diskindex.wal_syncs"
+	// CtrWalReplayed / CtrWalTruncated describe the last recovery:
+	// acknowledged records replayed on top of the checkpoint, and frames
+	// dropped as torn, undecodable, or beyond the contiguous run.
+	CtrWalReplayed  = "diskindex.wal_replayed"
+	CtrWalTruncated = "diskindex.wal_truncated"
 )
 
 // Options parameterizes one shard's disk-backed partition.
@@ -83,6 +91,19 @@ type Options struct {
 	// CompactAfter is the sealed-segment count that triggers background
 	// compaction. Default 4; minimum 2.
 	CompactAfter int
+	// WAL enables the per-shard write-ahead log: every Commit is framed
+	// and pushed to the OS before it is acknowledged, so a crash between
+	// checkpoints loses nothing acknowledged (see store/wal.go).
+	WAL bool
+	// WALDefer delays log creation until the first Seal — the reload
+	// path's mode, where the partition starts by replaying a snapshot
+	// that only the *next* checkpoint makes durable; logging those
+	// commits against the recovered checkpoint would corrupt recovery if
+	// that checkpoint never commits.
+	WALDefer bool
+	// Fault injects failures at the shard.<k>.wal.* sites. Nil means no
+	// injection.
+	Fault *fault.Injector
 	// Metrics receives the diskindex.* counters. Nil means a private
 	// registry.
 	Metrics *obs.Metrics
@@ -135,8 +156,33 @@ type Partition struct {
 	seals        int64
 	compactions  int64
 
-	ctrSeals       *obs.Counter
-	ctrCompactions *obs.Counter
+	// Write-ahead log state (see wal.go). wal is nil when the WAL is
+	// disabled or deferred; staleWals are directory leftovers from before
+	// this open, kept until a manifest covers their records.
+	fault      *fault.Injector
+	walEnabled bool
+	wal        *store.WalWriter
+	staleWals  []string
+	nextWal    uint64
+	walBuf     []byte
+
+	walAppends     int64
+	walReplayed    int64
+	walTruncated   int64
+	walSyncs       int64
+	walSyncLastNs  int64
+	walSyncTotalNs int64
+
+	siteWalAppend string
+	siteWalSync   string
+	siteWalRotate string
+
+	ctrSeals        *obs.Counter
+	ctrCompactions  *obs.Counter
+	ctrWalAppends   *obs.Counter
+	ctrWalSyncs     *obs.Counter
+	ctrWalReplayed  *obs.Counter
+	ctrWalTruncated *obs.Counter
 }
 
 // Open builds the partition over a recovered shard directory, adopting
@@ -179,8 +225,19 @@ func Open(opts Options) (*Partition, error) {
 		compactAfter: opts.CompactAfter,
 		cache: newPageCache(opts.CacheBytes,
 			metrics.Counter(CtrPageReads), metrics.Counter(CtrCacheHits)),
-		ctrSeals:       metrics.Counter(CtrSeals),
-		ctrCompactions: metrics.Counter(CtrCompactions),
+		fault:           opts.Fault,
+		walEnabled:      opts.WAL,
+		staleWals:       opts.State.WALs,
+		nextWal:         opts.State.NextWal,
+		siteWalAppend:   shard.WalAppendSite(opts.Index),
+		siteWalSync:     shard.WalSyncSite(opts.Index),
+		siteWalRotate:   shard.WalRotateSite(opts.Index),
+		ctrSeals:        metrics.Counter(CtrSeals),
+		ctrCompactions:  metrics.Counter(CtrCompactions),
+		ctrWalAppends:   metrics.Counter(CtrWalAppends),
+		ctrWalSyncs:     metrics.Counter(CtrWalSyncs),
+		ctrWalReplayed:  metrics.Counter(CtrWalReplayed),
+		ctrWalTruncated: metrics.Counter(CtrWalTruncated),
 	}
 	for _, seg := range p.segs {
 		meta := seg.Meta()
@@ -196,6 +253,11 @@ func Open(opts Options) (*Partition, error) {
 		p.sealedSlots += meta.Profiles
 	}
 	p.cells = make([]cell, len(p.keyCounts))
+	if p.walEnabled && !opts.WALDefer {
+		if err := p.openWal(p.checkpoint, p.lastSize); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -325,6 +387,20 @@ func (p *Partition) Commit(id entity.ID, prof entity.Profile, keys []string) err
 		kept = make([]string, len(keys))
 		copy(kept, keys)
 	}
+	// Log before state: the record reaches the OS before the memtable
+	// mutates, so an append failure leaves nothing to acknowledge and a
+	// crash after acknowledgment always finds the record on disk.
+	if p.wal != nil {
+		if err := p.fault.Check(p.siteWalAppend); err != nil {
+			return err
+		}
+		p.walBuf = store.AppendWalRecord(p.walBuf[:0], store.WalRecord{ID: id, Profile: prof, Keys: kept})
+		if err := p.wal.Append(p.walBuf); err != nil {
+			return err
+		}
+		p.walAppends++
+		p.ctrWalAppends.Inc()
+	}
 	p.memProfiles = append(p.memProfiles, prof)
 	p.memKeys = append(p.memKeys, kept)
 	p.keyCounts = append(p.keyCounts, int32(len(keys)))
@@ -362,7 +438,39 @@ func (p *Partition) PendingBytes() int { return p.memBytes }
 // segment (when non-empty), then commit a manifest under the
 // coordinator's checkpoint id — the durability point. On any error the
 // previous manifest and its files are untouched.
+//
+// The write-ahead log rotates inside the same protocol: the next log
+// generation — bound to the (checkpoint, size) about to commit — is
+// created *before* the manifest, and the manifest commit's retention
+// sweep deletes the superseded log. A crash before the manifest leaves
+// the old log matching the old checkpoint (full replay); a crash after
+// leaves the new, empty log matching the new one. If the manifest
+// commit fails, the new log is discarded and the old one stays live, so
+// later commits keep extending the lineage recovery will actually load.
 func (p *Partition) Seal(checkpoint uint64, size int) error {
+	// Rotate unconditionally, even when the live log holds no records: a
+	// log is bound to the checkpoint it extends, and once this seal
+	// commits, an old-bound log's later appends would be discarded by
+	// recovery's lineage check. (The fuzzer found exactly that: empty
+	// shard at checkpoint N, commits after it, crash — lost.)
+	var newWal *store.WalWriter
+	if p.walEnabled {
+		if err := p.fault.Check(p.siteWalRotate); err != nil {
+			return err
+		}
+		w, err := store.CreateWal(filepath.Join(p.dir, store.WalFileName(p.nextWal)),
+			store.WalMetaFor(p.cfg, p.index, p.shards, checkpoint, size))
+		if err != nil {
+			return err
+		}
+		newWal = w
+	}
+	abort := func(err error) error {
+		if newWal != nil {
+			newWal.Remove()
+		}
+		return err
+	}
 	if len(p.memProfiles) > 0 {
 		seq := p.nextSeq
 		meta := store.SegmentMeta{
@@ -399,11 +507,11 @@ func (p *Partition) Seal(checkpoint uint64, size int) error {
 		}
 		path := filepath.Join(p.dir, store.SegmentFileName(seq))
 		if err := store.WriteSegment(path, meta, src); err != nil {
-			return err
+			return abort(err)
 		}
 		seg, err := store.OpenSegment(path, false)
 		if err != nil {
-			return err
+			return abort(err)
 		}
 		p.segs = append(p.segs, seg)
 		p.sealedSlots += len(p.memProfiles)
@@ -413,17 +521,42 @@ func (p *Partition) Seal(checkpoint uint64, size int) error {
 		p.memKeys = p.memKeys[:0]
 		p.memBytes = 0
 	}
-	if err := p.commitManifest(checkpoint, size); err != nil {
-		return err
+	keep := p.liveWalName(newWal)
+	if err := p.commitManifest(checkpoint, size, keep...); err != nil {
+		return abort(err)
 	}
+	if newWal != nil {
+		if p.wal != nil {
+			p.wal.Close() // its file is gone — the sweep just reclaimed it
+		}
+		p.wal = newWal
+		p.nextWal++
+	}
+	// Everything the stale logs held is inside the manifest now; the
+	// sweep deleted the files.
+	p.staleWals = nil
 	p.seals++
 	p.ctrSeals.Inc()
 	return nil
 }
 
+// liveWalName is the keep-set for a manifest-commit sweep: the log that
+// stays authoritative after the commit (a just-rotated generation or
+// the current one).
+func (p *Partition) liveWalName(pending *store.WalWriter) []string {
+	if pending != nil {
+		return []string{pending.Name()}
+	}
+	if p.wal != nil {
+		return []string{p.wal.Name()}
+	}
+	return nil
+}
+
 // commitManifest writes the manifest naming the current segment list and
-// advances the lineage counters, then applies the retention sweep.
-func (p *Partition) commitManifest(checkpoint uint64, size int) error {
+// advances the lineage counters, then applies the retention sweep —
+// which also reclaims every write-ahead log not named in keepWals.
+func (p *Partition) commitManifest(checkpoint uint64, size int, keepWals ...string) error {
 	names := make([]string, len(p.segs))
 	for i, seg := range p.segs {
 		names[i] = filepath.Base(seg.Path())
@@ -446,7 +579,7 @@ func (p *Partition) commitManifest(checkpoint uint64, size int) error {
 	p.nextGen++
 	p.checkpoint = checkpoint
 	p.lastSize = size
-	store.SweepShardDir(p.dir, checkpoint)
+	store.SweepShardDir(p.dir, checkpoint, keepWals...)
 	return nil
 }
 
@@ -480,7 +613,11 @@ func (p *Partition) MaybeCompact() (bool, error) {
 	old := p.segs
 	p.segs = []*store.Segment{merged}
 	p.nextSeq++
-	if err := p.commitManifest(p.checkpoint, p.lastSize); err != nil {
+	// Keep the live log and any stale ones: a compaction manifest covers
+	// only sealed slots, and the stale logs may hold memtable records a
+	// WAL-disabled open replayed but has not resealed yet.
+	keep := append(p.liveWalName(nil), p.staleWals...)
+	if err := p.commitManifest(p.checkpoint, p.lastSize, keep...); err != nil {
 		// The merged file is orphaned (no manifest names it); the sealed
 		// state is unchanged. Fall back to the old segment set.
 		merged.Close()
@@ -592,7 +729,7 @@ func (sp *segPage) bytes(seg *store.Segment, ref store.TokenRef) ([]byte, error)
 
 // DiskStats implements shard.Maintainer.
 func (p *Partition) DiskStats() shard.DiskStats {
-	return shard.DiskStats{
+	st := shard.DiskStats{
 		Segments:      len(p.segs),
 		MemtableBytes: p.memBytes,
 		Checkpoint:    p.checkpoint,
@@ -600,7 +737,17 @@ func (p *Partition) DiskStats() shard.DiskStats {
 		Compactions:   p.compactions,
 		PageReads:     p.cache.reads,
 		CacheHits:     p.cache.hits,
+		WalAppends:     p.walAppends,
+		WalReplayed:    p.walReplayed,
+		WalTruncated:   p.walTruncated,
+		WalSyncs:       p.walSyncs,
+		WalSyncLastNs:  p.walSyncLastNs,
+		WalSyncTotalNs: p.walSyncTotalNs,
 	}
+	if p.wal != nil {
+		st.WalBytes = p.wal.Bytes()
+	}
+	return st
 }
 
 // AddBlockCounts folds the partition's per-token member counts into the
@@ -661,9 +808,20 @@ func (p *Partition) Snapshot() *incremental.PartitionSnapshot {
 	return s
 }
 
-// Close releases the open segment files.
+// Close releases the open segment files and the write-ahead log,
+// syncing the log first so a graceful shutdown is durable under every
+// sync policy.
 func (p *Partition) Close() error {
 	var firstErr error
+	if p.wal != nil {
+		if err := p.wal.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := p.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.wal = nil
+	}
 	for _, seg := range p.segs {
 		if err := seg.Close(); err != nil && firstErr == nil {
 			firstErr = err

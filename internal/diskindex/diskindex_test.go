@@ -7,6 +7,7 @@ import (
 	"metablocking/internal/core"
 	"metablocking/internal/datagen"
 	"metablocking/internal/entity"
+	"metablocking/internal/fault"
 	"metablocking/internal/incremental"
 	"metablocking/internal/shard"
 	"metablocking/internal/store"
@@ -23,8 +24,17 @@ func testProfiles(t testing.TB, n int) []entity.Profile {
 
 // openDiskGroup recovers root and serves it through the shard
 // coordinator over disk-backed partitions — the same wiring
-// internal/server uses in -disk-dir mode, at test-chosen knobs.
-func openDiskGroup(t testing.TB, root string, shards int, rcfg incremental.Config, budget, compactAfter int) *shard.Group {
+// internal/server uses in -disk-dir mode, at test-chosen knobs. With
+// wal set every commit is write-ahead-logged and the recovered tail is
+// replayed on open (the -wal default); without it the group recovers
+// only to the last checkpoint, the pre-WAL rollback semantics some
+// batteries pin deliberately.
+func openDiskGroup(t testing.TB, root string, shards int, rcfg incremental.Config, budget, compactAfter int, wal bool) *shard.Group {
+	t.Helper()
+	return openDiskGroupFault(t, root, shards, rcfg, budget, compactAfter, wal, nil)
+}
+
+func openDiskGroupFault(t testing.TB, root string, shards int, rcfg incremental.Config, budget, compactAfter int, wal bool, inj *fault.Injector) *shard.Group {
 	t.Helper()
 	layout, err := store.RecoverDiskDir(root, shards)
 	if err != nil {
@@ -40,8 +50,16 @@ func openDiskGroup(t testing.TB, root string, shards int, rcfg incremental.Confi
 			Checkpoint:   layout.Checkpoint,
 			Size:         layout.Size,
 			CompactAfter: compactAfter,
+			WAL:          wal,
+			Fault:        inj,
 		})
 		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := layout.Size
+	if wal {
+		if size, err = ReplayWAL(parts, layout); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -55,7 +73,7 @@ func openDiskGroup(t testing.TB, root string, shards int, rcfg incremental.Confi
 		Backends:       func(k int) (shard.Backend, error) { return parts[k], nil },
 		MemtableBudget: budget,
 		Checkpoint:     layout.MaxCheckpoint,
-	}, layout.Size, blockSize)
+	}, size, blockSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +120,7 @@ func TestDiskGroupMatchesSerial(t *testing.T) {
 				root := t.TempDir()
 				// A ~4 KiB budget forces dozens of seals over 200 profiles;
 				// CompactAfter 2 forces compaction behind nearly every one.
-				g := openDiskGroup(t, root, shards, rcfg, 4<<10, 2)
+				g := openDiskGroup(t, root, shards, rcfg, 4<<10, 2, true)
 				for i, p := range profiles[:restartAt] {
 					got, err := g.Resolve(p)
 					if err != nil {
@@ -125,7 +143,7 @@ func TestDiskGroupMatchesSerial(t *testing.T) {
 				if err := g.Close(); err != nil {
 					t.Fatal(err)
 				}
-				g = openDiskGroup(t, root, shards, rcfg, 4<<10, 2)
+				g = openDiskGroup(t, root, shards, rcfg, 4<<10, 2, true)
 				if g.Size() != restartAt {
 					t.Fatalf("scheme %v k=%d shards=%d: recovered size %d, want %d",
 						scheme, k, shards, g.Size(), restartAt)
@@ -170,7 +188,7 @@ func TestDiskDirPortability(t *testing.T) {
 		serial.Resolve(p)
 	}
 	root := t.TempDir()
-	g := openDiskGroup(t, root, 3, rcfg, 2<<10, 2)
+	g := openDiskGroup(t, root, 3, rcfg, 2<<10, 2, true)
 	for _, p := range profiles {
 		if _, err := g.Resolve(p); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,107 @@
+// Write-ahead-log plumbing of the disk partition: log lifecycle, the
+// group-commit fsync barrier, and the coordinator-level recovery replay
+// that turns "recovered to the last checkpoint" into "recovered every
+// acknowledged commit". The on-disk format and the tail scan live in
+// internal/store (wal.go); this file owns the partition integration and
+// the shard.<k>.wal.* fault sites.
+package diskindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"metablocking/internal/incremental"
+	"metablocking/internal/store"
+)
+
+// openWal creates the partition's log generation bound to the lineage
+// it extends — called at Open (non-deferred mode) before any commit can
+// arrive.
+func (p *Partition) openWal(checkpoint uint64, size int) error {
+	w, err := store.CreateWal(filepath.Join(p.dir, store.WalFileName(p.nextWal)),
+		store.WalMetaFor(p.cfg, p.index, p.shards, checkpoint, size))
+	if err != nil {
+		return err
+	}
+	p.wal = w
+	p.nextWal++
+	return nil
+}
+
+// SyncWAL implements shard.Maintainer: fsync the log if any record was
+// appended since the last barrier. The fault site is consulted only
+// when dirty, so a delay spec pins exactly the sync that has something
+// to lose — the chaos suite's crash window.
+func (p *Partition) SyncWAL() error {
+	if p.wal == nil || !p.wal.Dirty() {
+		return nil
+	}
+	if err := p.fault.Check(p.siteWalSync); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	d := time.Since(start).Nanoseconds()
+	p.walSyncs++
+	p.walSyncLastNs = d
+	p.walSyncTotalNs += d
+	p.ctrWalSyncs.Inc()
+	return nil
+}
+
+// ReplayWAL applies the recovered write-ahead tail to freshly opened
+// partitions: each record commits to its home shard through the normal
+// memtable path — in ascending ID order, reproducing the exact
+// insertion order of the never-crashed run — and, with the WAL enabled,
+// is thereby re-logged into the new generation. The re-log is synced
+// and the pre-open log files deleted before serving starts, so a crash
+// loop converges instead of accumulating logs. With the WAL disabled
+// the old files stay on disk (the replayed records exist nowhere else
+// durable) until a checkpoint's sweep covers them.
+//
+// Call it after Open on every partition and before AddBlockCounts /
+// shard.Restored; it returns the recovered global size — layout.Size
+// plus the replayed records.
+func ReplayWAL(parts []*Partition, layout *store.DiskLayout) (int, error) {
+	tail := store.RecoverWalTail(layout)
+	if len(tail.Records) > 0 && tail.Cfg != parts[0].cfg {
+		return 0, fmt.Errorf("diskindex: wal written under config %+v, serving config is %+v: %w",
+			tail.Cfg, parts[0].cfg, store.ErrVersionMismatch)
+	}
+	size := layout.Size
+	for _, rec := range tail.Records {
+		home := incremental.ShardOf(rec.ID, len(parts))
+		if err := parts[home].Commit(rec.ID, rec.Profile, rec.Keys); err != nil {
+			return 0, fmt.Errorf("diskindex: wal replay at id %d: %w", rec.ID, err)
+		}
+		parts[home].walReplayed++
+		parts[home].ctrWalReplayed.Inc()
+		size++
+	}
+	for k, p := range parts {
+		p.walTruncated += tail.Truncated[k]
+		p.ctrWalTruncated.Add(tail.Truncated[k])
+		if !p.walEnabled {
+			continue
+		}
+		if err := p.SyncWAL(); err != nil {
+			return 0, err
+		}
+		p.dropStaleWals()
+	}
+	return size, nil
+}
+
+// dropStaleWals deletes the log files that predate this open: their
+// surviving records were just re-logged (and synced) into the new
+// generation.
+func (p *Partition) dropStaleWals() {
+	for _, name := range p.staleWals {
+		os.Remove(filepath.Join(p.dir, name))
+	}
+	p.staleWals = nil
+}

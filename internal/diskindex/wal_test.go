@@ -1,0 +1,323 @@
+package diskindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/fault"
+	"metablocking/internal/incremental"
+	"metablocking/internal/shard"
+	"metablocking/internal/store"
+)
+
+// quiesce waits until every shard actor is idle — the post-seal
+// compaction runs before the actor's next op, so a Stats round-trip
+// guarantees no background work will touch the directory after the
+// test "crashes" (abandons the group without closing).
+func quiesce(g *shard.Group) { g.Stats() }
+
+// TestWALCrashReplayMatchesSerial is the tentpole claim: with the WAL
+// on, a SIGKILL loses nothing acknowledged. For every scheme × shard
+// count the group is crashed (abandoned un-closed, un-synced — the
+// kernel has the appended log bytes, the process never fsynced them)
+// at several points between automatic checkpoints; each reopen must
+// replay the tail to the exact acknowledged state — size, canonical
+// snapshot, Peek and every subsequent resolve bit-identical to a
+// serial resolver that never crashed and never rolled back.
+func TestWALCrashReplayMatchesSerial(t *testing.T) {
+	profiles := testProfiles(t, 120)
+	// Crash after these many acknowledged resolves. The ~4 KiB memtable
+	// budget checkpoints every handful of arrivals, so the cuts land at
+	// varied offsets past a rotation: some with short tails, some long.
+	crashes := []int{1, 37, 38, 90}
+	for _, scheme := range []core.Scheme{core.ARCS, core.CBS, core.ECBS, core.JS} {
+		rcfg := incremental.Config{Scheme: scheme, K: 3, MaxBlockSize: 40}
+		for _, shards := range []int{1, 4} {
+			serial, err := incremental.NewResolver(rcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root := t.TempDir()
+			g := openDiskGroup(t, root, shards, rcfg, 4<<10, 2, true)
+			next := 0
+			for _, cut := range crashes {
+				for ; next < cut; next++ {
+					want, _ := serial.Resolve(profiles[next])
+					got, err := g.Resolve(profiles[next])
+					if err != nil {
+						t.Fatalf("scheme %v shards=%d: resolve %d: %v", scheme, shards, next, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("scheme %v shards=%d: arrival %d diverged", scheme, shards, next)
+					}
+				}
+				quiesce(g)
+				// Crash: abandon without Close — no final sync, no seal.
+				g = openDiskGroup(t, root, shards, rcfg, 4<<10, 2, true)
+				if g.Size() != next {
+					t.Fatalf("scheme %v shards=%d: crash at %d recovered size %d — an acknowledged write was lost",
+						scheme, shards, next, g.Size())
+				}
+				if !reflect.DeepEqual(g.Snapshot(), serial.Snapshot()) {
+					t.Fatalf("scheme %v shards=%d: crash at %d: replayed snapshot differs from the never-crashed oracle",
+						scheme, shards, next)
+				}
+			}
+			for ; next < len(profiles); next++ {
+				want, _ := serial.Resolve(profiles[next])
+				got, err := g.Resolve(profiles[next])
+				if err != nil {
+					t.Fatalf("scheme %v shards=%d: post-crash resolve %d: %v", scheme, shards, next, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("scheme %v shards=%d: post-crash arrival %d diverged", scheme, shards, next)
+				}
+			}
+			wantPeek, _ := serial.Peek(profiles[13])
+			if gotPeek, err := g.Peek(profiles[13]); err != nil || !reflect.DeepEqual(gotPeek, wantPeek) {
+				t.Fatalf("scheme %v shards=%d: Peek diverged after crashes (err %v)", scheme, shards, err)
+			}
+			if !reflect.DeepEqual(g.Snapshot(), serial.Snapshot()) {
+				t.Fatalf("scheme %v shards=%d: final snapshot diverged after crashes", scheme, shards)
+			}
+			replayed := int64(0)
+			for _, st := range g.Stats() {
+				if st.Disk != nil {
+					replayed += st.Disk.WalReplayed
+				}
+			}
+			if replayed == 0 {
+				t.Fatalf("scheme %v shards=%d: no records were replayed — the crash windows missed the WAL path", scheme, shards)
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestWALAppendFaultConsumesNoID pins the failure atomicity of the
+// logged commit: when the append fault fires, the resolve fails, no ID
+// is consumed, and the immediate retry of the same profile succeeds
+// with the answer the never-faulted oracle gives. A crash after the
+// retry must recover the retried commit, not a ghost of the failed one.
+func TestWALAppendFaultConsumesNoID(t *testing.T) {
+	profiles := testProfiles(t, 40)
+	rcfg := incremental.Config{Scheme: core.JS, K: 3, MaxBlockSize: 40}
+	serial, err := incremental.NewResolver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	inj := fault.New(1)
+	g := openDiskGroupFault(t, root, 2, rcfg, 0, 2, true, inj)
+	for i, p := range profiles[:20] {
+		want, _ := serial.Resolve(p)
+		got, err := g.Resolve(p)
+		if err != nil {
+			t.Fatalf("resolve %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("arrival %d diverged", i)
+		}
+	}
+	// Profile 20 homes on shard 20%2 = 0; fail exactly its WAL append.
+	inj.Arm(shard.WalAppendSite(0), fault.Spec{Times: 1})
+	if _, err := g.Resolve(profiles[20]); err == nil {
+		t.Fatal("resolve succeeded despite armed WAL append fault")
+	} else if !strings.Contains(err.Error(), "wal") && !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if g.Size() != 20 {
+		t.Fatalf("failed resolve consumed an ID: size %d, want 20", g.Size())
+	}
+	for i, p := range profiles[20:] {
+		want, _ := serial.Resolve(p)
+		got, err := g.Resolve(p)
+		if err != nil {
+			t.Fatalf("retry resolve %d: %v", 20+i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-fault arrival %d diverged from oracle", 20+i)
+		}
+	}
+	quiesce(g)
+	// Crash + reopen: replay must land on exactly the acknowledged run.
+	g = openDiskGroup(t, root, 2, rcfg, 0, 2, true)
+	if g.Size() != len(profiles) {
+		t.Fatalf("recovered size %d, want %d", g.Size(), len(profiles))
+	}
+	if !reflect.DeepEqual(g.Snapshot(), serial.Snapshot()) {
+		t.Fatal("replayed snapshot diverged from oracle after append-fault run")
+	}
+	g.Close()
+}
+
+// TestWALSyncFaultSurfacesError pins the group-commit barrier's error
+// path: an armed sync fault makes Group.SyncWAL fail (the server turns
+// that into failed replies), and a rotate fault fails the checkpoint
+// without losing the already-committed one.
+func TestWALSyncFaultSurfacesError(t *testing.T) {
+	profiles := testProfiles(t, 30)
+	rcfg := incremental.Config{Scheme: core.JS, K: 3, MaxBlockSize: 40}
+	root := t.TempDir()
+	inj := fault.New(1)
+	g := openDiskGroupFault(t, root, 2, rcfg, 0, 100, true, inj)
+	defer g.Close()
+	for _, p := range profiles[:10] {
+		if _, err := g.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Arm(shard.WalSyncSite(0), fault.Spec{Times: 1})
+	if err := g.SyncWAL(); err == nil {
+		t.Fatal("SyncWAL succeeded despite armed fault")
+	}
+	if err := g.SyncWAL(); err != nil {
+		t.Fatalf("SyncWAL after fault drained: %v", err)
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles[10:20] {
+		if _, err := g.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj.Arm(shard.WalRotateSite(1), fault.Spec{Times: 1})
+	if err := g.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded despite armed rotate fault")
+	}
+	if g.Checkpointed() != 1 {
+		t.Fatalf("failed rotation moved the checkpoint: %d, want 1", g.Checkpointed())
+	}
+	// The group still serves and the next checkpoint succeeds.
+	for _, p := range profiles[20:] {
+		if _, err := g.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after drained rotate fault: %v", err)
+	}
+}
+
+// TestCorruptionMatrixWAL extends the corruption battery to the log
+// files: with a non-empty tail on disk (30 checkpointed arrivals, 30
+// logged-only), every truncation boundary and sampled bit-flip of
+// every WAL file must recover — without error — to a consistent
+// prefix of the acknowledged run: at least the checkpoint, at most
+// everything, and exactly equal to the serial oracle at that length.
+// Damage never yields a wrong answer, only a shorter tail.
+func TestCorruptionMatrixWAL(t *testing.T) {
+	profiles := testProfiles(t, 60)
+	rcfg := incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 40}
+	const shards, ckptAt = 2, 30
+
+	// Oracle snapshots at every arrival count.
+	serial, err := incremental.NewResolver(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := []*incremental.Snapshot{serial.Snapshot()}
+	for _, p := range profiles {
+		serial.Resolve(p)
+		snaps = append(snaps, serial.Snapshot())
+	}
+
+	golden := t.TempDir()
+	g := openDiskGroup(t, golden, shards, rcfg, 0, 2, true)
+	for i, p := range profiles {
+		if _, err := g.Resolve(p); err != nil {
+			t.Fatal(err)
+		}
+		if i == ckptAt-1 {
+			if err := g.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	quiesce(g) // crash: abandon — the last 30 arrivals exist only in the WAL
+
+	var wals []string
+	for _, rel := range listFiles(t, golden) {
+		if strings.Contains(rel, "wal-") {
+			wals = append(wals, rel)
+		}
+	}
+	if len(wals) < shards {
+		t.Fatalf("golden layout has %d wal files, want at least %d", len(wals), shards)
+	}
+
+	check := func(dir, what string) {
+		layout, err := store.RecoverDiskDir(dir, shards)
+		if err != nil {
+			t.Fatalf("%s: recovery errored: %v", what, err)
+		}
+		if layout.Checkpoint != 1 {
+			layout.Close()
+			t.Fatalf("%s: wal damage moved the checkpoint to %d", what, layout.Checkpoint)
+		}
+		layout.Close()
+		snap, err := store.LoadDiskDir(dir)
+		if err != nil {
+			t.Fatalf("%s: load after recovery: %v", what, err)
+		}
+		n := len(snap.Profiles)
+		if n < ckptAt || n > len(profiles) {
+			t.Fatalf("%s: recovered %d profiles, want a prefix in [%d,%d]", what, n, ckptAt, len(profiles))
+		}
+		if !reflect.DeepEqual(snap, snaps[n]) {
+			t.Fatalf("%s: recovered %d profiles but contents differ from the oracle at that length", what, n)
+		}
+	}
+
+	check(golden, "undamaged")
+	undamaged, err := store.LoadDiskDir(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(undamaged.Profiles) != len(profiles) {
+		t.Fatalf("undamaged recovery replayed to %d profiles, want %d", len(undamaged.Profiles), len(profiles))
+	}
+
+	for _, rel := range wals {
+		raw, err := os.ReadFile(filepath.Join(golden, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cuts := []int{0, 1, 8, 12, len(raw) / 2, len(raw) - 25, len(raw) - 12, len(raw) - 1}
+		for _, cut := range cuts {
+			if cut < 0 || cut >= len(raw) {
+				continue
+			}
+			what := fmt.Sprintf("%s truncated to %d/%d", rel, cut, len(raw))
+			dir := t.TempDir()
+			copyDir(t, golden, dir)
+			if err := os.WriteFile(filepath.Join(dir, rel), raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			check(dir, what)
+		}
+		for _, off := range []int{0, 7, 15, len(raw) / 3, len(raw) / 2, len(raw) - 5} {
+			if off < 0 || off >= len(raw) {
+				continue
+			}
+			what := fmt.Sprintf("%s bit-flipped at %d/%d", rel, off, len(raw))
+			dir := t.TempDir()
+			copyDir(t, golden, dir)
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x10
+			if err := os.WriteFile(filepath.Join(dir, rel), mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			check(dir, what)
+		}
+	}
+	g.Close()
+}

@@ -63,6 +63,29 @@ func (e *RejectedError) Error() string {
 
 func (e *RejectedError) Unwrap() error { return ErrRejected }
 
+// ErrCursorInvalid marks a resumption cursor the target no longer
+// honors (HTTP 410, code "cursor_invalid"): the server restarted or
+// checkpointed, so the generation the cursor was cut against is gone.
+// It is NOT backpressure — retrying the same cursor can never succeed;
+// the recoverable move is restarting the stream from scratch, which
+// FollowStream does.
+var ErrCursorInvalid = errors.New("loadgen: resumption cursor invalidated by target")
+
+// CursorInvalidError carries the envelope detail of an invalidated
+// cursor. It unwraps to ErrCursorInvalid, not ErrRejected.
+type CursorInvalidError struct {
+	Message string
+}
+
+func (e *CursorInvalidError) Error() string {
+	if e.Message == "" {
+		return ErrCursorInvalid.Error()
+	}
+	return fmt.Sprintf("%s: %s", ErrCursorInvalid, e.Message)
+}
+
+func (e *CursorInvalidError) Unwrap() error { return ErrCursorInvalid }
+
 // Resolver is one resolve attempt against the target.
 type Resolver func(p entity.Profile) (incremental.BatchResult, error)
 
@@ -238,6 +261,9 @@ var retryableCodes = map[string]bool{
 func classifyError(resp *http.Response, payload []byte) error {
 	var env errorEnvelope
 	json.Unmarshal(payload, &env) // best effort: pre-envelope targets leave it zero
+	if env.Error.Code == "cursor_invalid" {
+		return &CursorInvalidError{Message: env.Error.Message}
+	}
 	shed := retryableCodes[env.Error.Code] ||
 		(env.Error.Code == "" &&
 			(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusRequestTimeout))

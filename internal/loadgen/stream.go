@@ -133,6 +133,48 @@ func HTTPStreamer(baseURL string, client *http.Client) Streamer {
 	}
 }
 
+// FollowStream drives one streamed resolve to completion: a
+// budget-exhausted prefix is resumed via its cursor, and a cursor the
+// target no longer honors (410 cursor_invalid — the server restarted
+// or checkpointed, killing the generation the cursor was cut against)
+// restarts the stream from scratch, discarding the stale prefix, up to
+// maxRestarts times. Returns the reassembled result and how many
+// from-scratch restarts it took; every other error is returned as-is
+// (shed resumes are the caller's backoff policy, not this loop's).
+func FollowStream(stream Streamer, p entity.Profile, query url.Values, maxRestarts int) (StreamResult, int, error) {
+	q := url.Values{}
+	for k, vs := range query {
+		q[k] = vs
+	}
+	var out StreamResult
+	var acc []incremental.Candidate
+	restarts := 0
+	for {
+		res, err := stream(p, q)
+		if errors.Is(err, ErrCursorInvalid) {
+			if restarts >= maxRestarts {
+				return out, restarts, fmt.Errorf("loadgen: stream not complete after %d restarts: %w", restarts, err)
+			}
+			// The prefix was cut against a dead generation; candidate ranks
+			// may have shifted, so nothing of it is salvageable.
+			restarts++
+			acc = acc[:0]
+			q.Del("cursor")
+			continue
+		}
+		if err != nil {
+			return out, restarts, err
+		}
+		acc = append(acc, res.Candidates...)
+		out = res
+		out.Candidates = acc
+		if res.Cursor == "" {
+			return out, restarts, nil
+		}
+		q.Set("cursor", res.Cursor)
+	}
+}
+
 // readAll drains a response body (small error envelopes only).
 func readAll(resp *http.Response) ([]byte, error) {
 	var buf bytes.Buffer
@@ -152,6 +194,15 @@ type MixedOptions struct {
 	// to each tier's requests (tier= is set automatically).
 	InteractiveQuery url.Values
 	BatchQuery       url.Values
+	// FollowCursors drives every request through FollowStream: exhausted
+	// prefixes resume via their cursor and invalidated cursors restart
+	// the stream from scratch, with the per-tier restart count in the
+	// report. Off by default — the one-shot profile measures admission
+	// and partial-result rates, which following would mask.
+	FollowCursors bool
+	// MaxRestarts bounds from-scratch restarts per request when
+	// following. Default 3.
+	MaxRestarts int
 }
 
 // TierReport aggregates one tier's outcomes.
@@ -163,7 +214,11 @@ type TierReport struct {
 	Partials    int
 	PartialRate float64
 	Rejected    int
-	P50, P99    time.Duration
+	// Restarts counts streams restarted from scratch after the target
+	// invalidated their resumption cursor (FollowCursors mode) — how
+	// many requests observed a server restart mid-stream and recovered.
+	Restarts int
+	P50, P99 time.Duration
 }
 
 // MixedReport is RunMixed's aggregate: per-tier latency and
@@ -193,11 +248,16 @@ func RunMixed(stream Streamer, profiles []entity.Profile, opts MixedOptions) *Mi
 	// below the ratio percentage.
 	batchPct := int(opts.BatchRatio * 100)
 
+	if opts.MaxRestarts <= 0 {
+		opts.MaxRestarts = 3
+	}
+
 	type sample struct {
 		batch    bool
 		latency  time.Duration
 		partial  bool
 		rejected bool
+		restarts int
 		err      error
 	}
 	samples := make([]sample, opts.Requests)
@@ -224,8 +284,15 @@ func RunMixed(stream Streamer, profiles []entity.Profile, opts MixedOptions) *Mi
 				}
 				q.Set("tier", tier)
 				start := time.Now()
-				res, err := stream(profiles[i%len(profiles)], q)
-				s := sample{batch: isBatch, latency: time.Since(start)}
+				var res StreamResult
+				var err error
+				restarts := 0
+				if opts.FollowCursors {
+					res, restarts, err = FollowStream(stream, profiles[i%len(profiles)], q, opts.MaxRestarts)
+				} else {
+					res, err = stream(profiles[i%len(profiles)], q)
+				}
+				s := sample{batch: isBatch, latency: time.Since(start), restarts: restarts}
 				switch {
 				case err == nil:
 					s.partial = res.Partial
@@ -251,6 +318,7 @@ func RunMixed(stream Streamer, profiles []entity.Profile, opts MixedOptions) *Mi
 			tr, lat = &rep.Batch, &latB
 		}
 		tr.Requests++
+		tr.Restarts += s.restarts
 		switch {
 		case s.err != nil:
 			rep.Errors = append(rep.Errors, s.err)

@@ -6,10 +6,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"sync"
 	"testing"
 	"time"
 
 	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
 )
 
 func TestHTTPStreamerReassemblesStream(t *testing.T) {
@@ -50,6 +52,109 @@ func TestHTTPStreamerReassemblesStream(t *testing.T) {
 	}
 	if !res.Partial || res.Cursor != "tok.sig" || res.Reason != "max_comparisons" {
 		t.Fatalf("exhausted stream = %+v", res)
+	}
+}
+
+// TestFollowStreamRestartsOnInvalidCursor pins the restart-from-scratch
+// recovery: a server that exhausts the first stream, was then restarted
+// (so the resume attempt gets 410 cursor_invalid), and completes the
+// re-sent fresh stream. The client must discard the dead generation's
+// prefix, count exactly one restart, and reassemble only the post-restart
+// answer — and a cursor that never becomes valid must exhaust the
+// restart budget into a hard error, not loop forever.
+func TestFollowStreamRestartsOnInvalidCursor(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if r.URL.Query().Get("cursor") != "" {
+			// The restart invalidated every outstanding cursor.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGone)
+			fmt.Fprint(w, `{"error":{"code":"cursor_invalid","message":"generation advanced"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"meta":{"id":9}}`)
+		// "flap" mode: every fresh stream exhausts into a cursor the next
+		// resume won't honor — a server restarting faster than any stream
+		// completes. Otherwise only the first stream exhausts.
+		if calls == 1 || r.URL.Query().Get("tier") == "flap" {
+			fmt.Fprintln(w, `{"batch":[{"id":1,"weight":9.9}]}`)
+			fmt.Fprintln(w, `{"cursor":{"cursor":"stale.sig","reason":"deadline"}}`)
+			return
+		}
+		fmt.Fprintln(w, `{"batch":[{"id":2,"weight":2.5},{"id":5,"weight":1.5}]}`)
+		fmt.Fprintln(w, `{"done":{"reason":""}}`)
+	}))
+	defer ts.Close()
+	stream := HTTPStreamer(ts.URL, ts.Client())
+	p := someProfiles(1)[0]
+
+	res, restarts, err := FollowStream(stream, p, url.Values{"tier": {"batch"}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", restarts)
+	}
+	if calls != 3 {
+		t.Fatalf("server saw %d requests, want 3 (stream, dead resume, fresh stream)", calls)
+	}
+	if res.Partial || res.Cursor != "" {
+		t.Fatalf("followed stream did not complete: %+v", res)
+	}
+	// Only the post-restart generation's candidates survive.
+	if len(res.Candidates) != 2 || res.Candidates[0].ID != 2 || res.Candidates[1].ID != 5 {
+		t.Fatalf("stale prefix leaked into the reassembled answer: %+v", res.Candidates)
+	}
+
+	// A target that restarts faster than any stream completes burns the
+	// restart budget into a hard error instead of looping forever.
+	_, restarts, err = FollowStream(stream, p, url.Values{"tier": {"flap"}}, 2)
+	if err == nil || !errors.Is(err, ErrCursorInvalid) {
+		t.Fatalf("exhausted restarts should surface ErrCursorInvalid, got %v", err)
+	}
+	if restarts != 2 {
+		t.Fatalf("restarts = %d, want the full budget of 2", restarts)
+	}
+}
+
+// TestRunMixedCountsRestarts pins the report wiring: in FollowCursors
+// mode a stream that loses its cursor to a server restart is restarted,
+// completes, and shows up in its tier's Restarts tally — not as a
+// partial, an error, or a shed.
+func TestRunMixedCountsRestarts(t *testing.T) {
+	var mu sync.Mutex
+	exhausted := map[string]bool{}
+	stream := func(p entity.Profile, q url.Values) (StreamResult, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		key := q.Get("tier") + "/" + p.Attributes[0].Value
+		switch {
+		case q.Get("cursor") != "":
+			return StreamResult{}, &CursorInvalidError{Message: "generation advanced"}
+		case !exhausted[key]:
+			exhausted[key] = true
+			return StreamResult{Partial: true, Cursor: "tok"}, nil
+		default:
+			return StreamResult{Candidates: []incremental.Candidate{{ID: 1, Weight: 1}}}, nil
+		}
+	}
+	rep := RunMixed(stream, someProfiles(8), MixedOptions{
+		Options:       Options{Clients: 4, Requests: 8},
+		BatchRatio:    0.5,
+		FollowCursors: true,
+	})
+	if len(rep.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", rep.Errors)
+	}
+	total := rep.Interactive.Restarts + rep.Batch.Restarts
+	if total != 8 {
+		t.Fatalf("restarts = %d (interactive %d, batch %d), want 8",
+			total, rep.Interactive.Restarts, rep.Batch.Restarts)
+	}
+	if rep.Interactive.Partials != 0 || rep.Batch.Partials != 0 {
+		t.Fatalf("restarted-and-completed streams counted as partials: %+v", rep)
 	}
 }
 

@@ -54,7 +54,8 @@ func diskGroup(cfg Config, layout *store.DiskLayout, snap *incremental.Snapshot)
 	for k, state := range layout.Shard {
 		st := state
 		if snap != nil {
-			st = &store.DiskShardState{Dir: state.Dir, NextSeq: state.NextSeq, NextGen: state.NextGen}
+			st = &store.DiskShardState{Dir: state.Dir, NextSeq: state.NextSeq, NextGen: state.NextGen,
+				NextWal: state.NextWal, WALs: state.WALs}
 		}
 		p, err := diskindex.Open(diskindex.Options{
 			Config:       rcfg,
@@ -66,6 +67,13 @@ func diskGroup(cfg Config, layout *store.DiskLayout, snap *incremental.Snapshot)
 			CacheBytes:   cfg.DiskCacheBytes,
 			CompactAfter: cfg.DiskCompactAfter,
 			Metrics:      cfg.Metrics,
+			WAL:          !cfg.WALDisabled,
+			// Reload replays a snapshot against the pre-reload lineage;
+			// logging those commits before the post-reload checkpoint
+			// exists would poison recovery, so the log opens at the first
+			// seal instead.
+			WALDefer: snap != nil,
+			Fault:    cfg.Fault,
 		})
 		if err != nil {
 			layout.Close()
@@ -81,11 +89,22 @@ func diskGroup(cfg Config, layout *store.DiskLayout, snap *incremental.Snapshot)
 	if snap != nil {
 		return shard.FromSnapshot(snap, scfg)
 	}
+	// Replay the write-ahead tail before the block-count scan: replayed
+	// commits land in the memtables like any other arrival, so the
+	// restored coordinator sees them in its size and block counts and
+	// resumes ID assignment after them.
+	size, err := diskindex.ReplayWAL(parts, layout)
+	if err != nil {
+		for _, p := range parts {
+			p.Close()
+		}
+		return nil, err
+	}
 	blockSize := make(map[string]int)
 	for _, p := range parts {
 		p.AddBlockCounts(blockSize)
 	}
-	return shard.Restored(scfg, layout.Size, blockSize)
+	return shard.Restored(scfg, size, blockSize)
 }
 
 // diskReload is Reload for the out-of-core index: the directory's next

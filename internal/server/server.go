@@ -67,6 +67,7 @@ const (
 	CtrPanics        = "server.panics_recovered"
 	CtrResolveFailed = "server.resolve_failures"
 	CtrDegradedSrv   = "server.degraded_served"
+	CtrWalSyncFailed = "server.wal_sync_failures"
 	CtrCorruptLoads  = "store.corrupt_loads"
 	GaugeProfiles    = "server.profiles"
 	GaugeQueueCap    = "server.queue_cap"
@@ -84,6 +85,13 @@ const FaultResolve = "server.resolve"
 // how chaos tests hold a response open across a SIGKILL — and an error
 // spec aborts the stream as a vanished client would.
 const FaultStream = "server.stream"
+
+// Config.WALSync policies (cmd/serve -wal-sync).
+const (
+	WALSyncAlways   = "always"
+	WALSyncInterval = "interval"
+	WALSyncOff      = "off"
+)
 
 // Config tunes the serving façade. The zero value gets sensible defaults.
 type Config struct {
@@ -160,6 +168,29 @@ type Config struct {
 	// DiskCompactAfter is the sealed-segment count that triggers a
 	// shard's background compaction. Disk mode only. Default 4.
 	DiskCompactAfter int
+	// WALDisabled turns the per-shard write-ahead log off entirely: a
+	// crash loses every commit acknowledged since the last checkpoint
+	// (PR 8's rollback semantics). Disk mode only; surfaces a
+	// wal_disabled warning in /v1/admin/status.
+	WALDisabled bool
+	// WALSync picks the log's fsync policy — cmd/serve -wal-sync:
+	//
+	//	"always"    group commit: one fsync per micro-batch, before any
+	//	            commit in it is acknowledged. Acknowledged writes
+	//	            survive process crash AND power loss. Default.
+	//	"interval"  fsync every WALSyncInterval. Acknowledged writes
+	//	            survive process crash (each append reaches the OS
+	//	            before the ack); power loss can lose the last
+	//	            interval.
+	//	"off"       never fsync outside close/checkpoint. Same process-
+	//	            crash guarantee as interval; power loss can lose
+	//	            anything after the last checkpoint.
+	//
+	// Disk mode only.
+	WALSync string
+	// WALSyncInterval is the "interval" policy's fsync period.
+	// Default 100ms.
+	WALSyncInterval time.Duration
 
 	// breakerNow overrides the breaker's clock in tests.
 	breakerNow func() time.Time
@@ -211,6 +242,12 @@ func (c Config) withDefaults() Config {
 		}
 		if c.DiskCompactAfter <= 0 {
 			c.DiskCompactAfter = 4
+		}
+		if c.WALSync == "" {
+			c.WALSync = WALSyncAlways
+		}
+		if c.WALSyncInterval <= 0 {
+			c.WALSyncInterval = 100 * time.Millisecond
 		}
 	}
 	if c.BatchWindow <= 0 {
@@ -323,6 +360,11 @@ type Server struct {
 	signer     *budget.Signer
 	generation atomic.Uint64
 
+	// walAlways is the precomputed group-commit flag: disk mode, WAL on,
+	// sync policy "always" — every flush ends with a fsync barrier
+	// before its commits are acknowledged.
+	walAlways bool
+
 	stopc chan struct{}
 	done  chan struct{}
 }
@@ -337,6 +379,13 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 		opt(&cfg)
 	}
 	cfg = cfg.withDefaults()
+	if cfg.DiskDir != "" {
+		switch cfg.WALSync {
+		case WALSyncAlways, WALSyncInterval, WALSyncOff:
+		default:
+			return nil, fmt.Errorf("server: unknown wal sync policy %q (want always, interval or off)", cfg.WALSync)
+		}
+	}
 	signer, err := budget.NewSigner()
 	if err != nil {
 		return nil, err
@@ -366,8 +415,40 @@ func New(cfg Config, opts ...Option) (*Server, error) {
 	s.metrics.Gauge(GaugeQueueCap).Set(int64(cfg.QueueDepth))
 	s.metrics.Gauge(GaugeProfiles).Set(0)
 	s.metrics.Gauge(GaugeDegraded).Set(0)
+	if cfg.DiskDir != "" && !cfg.WALDisabled {
+		s.walAlways = cfg.WALSync == WALSyncAlways
+		if cfg.WALSync == WALSyncInterval {
+			go s.walSyncLoop()
+		}
+	}
 	go s.batcher()
 	return s, nil
+}
+
+// walSyncLoop is the "interval" sync policy: a ticker fsyncs every
+// shard's write-ahead log under the same lock the batcher writes with.
+// Errors surface through metrics (the affected commits were already
+// acknowledged — that is the policy's documented loss window).
+func (s *Server) walSyncLoop() {
+	t := time.NewTicker(s.cfg.WALSyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			var err error
+			s.mu.Lock()
+			if g, ok := s.resolver.(*shard.Group); ok {
+				err = g.SyncWAL()
+			}
+			s.mu.Unlock()
+			if err != nil && !errors.Is(err, shard.ErrClosed) {
+				s.metrics.Counter(CtrWalSyncFailed).Inc()
+				s.metrics.Text(TextLastError).Set(err.Error())
+			}
+		case <-s.stopc:
+			return
+		}
+	}
 }
 
 // newIndex builds the serving backend the configuration asks for.
@@ -608,6 +689,9 @@ type ConfigStatus struct {
 	MemtableBudget   int    `json:"memtable_budget,omitempty"`
 	DiskCacheBytes   int    `json:"disk_cache_bytes,omitempty"`
 	DiskCompactAfter int    `json:"disk_compact_after,omitempty"`
+	WalSync          string `json:"wal_sync,omitempty"`
+	WalSyncIntervalMs int64 `json:"wal_sync_interval_ms,omitempty"`
+	WalDisabled      bool   `json:"wal_disabled,omitempty"`
 }
 
 // Status is the GET /v1/admin/status payload: effective configuration,
@@ -626,6 +710,10 @@ type Status struct {
 	// Tiers describes the budget-aware streaming path's admission pools.
 	Generation uint64            `json:"generation"`
 	Tiers      []budget.TierStat `json:"tiers,omitempty"`
+	// Warnings flags configurations that trade durability for speed
+	// (e.g. "wal_disabled"), so an operator auditing the fleet sees the
+	// loss window without reading flag docs.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Status assembles the admin status snapshot. Like Snapshot it takes the
@@ -658,6 +746,20 @@ func (s *Server) Status() Status {
 		Breaker:    s.breaker.stateString(),
 		Generation: s.generation.Load(),
 		Tiers:      s.pools.Stats(),
+	}
+	if cfg.DiskDir != "" {
+		if cfg.WALDisabled {
+			st.Config.WalDisabled = true
+			st.Warnings = append(st.Warnings, "wal_disabled: acknowledged writes since the last checkpoint are lost on crash")
+		} else {
+			st.Config.WalSync = cfg.WALSync
+			if cfg.WALSync == WALSyncInterval {
+				st.Config.WalSyncIntervalMs = cfg.WALSyncInterval.Milliseconds()
+			}
+			if cfg.WALSync == WALSyncOff {
+				st.Warnings = append(st.Warnings, "wal_sync=off: power loss may drop acknowledged writes since the last rotation (SIGKILL loses nothing)")
+			}
+		}
 	}
 	s.mu.Lock()
 	st.Profiles = s.resolver.Size()
@@ -797,6 +899,9 @@ func (s *Server) flush(batch []job) {
 			gathered += int64(lastWeighed.LastWeighed())
 		}
 	}
+	if s.walAlways {
+		s.syncWALLocked(batch, outcomes)
+	}
 	size := s.resolver.Size()
 	s.mu.Unlock()
 	if gathered > 0 {
@@ -831,6 +936,42 @@ func (s *Server) flush(batch []job) {
 	clear(outcomes)
 	s.batchBuf = batch[:0]
 	s.outcomeBuf = outcomes[:0]
+}
+
+// syncWALLocked is the group-commit barrier of the "always" sync
+// policy: after the batch's commits land in the memtables and before
+// any reply is sent, every shard's write-ahead log is fsynced once —
+// one barrier amortized over the whole micro-batch. If the barrier
+// fails, the commits that rode on it cannot be acknowledged as
+// durable, so their successful outcomes are rewritten into errors.
+// The commits themselves stand (the IDs are consumed); a client that
+// retries observes at-least-once semantics, same as a response lost in
+// transit. Called with s.mu held.
+func (s *Server) syncWALLocked(batch []job, outcomes []jobResult) {
+	committed := false
+	for i, j := range batch {
+		if !j.resume && outcomes[i].err == nil && !outcomes[i].res.Degraded && outcomes[i].res.ID >= 0 {
+			committed = true
+			break
+		}
+	}
+	if !committed {
+		return
+	}
+	g, ok := s.resolver.(*shard.Group)
+	if !ok {
+		return
+	}
+	err := g.SyncWAL()
+	if err == nil {
+		return
+	}
+	s.metrics.Counter(CtrWalSyncFailed).Inc()
+	for i, j := range batch {
+		if !j.resume && outcomes[i].err == nil && !outcomes[i].res.Degraded && outcomes[i].res.ID >= 0 {
+			outcomes[i] = jobResult{err: fmt.Errorf("server: wal sync: %w", err)}
+		}
+	}
 }
 
 // addOne is one guarded index pass for a single admitted profile: the

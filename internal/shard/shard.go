@@ -89,6 +89,22 @@ func CommitSite(i int) string { return "shard." + strconv.Itoa(i) + ".commit" }
 // the compaction entirely.
 func CompactSite(i int) string { return "shard." + strconv.Itoa(i) + ".compact" }
 
+// WalAppendSite returns the fault-injection site name of shard i's
+// write-ahead-log append — checked before the record is framed, so an
+// error spec fails the commit with the memtable untouched.
+func WalAppendSite(i int) string { return "shard." + strconv.Itoa(i) + ".wal.append" }
+
+// WalSyncSite returns the fault-injection site name of shard i's
+// write-ahead-log fsync — checked only when unsynced records exist, so
+// a delay spec deterministically pins the group-commit window open for
+// chaos tests.
+func WalSyncSite(i int) string { return "shard." + strconv.Itoa(i) + ".wal.sync" }
+
+// WalRotateSite returns the fault-injection site name of shard i's
+// write-ahead-log rotation — the new-generation creation a seal performs
+// before its manifest commits.
+func WalRotateSite(i int) string { return "shard." + strconv.Itoa(i) + ".wal.rotate" }
+
 // Backend is one shard's partition implementation — the contract the
 // actor drives. *incremental.Partition is the in-memory implementation;
 // internal/diskindex provides the out-of-core one. Backends are
@@ -126,6 +142,11 @@ type Maintainer interface {
 	// triggers, reporting whether a compaction ran. Called by the actor
 	// off the request path, after a seal's reply is sent.
 	MaybeCompact() (bool, error)
+	// SyncWAL fsyncs the backend's write-ahead log — the group-commit
+	// barrier the serving layer invokes per micro-batch (sync policy
+	// "always") or on a timer ("interval"). A no-op when the WAL is
+	// disabled or already clean.
+	SyncWAL() error
 	// DiskStats reports the backend's disk-tier counters.
 	DiskStats() DiskStats
 }
@@ -145,6 +166,20 @@ type DiskStats struct {
 	// PageReads and CacheHits expose the block cache's effectiveness.
 	PageReads int64 `json:"page_reads"`
 	CacheHits int64 `json:"cache_hits"`
+	// WalBytes is the live write-ahead log's size; 0 when disabled.
+	WalBytes int64 `json:"wal_bytes,omitempty"`
+	// WalAppends counts records logged since open.
+	WalAppends int64 `json:"wal_appends,omitempty"`
+	// WalReplayed and WalTruncated report the last recovery: records
+	// replayed on top of the checkpoint and frames dropped as torn,
+	// undecodable, or beyond the contiguous acknowledged run.
+	WalReplayed  int64 `json:"wal_replayed,omitempty"`
+	WalTruncated int64 `json:"wal_truncated,omitempty"`
+	// WalSyncs counts fsync barriers; WalSyncLastNs and WalSyncTotalNs
+	// expose their latency (last and cumulative).
+	WalSyncs       int64 `json:"wal_syncs,omitempty"`
+	WalSyncLastNs  int64 `json:"wal_sync_last_ns,omitempty"`
+	WalSyncTotalNs int64 `json:"wal_sync_total_ns,omitempty"`
 }
 
 // Config parameterizes a group. The zero value of every field except
@@ -215,6 +250,7 @@ const (
 	opSnapshot
 	opStats
 	opSeal
+	opWalSync
 )
 
 // request is the coordinator↔actor message. Each actor owns exactly one,
@@ -372,6 +408,10 @@ func (a *actor) handle(req *request) {
 			return
 		}
 		req.err = a.maint.Seal(req.checkpoint, req.sealSize)
+	case opWalSync:
+		if a.maint != nil {
+			req.err = a.maint.SyncWAL()
+		}
 	}
 }
 
@@ -616,6 +656,54 @@ func (g *Group) Checkpoint() error {
 
 // Checkpointed returns the last fully committed checkpoint id.
 func (g *Group) Checkpointed() uint64 { return g.checkpoint }
+
+// SyncWAL runs the group-commit barrier: every live shard fsyncs its
+// write-ahead log. An error means some acknowledged-in-memory commit may
+// not be durable yet — the serving layer converts the affected batch's
+// replies into errors (the commits themselves stand, so a retry observes
+// at-least-once semantics). Down shards are skipped: a commit only
+// succeeds on a live shard, so a down shard holds no unsynced records
+// from any batch still awaiting its reply. A no-op for in-memory
+// backends.
+func (g *Group) SyncWAL() error {
+	if g.closed {
+		return ErrClosed
+	}
+	if !g.maint {
+		return nil
+	}
+	var firstErr error
+	for i, a := range g.actors {
+		g.sent[i] = false
+		if g.down[i] {
+			continue
+		}
+		req := a.req
+		req.op = opWalSync
+		if err := a.submit(req); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d wal sync: %w", i, err)
+			}
+			continue
+		}
+		g.sent[i] = true
+	}
+	for i, a := range g.actors {
+		if !g.sent[i] {
+			continue
+		}
+		req := a.receive()
+		if req.err != nil {
+			g.noteFailure(i)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d wal sync: %w", i, req.err)
+			}
+			continue
+		}
+		g.noteSuccess(i)
+	}
+	return firstErr
+}
 
 // Peek implements incremental.Index: the read-only scatter-gather alone.
 func (g *Group) Peek(p entity.Profile) ([]incremental.Candidate, error) {

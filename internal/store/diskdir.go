@@ -170,6 +170,12 @@ type DiskShardState struct {
 	Segments []*Segment
 	NextSeq  uint64
 	NextGen  uint64
+	// WALs lists every write-ahead log file present in the directory
+	// (ascending sequence); recovery replays the ones whose lineage meta
+	// matches the chosen checkpoint and ignores the rest.
+	WALs []string
+	// NextWal is the next safe WAL rotation number.
+	NextWal uint64
 }
 
 // CloseSegments closes any opened segments (for callers that recover
@@ -336,6 +342,12 @@ func scanShardDir(dir string, k, shards int) (*DiskShardState, map[uint64]shardC
 				state.NextGen = gen + 1
 			}
 		}
+		if seq, ok := parseWalSeq(e.Name()); ok {
+			state.WALs = append(state.WALs, e.Name())
+			if seq >= state.NextWal {
+				state.NextWal = seq + 1
+			}
+		}
 	}
 	sort.Slice(gens, func(a, b int) bool { return gens[a] > gens[b] })
 	cands := make(map[uint64]shardCandidate)
@@ -381,10 +393,12 @@ func verifyManifestSegments(dir string, m DiskManifest) bool {
 // every manifest of the current checkpoint, keep the newest manifest of
 // any older checkpoint (the recovery fallback), delete the rest —
 // including abandoned higher-checkpoint lineages — and delete every
-// segment file no kept manifest references. Best-effort: leftover files
-// are wasted disk, never a correctness hazard, because recovery only
-// trusts what a manifest proves.
-func SweepShardDir(dir string, current uint64) {
+// segment file no kept manifest references. Write-ahead logs follow the
+// same pass: any wal file not named in keepWals is superseded by the
+// manifest that just committed and is deleted. Best-effort: leftover
+// files are wasted disk, never a correctness hazard, because recovery
+// only trusts what a manifest (or a matching-lineage log) proves.
+func SweepShardDir(dir string, current uint64, keepWals ...string) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
@@ -408,6 +422,15 @@ func SweepShardDir(dir string, current uint64) {
 		}
 		if _, ok := parseSegmentSeq(e.Name()); ok {
 			segFiles = append(segFiles, e.Name())
+		}
+		if _, ok := parseWalSeq(e.Name()); ok {
+			kept := false
+			for _, keep := range keepWals {
+				kept = kept || keep == e.Name()
+			}
+			if !kept {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
 		}
 	}
 	var fallback uint64 // newest gen with checkpoint below current
@@ -479,6 +502,22 @@ func LoadDiskDir(root string) (*incremental.Snapshot, error) {
 			}
 		}
 		segs[k] = ps
+	}
+	// Replay the write-ahead tail on top of the checkpoint, exactly as a
+	// serving reopen would: each record appends to its home shard in
+	// ascending ID order, so the merged snapshot is bit-identical to the
+	// never-crashed index.
+	tail := RecoverWalTail(layout)
+	if len(tail.Records) > 0 && layout.Checkpoint == 0 {
+		cfg = tail.Cfg
+	}
+	for _, rec := range tail.Records {
+		ps := segs[int(rec.ID)%layout.Shards]
+		ps.Profiles = append(ps.Profiles, rec.Profile)
+		ps.BlocksOf = append(ps.BlocksOf, append([]string(nil), rec.Keys...))
+		for _, key := range rec.Keys {
+			ps.Blocks[key] = append(ps.Blocks[key], rec.ID)
+		}
 	}
 	return incremental.MergeSnapshots(cfg, segs), nil
 }

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"metablocking/internal/core"
+	"metablocking/internal/entity"
+	"metablocking/internal/incremental"
+)
+
+func walTestMeta(shard, shards int, checkpoint uint64, size int) WalMeta {
+	return WalMetaFor(incremental.Config{Scheme: core.JS, K: 4, MaxBlockSize: 40}, shard, shards, checkpoint, size)
+}
+
+func walTestRecord(id entity.ID) WalRecord {
+	return WalRecord{
+		ID:      id,
+		Profile: entity.Profile{ID: id, Attributes: []entity.Attribute{{Name: "name", Value: "alice smith"}}},
+		Keys:    []string{"alice", "smith"},
+	}
+}
+
+// TestWalWriterRoundTrip pins the writer's accounting and that a closed
+// log reads back exactly what was appended, through the recovery path.
+func TestWalWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := WalFileName(1)
+	w, err := CreateWal(filepath.Join(dir, name), walTestMeta(0, 1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Fatalf("fresh log reports %d data records, the meta record must not count", w.Records())
+	}
+	if w.Dirty() {
+		t.Fatal("fresh log is dirty after CreateWal's sync")
+	}
+	if w.Name() != name {
+		t.Fatalf("Name() = %q, want %q", w.Name(), name)
+	}
+	var recs []WalRecord
+	for id := entity.ID(0); id < 3; id++ {
+		rec := walTestRecord(id)
+		recs = append(recs, rec)
+		if err := w.Append(AppendWalRecord(nil, rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 3 || !w.Dirty() {
+		t.Fatalf("after 3 appends: records=%d dirty=%v", w.Records(), w.Dirty())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Dirty() {
+		t.Fatal("dirty after Sync")
+	}
+	fi, err := os.Stat(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != w.Bytes() {
+		t.Fatalf("Bytes() = %d, file is %d", w.Bytes(), fi.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	layout := &DiskLayout{
+		Shards: 1,
+		Shard:  []*DiskShardState{{Dir: dir, WALs: []string{name}}},
+	}
+	tail := RecoverWalTail(layout)
+	if !reflect.DeepEqual(tail.Records, recs) {
+		t.Fatalf("recovered tail %+v, want %+v", tail.Records, recs)
+	}
+	if tail.Truncated[0] != 0 {
+		t.Fatalf("clean log reports %d truncated frames", tail.Truncated[0])
+	}
+}
+
+// TestWalWriterRemove pins the rotation-abort path: Remove deletes the
+// file so a failed manifest commit leaves no log for a checkpoint that
+// never happened.
+func TestWalWriterRemove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), WalFileName(2))
+	w, err := CreateWal(path, walTestMeta(0, 1, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(AppendWalRecord(nil, walTestRecord(4))); err != nil {
+		t.Fatal(err)
+	}
+	w.Remove()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("log still present after Remove: %v", err)
+	}
+}
+
+// TestWalAppendOversized pins the frame-size bound: a record above
+// maxWalRecord is refused as corruption, not written.
+func TestWalAppendOversized(t *testing.T) {
+	w, err := CreateWal(filepath.Join(t.TempDir(), WalFileName(1)), walTestMeta(0, 1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, maxWalRecord+1)); !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("oversized append: %v, want ErrCorruptArtifact", err)
+	}
+	if w.Records() != 0 {
+		t.Fatalf("refused append counted: %d records", w.Records())
+	}
+}
+
+// TestDecodeWalRecordCorrupt drives the decoder's refusal branches: any
+// malformed payload is ErrCorruptArtifact, never a partial record.
+func TestDecodeWalRecordCorrupt(t *testing.T) {
+	good := AppendWalRecord(nil, walTestRecord(7))
+	cases := map[string][]byte{
+		"empty":           {},
+		"id overflow":     binary.AppendUvarint(nil, 1<<40),
+		"truncated attrs": good[:len(good)/2],
+		"trailing bytes":  append(append([]byte{}, good...), 0),
+		"attr count past buffer": append(binary.AppendUvarint(
+			binary.AppendUvarint(nil, 7), 1<<30), 0),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeWalRecord(payload); !errors.Is(err, ErrCorruptArtifact) {
+			t.Errorf("%s: err = %v, want ErrCorruptArtifact", name, err)
+		}
+	}
+	if rec, err := DecodeWalRecord(good); err != nil || rec.ID != 7 {
+		t.Fatalf("valid payload refused: %v", err)
+	}
+}
+
+// TestParseWalSeq pins the file-name filter recovery uses to find logs.
+func TestParseWalSeq(t *testing.T) {
+	if seq, ok := parseWalSeq(WalFileName(12)); !ok || seq != 12 {
+		t.Fatalf("parseWalSeq(WalFileName(12)) = %d, %v", seq, ok)
+	}
+	for _, name := range []string{"wal-.wal", "wal-12", "manifest-1.bin", "wal-x.wal"} {
+		if _, ok := parseWalSeq(name); ok {
+			t.Errorf("parseWalSeq accepted %q", name)
+		}
+	}
+}

@@ -5,9 +5,12 @@
 # window), then prove the previously saved artifact is still loadable —
 # a restarted server goes green on /readyz and keeps resolving. Also
 # checks that reloading a deliberately corrupted snapshot yields 422 and
-# leaves the live index serving, and that a progressive stream killed
+# leaves the live index serving, that a progressive stream killed
 # mid-flight leaves a cursor the restarted server refuses with a clean
-# 410 cursor_invalid (fresh signing key) rather than a wrong answer.
+# 410 cursor_invalid (fresh signing key) rather than a wrong answer, and
+# that with -wal-sync=always a SIGKILL inside the group-commit window
+# loses no acknowledged write: the restart replays the WAL tail and
+# answers bit-identically to a never-crashed control.
 set -eu
 
 workdir="$(mktemp -d)"
@@ -169,9 +172,13 @@ echo "chaos-smoke: disk index checkpointed (4 profiles)"
 
 # Restart armed: the fifth arrival blows the 1-byte budget, the automatic
 # checkpoint seals and commits generation 5, then shard 0's compaction
-# hits the 10s delay — SIGKILL lands inside it.
+# hits the 10s delay — SIGKILL lands inside it. The WAL sync barrier is
+# off here: under -wal-sync=always the barrier would (correctly) queue
+# behind the pinned compaction on the same actor and stall the resolve;
+# this phase tests the segment layer's checkpoint durability, and
+# phase 8 covers the barrier.
 start_server -disk-dir "$diskdir" -shards 2 -memtable-budget 1 -compact-after 2 \
-    -fault 'shard.0.compact:delay=10s'
+    -wal-sync=off -fault 'shard.0.compact:delay=10s'
 resolve "$p5"
 sleep 1
 echo "chaos-smoke: SIGKILL mid-compaction"
@@ -251,5 +258,55 @@ status=0
 wait "$pid" || status=$?
 pid=""
 [ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after mid-stream SIGTERM:"; cat "$log"; exit 1; }
+
+# Phase 8: the write-ahead log closes disk mode's last loss window.
+# Under -wal-sync=always every acknowledgment waits on an fsync barrier;
+# the armed delay skips the first four barriers and pins the fifth open
+# — p5's record is appended to the log, its reply unsent — when the
+# SIGKILL lands. No checkpoint is ever taken (default memtable budget),
+# so the restart recovers everything from the log alone: all four
+# acknowledged arrivals (zero acknowledged-write loss) plus the
+# in-flight fifth (at-least-once), and the probe answer must be
+# bit-identical to a never-crashed control over the same five arrivals.
+waldir="$workdir/walidx"
+start_server -disk-dir "$waldir" -shards 1 -wal-sync=always \
+    -fault 'shard.0.wal.sync:delay=10s,after=4'
+resolve "$p1"; resolve "$p2"; resolve "$p3"; resolve "$p4"
+curl -sS -X POST -d "$p5" "$base/v1/resolve" >"$workdir/pinned5.out" 2>&1 &
+curl_pid=$!
+sleep 1
+echo "chaos-smoke: SIGKILL mid-group-commit"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+wait "$curl_pid" 2>/dev/null || true
+if grep -q '"id":4' "$workdir/pinned5.out"; then
+    echo "chaos-smoke: pinned commit was acknowledged before its sync barrier"; cat "$workdir/pinned5.out"; exit 1
+fi
+
+start_server -disk-dir "$waldir" -shards 1 -wal-sync=always
+curl -fsS "$base/readyz" | grep -q '^ready$' || { echo "chaos-smoke: /readyz not green after mid-commit crash"; cat "$log"; exit 1; }
+status_body="$(curl -fsS "$base/v1/admin/status")"
+echo "$status_body" | grep -q '"profiles":5' || { echo "chaos-smoke: WAL replay lost writes: $status_body"; exit 1; }
+echo "$status_body" | grep -q '"checkpoint":0' || { echo "chaos-smoke: unexpected checkpoint — recovery was not WAL-only: $status_body"; exit 1; }
+echo "$status_body" | grep -q '"wal_sync":"always"' || { echo "chaos-smoke: status missing wal_sync: $status_body"; exit 1; }
+curl -fsS "$base/metrics" | grep -q 'diskindex\.wal_replayed *5' || { echo "chaos-smoke: wal_replayed counter wrong"; curl -fsS "$base/metrics"; exit 1; }
+crashed_answer="$(curl -fsS -X POST -d "$probe" "$base/v1/resolve")"
+kill -TERM "$pid"; wait "$pid" || true; pid=""
+
+# Control: the same five arrivals, never crashed, in-memory.
+start_server
+resolve "$p1"; resolve "$p2"; resolve "$p3"; resolve "$p4"; resolve "$p5"
+control_answer="$(curl -fsS -X POST -d "$probe" "$base/v1/resolve")"
+[ "$crashed_answer" = "$control_answer" ] || {
+    echo "chaos-smoke: post-WAL-replay answer diverged from the no-crash control"
+    echo "crashed: $crashed_answer"; echo "control: $control_answer"; exit 1;
+}
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+[ "$status" -eq 0 ] || { echo "chaos-smoke: exit status $status after WAL-mode SIGTERM:"; cat "$log"; exit 1; }
+echo "chaos-smoke: WAL replay recovered every acknowledged write"
 
 echo "chaos-smoke: OK"
